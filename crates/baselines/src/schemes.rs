@@ -1,0 +1,180 @@
+//! The compared protection schemes: their security-guarantee matrix
+//! (Table 1) and version-storage footprints (Table 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Degree to which a guarantee holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Level {
+    /// Fully guaranteed.
+    Yes,
+    /// Partially guaranteed (e.g. AES-XTS confidentiality leaks
+    /// same-value-write patterns).
+    Partial,
+    /// Not guaranteed.
+    No,
+}
+
+impl std::fmt::Display for Level {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Level::Yes => "Yes",
+            Level::Partial => "Partial",
+            Level::No => "No",
+        })
+    }
+}
+
+/// The Table 1 guarantee matrix for one scheme.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Guarantees {
+    /// Protects the full physical memory space (vs a small EPC carve-out).
+    pub full_space: Level,
+    /// Data confidentiality.
+    pub confidentiality: Level,
+    /// Data integrity.
+    pub integrity: Level,
+    /// Freshness (replay protection).
+    pub freshness: Level,
+}
+
+/// A protection scheme under comparison.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Scheme {
+    /// Original ("client") SGX: 128 MB EPC, AES-CTR + MAC + Merkle tree.
+    ClientSgx,
+    /// Scalable SGX: AES-XTS only, full memory, no integrity/freshness.
+    ScalableSgx,
+    /// Toleo: AES-XTS + MAC + smart-memory stealth versions.
+    Toleo,
+    /// VAULT: variable-arity counter tree.
+    Vault,
+    /// Morphable Counters: dynamically re-encoded counter leaves.
+    MorphCtr,
+    /// InvisiMem-far: all data in smart memory.
+    InvisiMem,
+}
+
+impl Scheme {
+    /// Table 1's three compared schemes.
+    pub fn table1() -> [Scheme; 3] {
+        [Scheme::ClientSgx, Scheme::ScalableSgx, Scheme::Toleo]
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Scheme::ClientSgx => "Client SGX",
+            Scheme::ScalableSgx => "Scalable SGX",
+            Scheme::Toleo => "Toleo",
+            Scheme::Vault => "VAULT",
+            Scheme::MorphCtr => "MorphCtr-128",
+            Scheme::InvisiMem => "InvisiMem",
+        }
+    }
+
+    /// The guarantee matrix row (Table 1).
+    pub fn guarantees(self) -> Guarantees {
+        match self {
+            Scheme::ClientSgx => Guarantees {
+                full_space: Level::No, // 128 MB EPC only
+                confidentiality: Level::Yes,
+                integrity: Level::Yes,
+                freshness: Level::Yes,
+            },
+            Scheme::ScalableSgx => Guarantees {
+                full_space: Level::Yes,
+                confidentiality: Level::Partial, // deterministic AES-XTS
+                integrity: Level::No,
+                freshness: Level::No,
+            },
+            Scheme::Toleo | Scheme::Vault | Scheme::MorphCtr | Scheme::InvisiMem => Guarantees {
+                full_space: match self {
+                    Scheme::Toleo | Scheme::InvisiMem => Level::Yes,
+                    _ => Level::No, // tree-based schemes cap out at ~64 GB
+                },
+                confidentiality: Level::Yes,
+                integrity: Level::Yes,
+                freshness: Level::Yes,
+            },
+        }
+    }
+}
+
+impl std::fmt::Display for Scheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A freshness-protected version representation (a Table 4 row).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VersionScheme {
+    /// Row label.
+    pub name: &'static str,
+    /// Bytes of trusted version state per entry.
+    pub version_bytes: f64,
+    /// Bytes of data one entry protects.
+    pub data_bytes: u64,
+}
+
+impl VersionScheme {
+    /// Data-to-version size ratio (Table 4's last column).
+    pub fn ratio(&self) -> f64 {
+        self.data_bytes as f64 / self.version_bytes
+    }
+
+    /// The static rows of Table 4 (Toleo's measured average row is
+    /// computed by the harness from device statistics).
+    pub fn table4_static() -> Vec<VersionScheme> {
+        vec![
+            VersionScheme { name: "Client SGX (Leaf)", version_bytes: 7.0, data_bytes: 64 },
+            VersionScheme { name: "VAULT (Leaf)", version_bytes: 64.0, data_bytes: 4096 },
+            VersionScheme { name: "MorphCtr-128 (Leaf)", version_bytes: 64.0, data_bytes: 8192 },
+            VersionScheme { name: "Toleo Stealth Flat", version_bytes: 12.0, data_bytes: 4096 },
+            // Uneven/full rows include the flat entry they still use.
+            VersionScheme { name: "Toleo Stealth Uneven", version_bytes: 68.0, data_bytes: 4096 },
+            VersionScheme { name: "Toleo Stealth Full", version_bytes: 228.0, data_bytes: 4096 },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let client = Scheme::ClientSgx.guarantees();
+        assert_eq!(client.full_space, Level::No);
+        assert_eq!(client.freshness, Level::Yes);
+        let scalable = Scheme::ScalableSgx.guarantees();
+        assert_eq!(scalable.full_space, Level::Yes);
+        assert_eq!(scalable.confidentiality, Level::Partial);
+        assert_eq!(scalable.integrity, Level::No);
+        assert_eq!(scalable.freshness, Level::No);
+        let toleo = Scheme::Toleo.guarantees();
+        assert_eq!(toleo.full_space, Level::Yes);
+        assert_eq!(toleo.confidentiality, Level::Yes);
+        assert_eq!(toleo.integrity, Level::Yes);
+        assert_eq!(toleo.freshness, Level::Yes);
+    }
+
+    #[test]
+    fn table4_ratios_match_paper() {
+        let rows = VersionScheme::table4_static();
+        let by_name = |n: &str| rows.iter().find(|r| r.name.contains(n)).unwrap().ratio();
+        assert!((by_name("Client SGX") - 9.14).abs() < 0.01);
+        assert!((by_name("VAULT") - 64.0).abs() < 0.01);
+        assert!((by_name("MorphCtr") - 128.0).abs() < 0.01);
+        assert!((by_name("Flat") - 341.3).abs() < 0.5);
+        assert!((by_name("Uneven") - 60.2).abs() < 0.5);
+        assert!((by_name("Full") - 17.96).abs() < 0.1);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Scheme::Toleo.to_string(), "Toleo");
+        assert_eq!(Level::Partial.to_string(), "Partial");
+    }
+}

@@ -1,0 +1,243 @@
+//! Client-SGX-style memory encryption engine over a Merkle counter tree —
+//! the functional baseline Toleo replaces.
+//!
+//! Data blocks are AES-CTR encrypted with their 56-bit version as nonce;
+//! a MAC binds `(version, address, ciphertext)`; versions live in the
+//! counter-tree leaves whose integrity chains up to an on-chip root. The
+//! EPC (enclave page cache) is limited — accesses beyond it would page in
+//! the real system; here the capacity limit is surfaced for the overhead
+//! comparison in the ablation benches.
+
+use crate::tree::{CounterTree, TreeError};
+use std::collections::HashMap;
+use toleo_crypto::mac::{MacKey, Tag56};
+use toleo_crypto::modes::AesCtr;
+
+/// Errors from the SGX-style engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SgxError {
+    /// MAC mismatch on data read — tampering or replay.
+    IntegrityViolation {
+        /// Block address.
+        address: u64,
+    },
+    /// The counter tree detected tampering.
+    Tree(TreeError),
+    /// Address beyond the protected EPC.
+    OutOfEpc {
+        /// The offending address.
+        address: u64,
+    },
+}
+
+impl std::fmt::Display for SgxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SgxError::IntegrityViolation { address } => {
+                write!(f, "sgx integrity check failed at {address:#x}")
+            }
+            SgxError::Tree(e) => write!(f, "sgx counter tree: {e}"),
+            SgxError::OutOfEpc { address } => write!(f, "address {address:#x} outside the EPC"),
+        }
+    }
+}
+
+impl std::error::Error for SgxError {}
+
+impl From<TreeError> for SgxError {
+    fn from(e: TreeError) -> Self {
+        SgxError::Tree(e)
+    }
+}
+
+/// A client-SGX memory encryption engine protecting a fixed EPC.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_baselines::sgx::SgxEngine;
+///
+/// let mut sgx = SgxEngine::new(1 << 20); // 1 MB EPC
+/// sgx.write(0x40, &[9u8; 64]).unwrap();
+/// assert_eq!(sgx.read(0x40).unwrap(), [9u8; 64]);
+/// ```
+#[derive(Debug)]
+pub struct SgxEngine {
+    epc_bytes: u64,
+    tree: CounterTree,
+    ctr: AesCtr,
+    mac: MacKey,
+    data: HashMap<u64, [u8; 64]>,
+    macs: HashMap<u64, Tag56>,
+    /// Tree-node memory accesses accumulated (the Merkle overhead).
+    pub tree_accesses: u64,
+}
+
+impl SgxEngine {
+    /// Creates an engine protecting `epc_bytes` of memory (client SGX:
+    /// 128 MB).
+    pub fn new(epc_bytes: u64) -> Self {
+        SgxEngine {
+            epc_bytes,
+            tree: CounterTree::new(8, epc_bytes / 64, 512),
+            ctr: AesCtr::new(b"sgx-data-key 16B"),
+            mac: MacKey::new(*b"sgx-mac-key 16B!"),
+            data: HashMap::new(),
+            macs: HashMap::new(),
+            tree_accesses: 0,
+        }
+    }
+
+    fn check(&self, addr: u64) -> Result<(), SgxError> {
+        if addr >= self.epc_bytes {
+            return Err(SgxError::OutOfEpc { address: addr });
+        }
+        Ok(())
+    }
+
+    /// Writes a block: bump the version in the tree, encrypt, MAC, store.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::OutOfEpc`] beyond the EPC; tree errors if the tree was
+    /// tampered with.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned addresses.
+    pub fn write(&mut self, addr: u64, plaintext: &[u8; 64]) -> Result<(), SgxError> {
+        assert_eq!(addr % 64, 0, "unaligned block write");
+        self.check(addr)?;
+        let walk = self.tree.update(addr / 64)?;
+        self.tree_accesses += walk.memory_accesses as u64;
+        let mut ct = *plaintext;
+        self.ctr.apply(walk.version, addr, &mut ct);
+        let tag = self.mac.mac(walk.version, addr, &ct);
+        self.data.insert(addr, ct);
+        self.macs.insert(addr, tag);
+        Ok(())
+    }
+
+    /// Reads a block: verify the version path, check the MAC, decrypt.
+    ///
+    /// # Errors
+    ///
+    /// [`SgxError::IntegrityViolation`] on MAC mismatch (replay/tamper);
+    /// tree errors on counter tampering; [`SgxError::OutOfEpc`] beyond the
+    /// EPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned addresses.
+    pub fn read(&mut self, addr: u64) -> Result<[u8; 64], SgxError> {
+        assert_eq!(addr % 64, 0, "unaligned block read");
+        self.check(addr)?;
+        let walk = self.tree.verify(addr / 64)?;
+        self.tree_accesses += walk.memory_accesses as u64;
+        let ct = match self.data.get(&addr) {
+            Some(c) => *c,
+            None => return Ok([0u8; 64]),
+        };
+        let tag = self.macs.get(&addr).copied().unwrap_or_default();
+        let expect = self.mac.mac(walk.version, addr, &ct);
+        if !expect.verify(&tag) {
+            return Err(SgxError::IntegrityViolation { address: addr });
+        }
+        let mut pt = ct;
+        self.ctr.apply(walk.version, addr, &mut pt);
+        Ok(pt)
+    }
+
+    /// Adversary hook: replay captures of (ciphertext, MAC).
+    pub fn capture(&self, addr: u64) -> (Option<[u8; 64]>, Option<Tag56>) {
+        (self.data.get(&addr).copied(), self.macs.get(&addr).copied())
+    }
+
+    /// Adversary hook: restore a stale capture.
+    pub fn replay(&mut self, addr: u64, capsule: (Option<[u8; 64]>, Option<Tag56>)) {
+        if let Some(d) = capsule.0 {
+            self.data.insert(addr, d);
+        }
+        if let Some(t) = capsule.1 {
+            self.macs.insert(addr, t);
+        }
+    }
+
+    /// The counter tree (for tamper experiments).
+    pub fn tree_mut(&mut self) -> &mut CounterTree {
+        &mut self.tree
+    }
+
+    /// Depth of the integrity tree.
+    pub fn tree_depth(&self) -> usize {
+        self.tree.depth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sgx() -> SgxEngine {
+        SgxEngine::new(1 << 20)
+    }
+
+    #[test]
+    fn roundtrip_and_versioning() {
+        let mut e = sgx();
+        e.write(0, &[1u8; 64]).unwrap();
+        e.write(0, &[2u8; 64]).unwrap();
+        assert_eq!(e.read(0).unwrap(), [2u8; 64]);
+    }
+
+    #[test]
+    fn replay_detected_via_tree() {
+        let mut e = sgx();
+        e.write(0x80, &[1u8; 64]).unwrap();
+        let stale = e.capture(0x80);
+        e.write(0x80, &[2u8; 64]).unwrap();
+        e.replay(0x80, stale);
+        // The tree's leaf version moved on, so the stale MAC mismatches.
+        assert!(matches!(e.read(0x80), Err(SgxError::IntegrityViolation { .. })));
+    }
+
+    #[test]
+    fn counter_tamper_detected() {
+        let mut e = sgx();
+        e.write(0x40, &[3u8; 64]).unwrap();
+        let leaf_level = e.tree_depth() - 1;
+        e.tree_mut().tamper_counter(leaf_level, 0, 1, 42);
+        assert!(matches!(e.read(0x40), Err(SgxError::Tree(_))));
+    }
+
+    #[test]
+    fn epc_limit_enforced() {
+        let mut e = sgx();
+        assert!(matches!(e.read(1 << 20), Err(SgxError::OutOfEpc { .. })));
+        assert!(matches!(e.write(1 << 21, &[0u8; 64]), Err(SgxError::OutOfEpc { .. })));
+    }
+
+    #[test]
+    fn tree_accesses_accumulate() {
+        let mut e = sgx();
+        // Cold accesses walk uncached tree levels.
+        e.write(0, &[0u8; 64]).unwrap();
+        let after_first = e.tree_accesses;
+        assert!(after_first > 0);
+        // Warm repeat: cached path.
+        e.write(0, &[1u8; 64]).unwrap();
+        assert!(e.tree_accesses - after_first <= after_first);
+    }
+
+    #[test]
+    fn unwritten_reads_zero() {
+        let mut e = sgx();
+        assert_eq!(e.read(0x100).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(SgxError::OutOfEpc { address: 1 }.to_string().contains("EPC"));
+        assert!(SgxError::IntegrityViolation { address: 1 }.to_string().contains("integrity"));
+    }
+}

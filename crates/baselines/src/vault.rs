@@ -1,0 +1,177 @@
+//! VAULT-style variable-arity counter tree (Taassori et al., ASPLOS'18).
+//!
+//! VAULT increases tree arity by shrinking per-child counters as one moves
+//! toward the leaves: a 64-byte node packs a few large counters near the
+//! root but 16–64 small counters at the leaves, so the tree is shallower
+//! than SGX's 8-ary tree for the same protected size. Small counters
+//! overflow quickly; an overflow forces a *node reset*: all sibling
+//! counters re-base and every covered block must be re-MACed (modelled
+//! here as a re-encryption count).
+
+/// Per-level geometry: how many counters one 64-byte node packs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LevelSpec {
+    /// Children per node at this level.
+    pub arity: usize,
+    /// Counter width in bits.
+    pub counter_bits: u32,
+}
+
+/// A VAULT tree's shape and cost model.
+#[derive(Debug, Clone)]
+pub struct VaultTree {
+    levels: Vec<LevelSpec>,
+    blocks: u64,
+    /// Leaf counters (functional state; indexes follow block order).
+    leaf_counters: Vec<u64>,
+    /// Re-encryptions forced by counter overflows.
+    pub overflow_resets: u64,
+}
+
+impl VaultTree {
+    /// The paper's VAULT geometry: 64-ary leaves with 6-bit counters,
+    /// 32-ary mid levels (12-bit), 16-ary upper levels (25-bit).
+    pub fn paper_geometry() -> Vec<LevelSpec> {
+        vec![
+            LevelSpec { arity: 16, counter_bits: 25 },
+            LevelSpec { arity: 32, counter_bits: 12 },
+            LevelSpec { arity: 64, counter_bits: 6 },
+        ]
+    }
+
+    /// Builds a tree protecting `blocks` cache blocks with the given
+    /// geometry (last entry = leaf level; it repeats as needed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geometry` is empty or `blocks == 0`.
+    pub fn new(geometry: Vec<LevelSpec>, blocks: u64) -> Self {
+        assert!(!geometry.is_empty(), "geometry must have at least one level");
+        assert!(blocks > 0, "must protect at least one block");
+        VaultTree {
+            levels: geometry,
+            blocks,
+            leaf_counters: vec![0; blocks as usize],
+            overflow_resets: 0,
+        }
+    }
+
+    /// Depth of the tree for the protected size (levels needed so the
+    /// product of arities covers all blocks).
+    pub fn depth(&self) -> usize {
+        let mut covered = 1u64;
+        let mut depth = 0;
+        // Repeat the leaf level's arity for deep trees.
+        loop {
+            let spec = self.levels[self.levels.len().saturating_sub(depth + 1).min(self.levels.len() - 1)];
+            covered = covered.saturating_mul(spec.arity as u64);
+            depth += 1;
+            if covered >= self.blocks {
+                return depth;
+            }
+        }
+    }
+
+    /// Leaf data-to-version ratio: one 64-byte leaf node covers
+    /// `arity * 64` bytes of data (the paper's Table 4 "VAULT (Leaf)"
+    /// row: 64 B protects 4 KB = 64:1).
+    pub fn leaf_ratio(&self) -> f64 {
+        let leaf = self.levels.last().expect("non-empty");
+        (leaf.arity * 64) as f64 / 64.0
+    }
+
+    /// Records a write to `block`, bumping its leaf counter. Returns the
+    /// number of blocks that had to be re-encrypted (0 in the common case,
+    /// `arity` when the small counter overflowed and the node re-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is out of range.
+    pub fn update(&mut self, block: u64) -> u64 {
+        assert!(block < self.blocks, "block out of range");
+        let leaf = *self.levels.last().expect("non-empty");
+        let max = (1u64 << leaf.counter_bits) - 1;
+        let ctr = &mut self.leaf_counters[block as usize];
+        if *ctr >= max {
+            // Overflow: re-base all siblings, re-encrypt the whole group.
+            self.overflow_resets += 1;
+            let group = (block as usize / leaf.arity) * leaf.arity;
+            let end = (group + leaf.arity).min(self.leaf_counters.len());
+            for c in &mut self.leaf_counters[group..end] {
+                *c = 0;
+            }
+            self.leaf_counters[block as usize] = 1;
+            return (end - group) as u64;
+        }
+        *ctr += 1;
+        0
+    }
+
+    /// The current counter of a block.
+    pub fn counter(&self, block: u64) -> u64 {
+        self.leaf_counters[block as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vault(blocks: u64) -> VaultTree {
+        VaultTree::new(VaultTree::paper_geometry(), blocks)
+    }
+
+    #[test]
+    fn leaf_ratio_is_64_to_1() {
+        assert!((vault(1024).leaf_ratio() - 64.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn depth_shallower_than_8ary() {
+        // 2^21 blocks (128 MB): VAULT with 64/32/16 arity needs fewer
+        // levels than the 8-ary SGX tree's 6.
+        let v = vault(1 << 21);
+        assert!(v.depth() < 6, "vault depth {}", v.depth());
+    }
+
+    #[test]
+    fn updates_count() {
+        let mut v = vault(256);
+        v.update(7);
+        v.update(7);
+        assert_eq!(v.counter(7), 2);
+        assert_eq!(v.overflow_resets, 0);
+    }
+
+    #[test]
+    fn overflow_rebases_group() {
+        let mut v = vault(256);
+        // 6-bit leaf counters overflow at 63.
+        for _ in 0..63 {
+            assert_eq!(v.update(0), 0);
+        }
+        let reencrypted = v.update(0);
+        assert_eq!(reencrypted, 64, "whole 64-block group re-encrypted");
+        assert_eq!(v.overflow_resets, 1);
+        assert_eq!(v.counter(0), 1);
+        assert_eq!(v.counter(1), 0);
+    }
+
+    #[test]
+    fn hot_blocks_cause_frequent_overflow() {
+        // The VAULT weakness Toleo's uneven format avoids: one hot block
+        // forces group-wide re-encryption every 63 writes.
+        let mut v = vault(256);
+        let mut reenc = 0;
+        for _ in 0..1000 {
+            reenc += v.update(0);
+        }
+        assert!(reenc >= 15 * 64, "re-encrypted {reenc} blocks for 1000 writes");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        vault(16).update(16);
+    }
+}

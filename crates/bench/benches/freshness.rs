@@ -1,0 +1,92 @@
+//! The headline comparison: freshness metadata cost per memory write for
+//! the Merkle counter tree (client SGX) vs the Toleo device, plus the full
+//! protected read/write path of each engine.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use toleo_baselines::sgx::SgxEngine;
+use toleo_baselines::tree::CounterTree;
+use toleo_core::config::ToleoConfig;
+use toleo_core::device::ToleoDevice;
+use toleo_core::engine::ProtectionEngine;
+
+/// Version maintenance alone: tree update (walk + re-MAC each level) vs a
+/// single Toleo UPDATE, across protected-memory sizes.
+fn bench_version_update(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freshness/version_update");
+    for log2_blocks in [14u32, 18, 22] {
+        g.bench_with_input(
+            BenchmarkId::new("merkle_tree", 1u64 << log2_blocks),
+            &log2_blocks,
+            |b, &l| {
+                let mut tree = CounterTree::new(8, 1 << l, 512);
+                let mut i = 0u64;
+                b.iter(|| {
+                    i = (i + 4097) % (1 << l);
+                    tree.update(i).expect("untampered tree")
+                })
+            },
+        );
+    }
+    g.bench_function("toleo_device", |b| {
+        let mut cfg = ToleoConfig::small();
+        cfg.protected_bytes = 1 << 30;
+        cfg.device_capacity_bytes = cfg.flat_array_bytes() + (8 << 20);
+        let mut dev = ToleoDevice::new(cfg);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = (i + 4097) % (1 << 18);
+            dev.update(i % 1024, (i % 64) as usize).expect("in range")
+        })
+    });
+    g.finish();
+}
+
+/// Full protected write+read round trip of the two functional engines.
+fn bench_engine_roundtrip(c: &mut Criterion) {
+    let mut g = c.benchmark_group("freshness/engine_roundtrip");
+    g.bench_function("toleo_engine", |b| {
+        let mut e = ProtectionEngine::new(ToleoConfig::small(), [9u8; 48]);
+        let data = [0x42u8; 64];
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) % (1 << 20);
+            e.write(addr, &data).expect("write ok");
+            e.read(addr).expect("read ok")
+        })
+    });
+    g.bench_function("sgx_engine", |b| {
+        let mut e = SgxEngine::new(1 << 20);
+        let data = [0x42u8; 64];
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = (addr + 64) % (1 << 20);
+            e.write(addr, &data).expect("write ok");
+            e.read(addr).expect("read ok")
+        })
+    });
+    g.finish();
+}
+
+/// Stealth cache lookup cost (the 98%-hit fast path).
+fn bench_stealth_cache(c: &mut Criterion) {
+    use toleo_core::cache::StealthCache;
+    use toleo_core::trip::TripFormat;
+    let mut g = c.benchmark_group("freshness/stealth_cache");
+    g.bench_function("hit", |b| {
+        let mut sc = StealthCache::paper_default();
+        sc.access(7, TripFormat::Flat);
+        b.iter(|| sc.access(7, TripFormat::Flat))
+    });
+    g.bench_function("miss_stream", |b| {
+        let mut sc = StealthCache::paper_default();
+        let mut p = 0u64;
+        b.iter(|| {
+            p += 1;
+            sc.access(p, TripFormat::Flat)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_version_update, bench_engine_roundtrip, bench_stealth_cache);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Criterion micro-benchmarks for the cryptographic primitives on the
+//! protection engine's hot path: AES block, XTS cache-block encryption,
+//! 56-bit MAC, and IDE flit processing.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use toleo_crypto::aes::Aes128;
+use toleo_crypto::ide::establish_session;
+use toleo_crypto::mac::MacKey;
+use toleo_crypto::modes::{AesCtr, AesXts, Tweak};
+
+fn bench_aes_block(c: &mut Criterion) {
+    let aes = Aes128::new(b"0123456789abcdef");
+    let block = [0x5au8; 16];
+    let mut g = c.benchmark_group("aes128");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("encrypt_block", |b| b.iter(|| aes.encrypt_block(std::hint::black_box(&block))));
+    g.bench_function("decrypt_block", |b| b.iter(|| aes.decrypt_block(std::hint::black_box(&block))));
+    g.finish();
+}
+
+fn bench_xts_cache_block(c: &mut Criterion) {
+    let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
+    let tweak = Tweak { version: 77, address: 0x4000 };
+    let mut g = c.benchmark_group("xts");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("encrypt_64B_cache_block", |b| {
+        b.iter(|| {
+            let mut blk = [0xabu8; 64];
+            xts.encrypt(std::hint::black_box(tweak), &mut blk);
+            blk
+        })
+    });
+    g.finish();
+}
+
+fn bench_ctr_cache_block(c: &mut Criterion) {
+    let ctr = AesCtr::new(b"0123456789abcdef");
+    let mut g = c.benchmark_group("ctr");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("apply_64B_cache_block", |b| {
+        b.iter(|| {
+            let mut blk = [0xabu8; 64];
+            ctr.apply(9, 0x4000, &mut blk);
+            blk
+        })
+    });
+    g.finish();
+}
+
+fn bench_mac(c: &mut Criterion) {
+    let key = MacKey::new([7u8; 16]);
+    let ct = [0x11u8; 64];
+    let mut g = c.benchmark_group("mac");
+    g.throughput(Throughput::Bytes(64));
+    g.bench_function("tag56_over_cache_block", |b| {
+        b.iter(|| key.mac(std::hint::black_box(42), 0x4000, &ct))
+    });
+    g.finish();
+}
+
+fn bench_ide(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ide");
+    g.throughput(Throughput::Bytes(16));
+    g.bench_function("send_receive_version_flit", |b| {
+        let (mut tx, mut rx) = establish_session([0x33u8; 32]);
+        b.iter(|| {
+            let flit = tx.send(b"stealth-version!");
+            rx.receive(&flit).expect("in-order flit")
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_aes_block,
+    bench_xts_cache_block,
+    bench_ctr_cache_block,
+    bench_mac,
+    bench_ide
+);
+criterion_main!(benches);

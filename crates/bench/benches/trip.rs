@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks for Trip entry operations — the Toleo
+//! controller's per-request work.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use toleo_core::config::ToleoConfig;
+use toleo_core::trip::PageEntry;
+use toleo_core::version::StealthVersion;
+
+fn flat_page() -> PageEntry {
+    PageEntry::new_flat(StealthVersion::new(1000, 27))
+}
+
+fn uneven_page(cfg: &ToleoConfig) -> PageEntry {
+    let mut p = flat_page();
+    p.record_write(0, cfg);
+    p.record_write(0, cfg);
+    p
+}
+
+fn full_page(cfg: &ToleoConfig) -> PageEntry {
+    let mut p = flat_page();
+    for _ in 0..200 {
+        p.record_write(0, cfg);
+    }
+    p
+}
+
+fn bench_record_write(c: &mut Criterion) {
+    let cfg = ToleoConfig::small();
+    let mut g = c.benchmark_group("trip/record_write");
+    g.bench_function("flat_round", |b| {
+        b.iter_batched(
+            flat_page,
+            |mut p| {
+                for line in 0..64 {
+                    p.record_write(line, &cfg);
+                }
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("uneven_increment", |b| {
+        b.iter_batched(
+            || uneven_page(&cfg),
+            |mut p| {
+                p.record_write(1, &cfg);
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("full_increment", |b| {
+        b.iter_batched(
+            || full_page(&cfg),
+            |mut p| {
+                p.record_write(1, &cfg);
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_version_of(c: &mut Criterion) {
+    let cfg = ToleoConfig::small();
+    let flat = flat_page();
+    let uneven = uneven_page(&cfg);
+    let full = full_page(&cfg);
+    let mut g = c.benchmark_group("trip/version_of");
+    g.bench_function("flat", |b| b.iter(|| flat.version_of(std::hint::black_box(17), &cfg)));
+    g.bench_function("uneven", |b| b.iter(|| uneven.version_of(std::hint::black_box(17), &cfg)));
+    g.bench_function("full", |b| b.iter(|| full.version_of(std::hint::black_box(17), &cfg)));
+    g.finish();
+}
+
+fn bench_upgrade_paths(c: &mut Criterion) {
+    let cfg = ToleoConfig::small();
+    let mut g = c.benchmark_group("trip/upgrade");
+    g.bench_function("flat_to_uneven", |b| {
+        b.iter_batched(
+            || {
+                let mut p = flat_page();
+                p.record_write(0, &cfg);
+                p
+            },
+            |mut p| {
+                p.record_write(0, &cfg); // triggers the upgrade
+                p
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_record_write, bench_version_of, bench_upgrade_paths);
+criterion_main!(benches);

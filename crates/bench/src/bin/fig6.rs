@@ -1,0 +1,39 @@
+//! Figure 6: execution-time overhead of CI, Toleo and InvisiMem relative
+//! to no memory protection, per benchmark.
+
+use toleo_bench::harness::{self, mean};
+use toleo_sim::config::Protection;
+
+fn main() {
+    let base = harness::run_all(Protection::NoProtect);
+    let ci = harness::run_all(Protection::Ci);
+    let toleo = harness::run_all(Protection::Toleo);
+    let invisimem = harness::run_all(Protection::InvisiMem);
+
+    println!("Figure 6. CI and Toleo Performance Overhead (% over NoProtect)");
+    println!("{:<12}{:>8}{:>8}{:>11}{:>13}", "bench", "CI", "Toleo", "InvisiMem", "Toleo-CI");
+    let mut ci_all = Vec::new();
+    let mut toleo_all = Vec::new();
+    let mut inv_all = Vec::new();
+    for i in 0..base.len() {
+        let c = ci[i].cycles / base[i].cycles - 1.0;
+        let t = toleo[i].cycles / base[i].cycles - 1.0;
+        let v = invisimem[i].cycles / base[i].cycles - 1.0;
+        ci_all.push(c);
+        toleo_all.push(t);
+        inv_all.push(v);
+        println!(
+            "{:<12}{:>7.1}%{:>7.1}%{:>10.1}%{:>12.1}%",
+            base[i].name, c * 100.0, t * 100.0, v * 100.0, (t - c) * 100.0
+        );
+    }
+    println!(
+        "{:<12}{:>7.1}%{:>7.1}%{:>10.1}%{:>12.1}%",
+        "average",
+        mean(&ci_all) * 100.0,
+        mean(&toleo_all) * 100.0,
+        mean(&inv_all) * 100.0,
+        (mean(&toleo_all) - mean(&ci_all)) * 100.0
+    );
+    println!("\n(paper: CI avg 18%, Toleo adds 1-2% over CI, InvisiMem avg 29%)");
+}

@@ -1,0 +1,112 @@
+//! # toleo-bench
+//!
+//! Harness regenerating every table and figure of the Toleo paper's
+//! evaluation. Each `src/bin/tableN.rs` / `src/bin/figN.rs` binary prints
+//! the rows/series of its table or figure; `EXPERIMENTS.md` records
+//! paper-vs-measured values.
+//!
+//! The [`harness`] module provides the shared machinery: generate all 12
+//! workload traces once, run them under any protection configuration (in
+//! parallel across workloads), and format aligned text tables.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness {
+    //! Shared run-everything machinery for the per-figure binaries.
+
+    use toleo_sim::config::{Protection, SimConfig};
+    use toleo_sim::system::{RunStats, System};
+    use toleo_workloads::{generate, Benchmark, GenConfig};
+
+    /// Standard generation config for the figures (bigger than unit-test
+    /// traces, still seconds to run).
+    pub fn gen_config() -> GenConfig {
+        GenConfig::default()
+    }
+
+    /// Generates all 12 traces.
+    pub fn all_traces(cfg: &GenConfig) -> Vec<toleo_workloads::Trace> {
+        Benchmark::all().iter().map(|b| generate(*b, cfg)).collect()
+    }
+
+    /// Runs every benchmark under `protection`, in parallel, preserving
+    /// Table 2 order.
+    pub fn run_all(protection: Protection) -> Vec<RunStats> {
+        run_all_with(protection, &gen_config())
+    }
+
+    /// Runs every benchmark under `protection` with a custom generation
+    /// config.
+    pub fn run_all_with(protection: Protection, gen: &GenConfig) -> Vec<RunStats> {
+        let traces = all_traces(gen);
+        let mut out: Vec<Option<RunStats>> = vec![None; traces.len()];
+        crossbeam::scope(|s| {
+            for (slot, trace) in out.iter_mut().zip(&traces) {
+                s.spawn(move |_| {
+                    let mut sys = System::new(SimConfig::scaled(protection));
+                    *slot = Some(sys.run(trace));
+                });
+            }
+        })
+        .expect("worker panicked");
+        out.into_iter().map(|o| o.expect("run completed")).collect()
+    }
+
+    /// Geometric mean of a slice (the paper's preferred average for
+    /// overhead ratios).
+    pub fn geomean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        (xs.iter().map(|x| x.ln()).sum::<f64>() / xs.len() as f64).exp()
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(xs: &[f64]) -> f64 {
+        if xs.is_empty() {
+            return 0.0;
+        }
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+
+    /// Formats a row of cells with the given column widths.
+    pub fn row(cells: &[String], widths: &[usize]) -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn geomean_of_ones_is_one() {
+            assert!((geomean(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+            assert_eq!(geomean(&[]), 0.0);
+        }
+
+        #[test]
+        fn geomean_known_value() {
+            assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn mean_known_value() {
+            assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn run_all_produces_twelve() {
+            let gen = toleo_workloads::GenConfig { mem_ops: 1_000, ..Default::default() };
+            let stats = run_all_with(toleo_sim::config::Protection::NoProtect, &gen);
+            assert_eq!(stats.len(), 12);
+            assert_eq!(stats[0].name, "bsw");
+            assert_eq!(stats[11].name, "hyrise");
+        }
+    }
+}

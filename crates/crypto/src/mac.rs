@@ -1,0 +1,173 @@
+//! Keyed message authentication codes.
+//!
+//! The paper's integrity scheme is `MAC = Hash_key(version, address, cipher)`
+//! with 56-bit tags (eight tags packed per 64-byte MAC block, Fig. 4). We
+//! implement the keyed hash as SipHash-2-4 — a real PRF, written from
+//! scratch — and truncate to 56 bits.
+
+/// A 56-bit MAC tag as stored in the MAC block.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_crypto::mac::{MacKey, Tag56};
+///
+/// let key = MacKey::new([0u8; 16]);
+/// let tag: Tag56 = key.mac(7, 0x1000, b"ciphertext bytes");
+/// assert!(tag.verify(&key.mac(7, 0x1000, b"ciphertext bytes")));
+/// assert!(!tag.verify(&key.mac(8, 0x1000, b"ciphertext bytes")));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Tag56(u64);
+
+impl Tag56 {
+    /// Bit width of the stored tag.
+    pub const BITS: u32 = 56;
+
+    /// Builds a tag from a raw value (masked to 56 bits).
+    pub fn from_raw(v: u64) -> Self {
+        Tag56(v & ((1u64 << 56) - 1))
+    }
+
+    /// The raw 56-bit value.
+    pub fn as_raw(self) -> u64 {
+        self.0
+    }
+
+    /// Constant-shape comparison against another tag.
+    pub fn verify(self, other: &Tag56) -> bool {
+        // A real implementation would be constant-time; for the simulator a
+        // branch-free xor-compare keeps the spirit.
+        (self.0 ^ other.0) == 0
+    }
+}
+
+/// Key for the MAC PRF.
+#[derive(Clone)]
+pub struct MacKey {
+    k0: u64,
+    k1: u64,
+}
+
+impl std::fmt::Debug for MacKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MacKey").field("key", &"<redacted>").finish()
+    }
+}
+
+impl MacKey {
+    /// Creates a MAC key from 16 bytes of key material.
+    pub fn new(key: [u8; 16]) -> Self {
+        MacKey {
+            k0: u64::from_le_bytes(key[..8].try_into().expect("8 bytes")),
+            k1: u64::from_le_bytes(key[8..].try_into().expect("8 bytes")),
+        }
+    }
+
+    /// Computes the 56-bit tag over `(version, address, ciphertext)`.
+    pub fn mac(&self, version: u64, address: u64, ciphertext: &[u8]) -> Tag56 {
+        let mut input = Vec::with_capacity(16 + ciphertext.len());
+        input.extend_from_slice(&version.to_le_bytes());
+        input.extend_from_slice(&address.to_le_bytes());
+        input.extend_from_slice(ciphertext);
+        Tag56::from_raw(siphash24(self.k0, self.k1, &input))
+    }
+}
+
+#[inline]
+fn sipround(v: &mut [u64; 4]) {
+    v[0] = v[0].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(13);
+    v[1] ^= v[0];
+    v[0] = v[0].rotate_left(32);
+    v[2] = v[2].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(16);
+    v[3] ^= v[2];
+    v[0] = v[0].wrapping_add(v[3]);
+    v[3] = v[3].rotate_left(21);
+    v[3] ^= v[0];
+    v[2] = v[2].wrapping_add(v[1]);
+    v[1] = v[1].rotate_left(17);
+    v[1] ^= v[2];
+    v[2] = v[2].rotate_left(32);
+}
+
+/// SipHash-2-4 (Aumasson & Bernstein), from scratch.
+pub fn siphash24(k0: u64, k1: u64, data: &[u8]) -> u64 {
+    let mut v = [
+        k0 ^ 0x736f6d6570736575,
+        k1 ^ 0x646f72616e646f6d,
+        k0 ^ 0x6c7967656e657261,
+        k1 ^ 0x7465646279746573,
+    ];
+    let mut chunks = data.chunks_exact(8);
+    for chunk in &mut chunks {
+        let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
+        v[3] ^= m;
+        sipround(&mut v);
+        sipround(&mut v);
+        v[0] ^= m;
+    }
+    let rem = chunks.remainder();
+    let mut last = (data.len() as u64 & 0xff) << 56;
+    for (i, b) in rem.iter().enumerate() {
+        last |= (*b as u64) << (8 * i);
+    }
+    v[3] ^= last;
+    sipround(&mut v);
+    sipround(&mut v);
+    v[0] ^= last;
+    v[2] ^= 0xff;
+    for _ in 0..4 {
+        sipround(&mut v);
+    }
+    v[0] ^ v[1] ^ v[2] ^ v[3]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference vector from the SipHash paper (Appendix A):
+    /// key = 00..0f, message = 00..0e, output 0xa129ca6149be45e5.
+    #[test]
+    fn siphash_reference_vector() {
+        let key: Vec<u8> = (0..16u8).collect();
+        let k0 = u64::from_le_bytes(key[..8].try_into().unwrap());
+        let k1 = u64::from_le_bytes(key[8..].try_into().unwrap());
+        let msg: Vec<u8> = (0..15u8).collect();
+        assert_eq!(siphash24(k0, k1, &msg), 0xa129ca6149be45e5);
+    }
+
+    #[test]
+    fn tag_is_56_bits() {
+        let key = MacKey::new([0xffu8; 16]);
+        for i in 0..100u64 {
+            let tag = key.mac(i, i * 64, &[0u8; 64]);
+            assert!(tag.as_raw() < (1 << 56));
+        }
+    }
+
+    #[test]
+    fn mac_binds_version_address_and_data() {
+        let key = MacKey::new([1u8; 16]);
+        let base = key.mac(1, 0x1000, b"data");
+        assert_ne!(base, key.mac(2, 0x1000, b"data"), "version must be bound");
+        assert_ne!(base, key.mac(1, 0x1040, b"data"), "address must be bound");
+        assert_ne!(base, key.mac(1, 0x1000, b"data!"), "data must be bound");
+        assert_eq!(base, key.mac(1, 0x1000, b"data"));
+    }
+
+    #[test]
+    fn mac_key_separation() {
+        let a = MacKey::new([1u8; 16]);
+        let b = MacKey::new([2u8; 16]);
+        assert_ne!(a.mac(0, 0, b"x"), b.mac(0, 0, b"x"));
+    }
+
+    #[test]
+    fn debug_redacts_key() {
+        let key = MacKey::new([7u8; 16]);
+        assert!(format!("{key:?}").contains("redacted"));
+    }
+}

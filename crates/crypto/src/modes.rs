@@ -1,0 +1,267 @@
+//! Block-cipher modes used by the Toleo protection engine.
+//!
+//! * [`AesCtr`] — counter mode, as used by client SGX's memory encryption
+//!   engine. Requires a non-repeating nonce (the version number).
+//! * [`AesXts`] — XEX-based tweaked-codebook mode with ciphertext stealing
+//!   (we only need whole 16-byte blocks, so no stealing is implemented).
+//!   Scalable SGX uses XTS with an address tweak only; Toleo uses XTS with a
+//!   (version, address) tweak so freshness is bound into the ciphertext.
+
+use crate::aes::Aes128;
+
+/// A 128-bit XTS tweak: in Toleo it encodes the 64-bit full version number
+/// and the 64-bit physical address of the cache-block sector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Tweak {
+    /// Full version number (UV << 27 | stealth), or 0 for version-less XTS.
+    pub version: u64,
+    /// Physical address of the 16-byte sector being processed.
+    pub address: u64,
+}
+
+impl Tweak {
+    /// Packs the tweak into the 16-byte little-endian block fed to AES.
+    pub fn to_bytes(self) -> [u8; 16] {
+        let mut out = [0u8; 16];
+        out[..8].copy_from_slice(&self.version.to_le_bytes());
+        out[8..].copy_from_slice(&self.address.to_le_bytes());
+        out
+    }
+}
+
+/// AES-128 counter mode (client-SGX style).
+///
+/// # Examples
+///
+/// ```
+/// use toleo_crypto::modes::AesCtr;
+///
+/// let ctr = AesCtr::new(b"an example key!!");
+/// let mut buf = *b"secret cacheline";
+/// ctr.apply(42, 0x1000, &mut buf);
+/// assert_ne!(&buf, b"secret cacheline");
+/// ctr.apply(42, 0x1000, &mut buf); // CTR is an involution for same nonce
+/// assert_eq!(&buf, b"secret cacheline");
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesCtr {
+    cipher: Aes128,
+}
+
+impl AesCtr {
+    /// Creates a CTR cipher from a 16-byte key.
+    pub fn new(key: &[u8; 16]) -> Self {
+        AesCtr { cipher: Aes128::new(key) }
+    }
+
+    /// Encrypts or decrypts `data` in place with keystream derived from
+    /// `(nonce, address, block_index)`. Same parameters -> same keystream,
+    /// so calling twice round-trips.
+    pub fn apply(&self, nonce: u64, address: u64, data: &mut [u8]) {
+        for (i, chunk) in data.chunks_mut(16).enumerate() {
+            let mut ctr_block = [0u8; 16];
+            ctr_block[..8].copy_from_slice(&nonce.to_le_bytes());
+            ctr_block[8..12].copy_from_slice(&((address >> 4) as u32).to_le_bytes());
+            ctr_block[12..].copy_from_slice(&(i as u32).to_le_bytes());
+            let ks = self.cipher.encrypt_block(&ctr_block);
+            for (d, k) in chunk.iter_mut().zip(ks.iter()) {
+                *d ^= k;
+            }
+        }
+    }
+}
+
+/// Multiply a 128-bit value by x (alpha) in GF(2^128) with the XTS
+/// polynomial x^128 + x^7 + x^2 + x + 1.
+#[inline]
+fn gf128_mul_alpha(block: &mut [u8; 16]) {
+    let mut carry = 0u8;
+    for b in block.iter_mut() {
+        let new_carry = *b >> 7;
+        *b = (*b << 1) | carry;
+        carry = new_carry;
+    }
+    if carry != 0 {
+        block[0] ^= 0x87;
+    }
+}
+
+/// AES-128-XTS for whole 16-byte sectors (IEEE 1619-2007 without ciphertext
+/// stealing).
+///
+/// The memory protection engine encrypts each 64-byte cache block as four
+/// consecutive sectors under one data-unit tweak.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_crypto::modes::{AesXts, Tweak};
+///
+/// let xts = AesXts::new(b"data-unit key 1!", b"tweak key 2 ....");
+/// let tweak = Tweak { version: 7, address: 0x4000 };
+/// let mut block = [0xabu8; 64];
+/// xts.encrypt(tweak, &mut block);
+/// assert_ne!(block, [0xabu8; 64]);
+/// xts.decrypt(tweak, &mut block);
+/// assert_eq!(block, [0xabu8; 64]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct AesXts {
+    data_cipher: Aes128,
+    tweak_cipher: Aes128,
+}
+
+impl AesXts {
+    /// Creates an XTS cipher from the data key and the tweak key.
+    pub fn new(data_key: &[u8; 16], tweak_key: &[u8; 16]) -> Self {
+        AesXts {
+            data_cipher: Aes128::new(data_key),
+            tweak_cipher: Aes128::new(tweak_key),
+        }
+    }
+
+    fn initial_tweak(&self, tweak: Tweak) -> [u8; 16] {
+        self.tweak_cipher.encrypt_block(&tweak.to_bytes())
+    }
+
+    /// Encrypts `data` (length must be a multiple of 16) in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() % 16 != 0`.
+    pub fn encrypt(&self, tweak: Tweak, data: &mut [u8]) {
+        assert_eq!(data.len() % 16, 0, "XTS data must be whole sectors");
+        let mut t = self.initial_tweak(tweak);
+        for chunk in data.chunks_mut(16) {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            xor16(&mut block, &t);
+            block = self.data_cipher.encrypt_block(&block);
+            xor16(&mut block, &t);
+            chunk.copy_from_slice(&block);
+            gf128_mul_alpha(&mut t);
+        }
+    }
+
+    /// Decrypts `data` (length must be a multiple of 16) in place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() % 16 != 0`.
+    pub fn decrypt(&self, tweak: Tweak, data: &mut [u8]) {
+        assert_eq!(data.len() % 16, 0, "XTS data must be whole sectors");
+        let mut t = self.initial_tweak(tweak);
+        for chunk in data.chunks_mut(16) {
+            let mut block = [0u8; 16];
+            block.copy_from_slice(chunk);
+            xor16(&mut block, &t);
+            block = self.data_cipher.decrypt_block(&block);
+            xor16(&mut block, &t);
+            chunk.copy_from_slice(&block);
+            gf128_mul_alpha(&mut t);
+        }
+    }
+}
+
+#[inline]
+fn xor16(dst: &mut [u8; 16], src: &[u8; 16]) {
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d ^= s;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctr_roundtrip_and_nonce_sensitivity() {
+        let ctr = AesCtr::new(&[3u8; 16]);
+        let orig = [0x5au8; 64];
+        let mut a = orig;
+        let mut b = orig;
+        ctr.apply(1, 0x1000, &mut a);
+        ctr.apply(2, 0x1000, &mut b);
+        assert_ne!(a, b, "different nonces must give different ciphertext");
+        ctr.apply(1, 0x1000, &mut a);
+        assert_eq!(a, orig);
+    }
+
+    #[test]
+    fn ctr_address_sensitivity() {
+        let ctr = AesCtr::new(&[3u8; 16]);
+        let mut a = [0u8; 16];
+        let mut b = [0u8; 16];
+        ctr.apply(1, 0x1000, &mut a);
+        ctr.apply(1, 0x2000, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xts_roundtrip_64_bytes() {
+        let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
+        let orig: Vec<u8> = (0..64u8).collect();
+        let mut buf = orig.clone();
+        let tw = Tweak { version: 99, address: 0xdead_beef };
+        xts.encrypt(tw, &mut buf);
+        assert_ne!(buf, orig);
+        xts.decrypt(tw, &mut buf);
+        assert_eq!(buf, orig);
+    }
+
+    #[test]
+    fn xts_same_data_same_tweak_same_ct() {
+        // This is the scalable-SGX confidentiality weakness: deterministic
+        // encryption under a fixed tweak.
+        let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
+        let tw = Tweak { version: 0, address: 0x1000 };
+        let mut a = [7u8; 16];
+        let mut b = [7u8; 16];
+        xts.encrypt(tw, &mut a);
+        xts.encrypt(tw, &mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn xts_version_tweak_breaks_determinism() {
+        // Toleo folds the version into the tweak: same write data at the
+        // same address yields fresh ciphertext.
+        let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
+        let mut a = [7u8; 16];
+        let mut b = [7u8; 16];
+        xts.encrypt(Tweak { version: 1, address: 0x1000 }, &mut a);
+        xts.encrypt(Tweak { version: 2, address: 0x1000 }, &mut b);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn xts_blocks_are_position_dependent() {
+        let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
+        let tw = Tweak { version: 5, address: 0 };
+        let mut buf = [9u8; 32];
+        xts.encrypt(tw, &mut buf);
+        assert_ne!(buf[..16], buf[16..], "sequential sectors must differ via alpha tweak");
+    }
+
+    #[test]
+    #[should_panic(expected = "whole sectors")]
+    fn xts_rejects_partial_sector() {
+        let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
+        let mut buf = [0u8; 15];
+        xts.encrypt(Tweak { version: 0, address: 0 }, &mut buf);
+    }
+
+    #[test]
+    fn gf128_known_doubling() {
+        let mut t = [0u8; 16];
+        t[0] = 0x80; // high bit of first byte -> shifts within the byte
+        gf128_mul_alpha(&mut t);
+        assert_eq!(t[1], 0x01);
+        // Overflow of the topmost bit folds back the polynomial 0x87.
+        let mut t = [0u8; 16];
+        t[15] = 0x80;
+        gf128_mul_alpha(&mut t);
+        assert_eq!(t[0], 0x87);
+        assert_eq!(t[15], 0x00);
+    }
+}

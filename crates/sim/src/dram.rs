@@ -1,0 +1,184 @@
+//! DDR4 bank/row-buffer timing model (the DRAMSim3 substitute).
+//!
+//! Each channel has independent banks with open-row state and a
+//! next-free time; the data bus of each channel is a serial resource.
+//! An access's latency is queueing (bank + bus) plus the row-buffer
+//! outcome (hit / closed / conflict) plus burst transfer, plus a fixed
+//! controller overhead.
+
+use crate::config::DramConfig;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Bank {
+    open_row: Option<u64>,
+    next_free_ns: f64,
+}
+
+/// Byte counters by traffic class (feeds Fig. 8).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DramStats {
+    /// Read + write transactions served.
+    pub accesses: u64,
+    /// Row-buffer hits.
+    pub row_hits: u64,
+    /// Total bytes transferred.
+    pub bytes: u64,
+    /// Sum of read latencies (ns) for average computation.
+    pub total_read_latency_ns: f64,
+    /// Number of reads.
+    pub reads: u64,
+}
+
+/// A DDR channel group.
+#[derive(Debug, Clone)]
+pub struct Dram {
+    cfg: DramConfig,
+    banks: Vec<Bank>,
+    bus_next_free_ns: Vec<f64>,
+    stats: DramStats,
+    /// Extra service-time multiplier (InvisiMem's dummy-packet pressure
+    /// models as reduced effective bandwidth).
+    pub service_multiplier: f64,
+}
+
+impl Dram {
+    /// Creates the DRAM model.
+    pub fn new(cfg: DramConfig) -> Self {
+        Dram {
+            banks: vec![Bank::default(); cfg.channels * cfg.banks_per_channel],
+            bus_next_free_ns: vec![0.0; cfg.channels],
+            cfg,
+            stats: DramStats::default(),
+            service_multiplier: 1.0,
+        }
+    }
+
+    fn map(&self, addr: u64) -> (usize, usize, u64) {
+        let block = addr / 64;
+        let channel = (block % self.cfg.channels as u64) as usize;
+        let row_id = addr / self.cfg.row_bytes;
+        let bank_in_ch = (row_id % self.cfg.banks_per_channel as u64) as usize;
+        let row = row_id / self.cfg.banks_per_channel as u64;
+        (channel, channel * self.cfg.banks_per_channel + bank_in_ch, row)
+    }
+
+    /// Performs one 64-byte access starting no earlier than `now_ns`;
+    /// returns the completion time in ns.
+    pub fn access(&mut self, now_ns: f64, addr: u64, is_read: bool) -> f64 {
+        let (channel, bank_idx, row) = self.map(addr);
+        let burst = 64.0 / self.cfg.bytes_per_ns_per_channel * self.service_multiplier;
+        let bank = &mut self.banks[bank_idx];
+        let start = now_ns.max(bank.next_free_ns).max(self.bus_next_free_ns[channel]);
+        let row_latency = match bank.open_row {
+            Some(r) if r == row => {
+                self.stats.row_hits += 1;
+                self.cfg.t_cas_ns
+            }
+            Some(_) => self.cfg.t_rp_ns + self.cfg.t_rcd_ns + self.cfg.t_cas_ns,
+            None => self.cfg.t_rcd_ns + self.cfg.t_cas_ns,
+        };
+        bank.open_row = Some(row);
+        bank.next_free_ns = start + row_latency;
+        self.bus_next_free_ns[channel] = start + row_latency + burst;
+        let done = start + row_latency + burst + self.cfg.ctrl_ns;
+        self.stats.accesses += 1;
+        self.stats.bytes += 64;
+        if is_read {
+            self.stats.reads += 1;
+            self.stats.total_read_latency_ns += done - now_ns;
+        }
+        done
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> DramStats {
+        self.stats
+    }
+
+    /// The configured zero-load latency (Fig. 9 reference line).
+    pub fn zero_load_ns(&self) -> f64 {
+        self.cfg.zero_load_ns() + self.cfg.t_rcd_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dram() -> Dram {
+        Dram::new(DramConfig::ddr4_3200(2))
+    }
+
+    #[test]
+    fn first_access_pays_activate() {
+        let mut d = dram();
+        let done = d.access(0.0, 0, true);
+        // tRCD + tCAS + burst + ctrl = 13.75+13.75+2.5+25
+        assert!((done - 55.0).abs() < 1.0, "done={done}");
+    }
+
+    #[test]
+    fn row_hit_is_faster() {
+        let mut d = dram();
+        let first = d.access(0.0, 0, true);
+        // Block 2 maps to channel 0 (even block), same bank, same row.
+        let second = d.access(first, 128, true) - first;
+        assert!(second < first, "row hit {second} < first {first}");
+        assert_eq!(d.stats().row_hits, 1);
+    }
+
+    #[test]
+    fn row_conflict_is_slowest() {
+        let mut d = dram();
+        let t1 = d.access(0.0, 0, true);
+        // Same bank, different row: row_bytes * banks_per_channel stride.
+        let conflict_addr = 8192 * 16;
+        let t2 = d.access(t1, conflict_addr, true) - t1;
+        let t3 = d.access(t1 + t2, conflict_addr + 64, true);
+        let hit_lat = t3 - (t1 + t2);
+        assert!(t2 > hit_lat, "conflict {t2} > hit {hit_lat}");
+    }
+
+    #[test]
+    fn bank_queueing_delays() {
+        let mut d = dram();
+        // Two back-to-back accesses to the same bank at t=0: the second
+        // waits for the first.
+        let a = d.access(0.0, 0, true);
+        let b = d.access(0.0, 64 * 2, true); // same channel? block 2 -> ch 0
+        assert!(b > a - 30.0, "second access must queue: a={a} b={b}");
+    }
+
+    #[test]
+    fn channels_are_parallel() {
+        let mut d = dram();
+        let a = d.access(0.0, 0, true); // channel 0
+        let b = d.access(0.0, 64, true); // channel 1
+        // Different channels: no bus queueing between them.
+        assert!((a - b).abs() < 1.0);
+    }
+
+    #[test]
+    fn service_multiplier_slows_bus() {
+        let mut d = dram();
+        d.service_multiplier = 4.0;
+        let t0 = d.access(0.0, 0, true);
+        let t1 = d.access(0.0, 128, true); // same channel, bus queued
+        let mut fast = dram();
+        let f0 = fast.access(0.0, 0, true);
+        let f1 = fast.access(0.0, 128, true);
+        assert!((t1 - t0) >= (f1 - f0), "dummy pressure increases queueing");
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut d = dram();
+        d.access(0.0, 0, true);
+        d.access(0.0, 4096, false);
+        let s = d.stats();
+        assert_eq!(s.accesses, 2);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.bytes, 128);
+        assert!(s.total_read_latency_ns > 0.0);
+    }
+}

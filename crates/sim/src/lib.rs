@@ -1,0 +1,37 @@
+//! # toleo-sim
+//!
+//! Cycle-level timing simulator substrate for the Toleo reproduction — the
+//! stand-in for the paper's SniperSim + DRAMSim3 stack (see DESIGN.md §2).
+//!
+//! * [`config`] — Table 3 machine configuration and the five protection
+//!   setups (NoProtect / C / CI / Toleo / InvisiMem).
+//! * [`cache`] — write-back, write-allocate three-level hierarchy whose
+//!   dirty LLC evictions drive version UPDATE traffic.
+//! * [`dram`] — DDR4 bank/row-buffer/bus timing.
+//! * [`link`] — CXL serial links (memory pool x8, Toleo IDE x2).
+//! * [`system`] — node and rack models with per-protection read/write
+//!   paths and the statistics every figure consumes.
+//!
+//! ```
+//! use toleo_sim::config::{Protection, SimConfig};
+//! use toleo_sim::system::System;
+//! use toleo_workloads::{generate, Benchmark, GenConfig};
+//!
+//! let trace = generate(Benchmark::Llama2Gen, &GenConfig::tiny());
+//! let base = System::new(SimConfig::scaled(Protection::NoProtect)).run(&trace);
+//! let toleo = System::new(SimConfig::scaled(Protection::Toleo)).run(&trace);
+//! let overhead = toleo.cycles / base.cycles - 1.0;
+//! println!("llama2-gen freshness overhead: {:.1}%", overhead * 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod config;
+pub mod dram;
+pub mod link;
+pub mod system;
+
+pub use config::{Protection, SimConfig};
+pub use system::{Rack, RunStats, System};

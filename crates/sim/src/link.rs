@@ -1,0 +1,107 @@
+//! Serial-link model for CXL connections (memory pool and Toleo).
+//!
+//! A link is a bandwidth server with a fixed propagation latency: a
+//! transfer serializes behind earlier traffic, then takes `bytes / BW`
+//! on the wire plus the one-way latency. IDE's skid mode means security
+//! processing adds no wire time (checks run in parallel; §4.1), so the
+//! IDE link uses the same model with its narrower bandwidth.
+
+use crate::config::LinkConfig;
+
+/// Cumulative link counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LinkStats {
+    /// Transfers made.
+    pub transfers: u64,
+    /// Payload bytes moved.
+    pub bytes: u64,
+    /// Total queueing delay experienced (ns).
+    pub queue_ns: f64,
+}
+
+/// A serial link.
+#[derive(Debug, Clone)]
+pub struct Link {
+    cfg: LinkConfig,
+    next_free_ns: f64,
+    stats: LinkStats,
+}
+
+impl Link {
+    /// Creates a link.
+    pub fn new(cfg: LinkConfig) -> Self {
+        Link { cfg, next_free_ns: 0.0, stats: LinkStats::default() }
+    }
+
+    /// Transfers `bytes` starting no earlier than `now_ns`; returns arrival
+    /// time at the far end.
+    pub fn transfer(&mut self, now_ns: f64, bytes: u64) -> f64 {
+        let start = now_ns.max(self.next_free_ns);
+        let ser = bytes as f64 / self.cfg.bytes_per_ns;
+        self.next_free_ns = start + ser;
+        self.stats.transfers += 1;
+        self.stats.bytes += bytes;
+        self.stats.queue_ns += start - now_ns;
+        start + ser + self.cfg.latency_ns
+    }
+
+    /// A full round trip: request of `req_bytes` out, response of
+    /// `resp_bytes` back (the return path shares the same serial resource
+    /// in this half-duplex-ish approximation).
+    pub fn round_trip(&mut self, now_ns: f64, req_bytes: u64, resp_bytes: u64) -> f64 {
+        let arrived = self.transfer(now_ns, req_bytes);
+        self.transfer(arrived, resp_bytes)
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> LinkStats {
+        self.stats
+    }
+
+    /// Configured one-way latency.
+    pub fn latency_ns(&self) -> f64 {
+        self.cfg.latency_ns
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn link() -> Link {
+        Link::new(LinkConfig { latency_ns: 95.0, bytes_per_ns: 12.7 })
+    }
+
+    #[test]
+    fn single_transfer_latency() {
+        let mut l = link();
+        let done = l.transfer(0.0, 64);
+        assert!((done - (95.0 + 64.0 / 12.7)).abs() < 0.01);
+    }
+
+    #[test]
+    fn transfers_serialize() {
+        let mut l = link();
+        let a = l.transfer(0.0, 6400);
+        let b = l.transfer(0.0, 64);
+        assert!(b > a - 95.0, "second transfer queues behind first");
+        assert!(l.stats().queue_ns > 0.0);
+    }
+
+    #[test]
+    fn round_trip_includes_both_directions() {
+        let mut l = link();
+        let done = l.round_trip(0.0, 16, 64);
+        assert!(done > 2.0 * 95.0, "two propagation delays");
+    }
+
+    #[test]
+    fn stats_count_bytes() {
+        let mut l = link();
+        l.transfer(0.0, 100);
+        l.transfer(0.0, 28);
+        let s = l.stats();
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.bytes, 128);
+    }
+}

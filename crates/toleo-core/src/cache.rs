@@ -1,0 +1,386 @@
+//! Host-side metadata caches (§4.4, Fig. 5).
+//!
+//! Stealth versions are cached on the trusted host in two inclusive
+//! structures, probed in parallel on every LLC miss:
+//!
+//! * the **L2-TLB stealth extension** — the last-level TLB's data array is
+//!   widened by 12 bytes so every TLB entry carries its page's flat entry
+//!   (256 entries, fully associative);
+//! * the **stealth version overflow buffer** — a 28 KB, 16-way buffer of
+//!   56-byte blocks holding uneven and full side entries (a full entry
+//!   occupies four blocks, tagged with a 2-bit offset).
+//!
+//! MAC blocks (with their co-located UVs) are cached in a dedicated 32 KB
+//! per-core, 16-way MAC cache, exactly as client SGX does.
+//!
+//! These caches are *performance* structures: the authoritative version
+//! state lives in the Toleo device. Hits avoid CXL round trips; misses are
+//! counted as device traffic by the protection engine and the simulator.
+
+use crate::trip::TripFormat;
+use serde::{Deserialize, Serialize};
+
+/// Hit/miss counters for one cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that found the block resident.
+    pub hits: u64,
+    /// Accesses that had to fetch.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Hit rate in `[0, 1]`; 0 if never accessed.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A generic set-associative cache directory with LRU replacement. Tracks
+/// presence only (tags, no data) — the simulator's standard idiom.
+#[derive(Debug, Clone)]
+pub struct SetAssocCache {
+    /// Per-set LRU stacks, most-recent first.
+    sets: Vec<Vec<u64>>,
+    ways: usize,
+    stats: CacheStats,
+}
+
+impl SetAssocCache {
+    /// Creates a cache with `num_sets` sets of `ways` ways.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_sets == 0` or `ways == 0`.
+    pub fn new(num_sets: usize, ways: usize) -> Self {
+        assert!(num_sets > 0 && ways > 0, "cache geometry must be non-zero");
+        SetAssocCache {
+            sets: vec![Vec::with_capacity(ways); num_sets],
+            ways,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// A fully associative cache with `entries` entries.
+    pub fn fully_associative(entries: usize) -> Self {
+        Self::new(1, entries)
+    }
+
+    fn set_index(&self, key: u64) -> usize {
+        // Multiplicative hash spreads page-grain keys across sets.
+        (key.wrapping_mul(0x9e3779b97f4a7c15) >> 32) as usize % self.sets.len()
+    }
+
+    /// Looks up `key`, updating LRU and filling on miss. Returns `true` on
+    /// hit. The evicted victim (if any) is returned via `Err`-free side
+    /// effect — use [`access_with_victim`](Self::access_with_victim) when
+    /// the caller needs it.
+    pub fn access(&mut self, key: u64) -> bool {
+        self.access_with_victim(key).0
+    }
+
+    /// Like [`access`](Self::access) but also returns the evicted key.
+    pub fn access_with_victim(&mut self, key: u64) -> (bool, Option<u64>) {
+        let idx = self.set_index(key);
+        let set = &mut self.sets[idx];
+        if let Some(pos) = set.iter().position(|&k| k == key) {
+            let k = set.remove(pos);
+            set.insert(0, k);
+            self.stats.hits += 1;
+            return (true, None);
+        }
+        self.stats.misses += 1;
+        set.insert(0, key);
+        let victim = if set.len() > self.ways { set.pop() } else { None };
+        (false, victim)
+    }
+
+    /// Probes without filling or touching LRU/stats.
+    pub fn contains(&self, key: u64) -> bool {
+        self.sets[self.set_index(key)].contains(&key)
+    }
+
+    /// Removes `key` if present (e.g. TLB shootdown / page remap).
+    pub fn invalidate(&mut self, key: u64) {
+        let idx = self.set_index(key);
+        self.sets[idx].retain(|&k| k != key);
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of resident entries.
+    pub fn len(&self) -> usize {
+        self.sets.iter().map(Vec::len).sum()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The combined host-side stealth version cache: TLB extension + overflow
+/// buffer, with the paper's geometry by default.
+#[derive(Debug, Clone)]
+pub struct StealthCache {
+    /// Flat entries ride in the L2 TLB extension, keyed by page number.
+    tlb_ext: SetAssocCache,
+    /// Uneven/full side entries in 56-byte blocks, keyed by
+    /// `page * 4 + sub-block`.
+    overflow: SetAssocCache,
+    combined: CacheStats,
+}
+
+/// Geometry of the stealth cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StealthCacheConfig {
+    /// L2 TLB entries (paper: 256, fully associative).
+    pub tlb_entries: usize,
+    /// Overflow buffer blocks (paper: 512 x 56 B = 28 KB).
+    pub overflow_blocks: usize,
+    /// Overflow buffer associativity (paper: 16).
+    pub overflow_ways: usize,
+}
+
+impl Default for StealthCacheConfig {
+    fn default() -> Self {
+        StealthCacheConfig { tlb_entries: 256, overflow_blocks: 512, overflow_ways: 16 }
+    }
+}
+
+impl StealthCache {
+    /// Creates a stealth cache with the given geometry.
+    pub fn new(cfg: StealthCacheConfig) -> Self {
+        StealthCache {
+            tlb_ext: SetAssocCache::fully_associative(cfg.tlb_entries),
+            overflow: SetAssocCache::new(
+                (cfg.overflow_blocks / cfg.overflow_ways).max(1),
+                cfg.overflow_ways,
+            ),
+            combined: CacheStats::default(),
+        }
+    }
+
+    /// Paper-default geometry.
+    pub fn paper_default() -> Self {
+        Self::new(StealthCacheConfig::default())
+    }
+
+    /// Looks up the stealth version(s) for `page` stored in `format`.
+    /// Returns `true` when every structure needed to reconstruct the
+    /// version was resident (no CXL access needed).
+    pub fn access(&mut self, page: u64, format: TripFormat) -> bool {
+        let flat_hit = self.tlb_ext.access(page);
+        let hit = match format {
+            TripFormat::Flat => flat_hit,
+            TripFormat::Uneven => {
+                let side_hit = self.overflow.access(page * 4);
+                flat_hit && side_hit
+            }
+            TripFormat::Full => {
+                // A full entry spans four 56-byte blocks; all must be
+                // resident. Access them all so they fill together.
+                let mut all = true;
+                for sub in 0..4 {
+                    all &= self.overflow.access(page * 4 + sub);
+                }
+                flat_hit && all
+            }
+        };
+        if hit {
+            self.combined.hits += 1;
+        } else {
+            self.combined.misses += 1;
+        }
+        hit
+    }
+
+    /// Drops any cached state for `page` (reset / remap / downgrade).
+    pub fn invalidate_page(&mut self, page: u64) {
+        self.tlb_ext.invalidate(page);
+        for sub in 0..4 {
+            self.overflow.invalidate(page * 4 + sub);
+        }
+    }
+
+    /// Combined page-grain hit/miss statistics (the paper's Fig. 7 metric).
+    pub fn stats(&self) -> CacheStats {
+        self.combined
+    }
+
+    /// TLB-extension-only statistics.
+    pub fn tlb_stats(&self) -> CacheStats {
+        self.tlb_ext.stats()
+    }
+
+    /// Overflow-buffer-only statistics.
+    pub fn overflow_stats(&self) -> CacheStats {
+        self.overflow.stats()
+    }
+}
+
+/// The per-core MAC cache (32 KB, 16-way, 64-byte blocks -> 512 blocks).
+/// Each MAC block covers eight data blocks and carries the page's UV.
+#[derive(Debug, Clone)]
+pub struct MacCache {
+    inner: SetAssocCache,
+}
+
+impl MacCache {
+    /// Creates a MAC cache of `kib` kibibytes, 16-way, 64-byte blocks.
+    pub fn new(kib: usize) -> Self {
+        let blocks = kib * 1024 / 64;
+        MacCache { inner: SetAssocCache::new((blocks / 16).max(1), 16) }
+    }
+
+    /// Paper default: 32 KB per core.
+    pub fn paper_default() -> Self {
+        Self::new(32)
+    }
+
+    /// Accesses the MAC block covering data block `block_addr` (a 64-byte-
+    /// aligned physical address). Returns `true` on hit.
+    pub fn access(&mut self, block_addr: u64) -> bool {
+        // Eight 56-bit MACs pack per 64-byte MAC block: the covering MAC
+        // block index is block_index / 8.
+        self.inner.access(block_addr / 64 / 8)
+    }
+
+    /// Hit/miss statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.inner.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = SetAssocCache::fully_associative(2);
+        assert!(!c.access(1));
+        assert!(!c.access(2));
+        assert!(c.access(1)); // 1 now MRU
+        let (hit, victim) = c.access_with_victim(3);
+        assert!(!hit);
+        assert_eq!(victim, Some(2), "LRU victim is 2");
+        assert!(c.contains(1));
+        assert!(!c.contains(2));
+    }
+
+    #[test]
+    fn stats_track_hits_and_misses() {
+        let mut c = SetAssocCache::fully_associative(4);
+        c.access(1);
+        c.access(1);
+        c.access(2);
+        let s = c.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2);
+        assert!((s.hit_rate() - 1.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_cache_hit_rate_is_zero() {
+        assert_eq!(SetAssocCache::fully_associative(4).stats().hit_rate(), 0.0);
+        assert!(SetAssocCache::fully_associative(4).is_empty());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = SetAssocCache::new(4, 2);
+        c.access(10);
+        assert!(c.contains(10));
+        c.invalidate(10);
+        assert!(!c.contains(10));
+        assert!(!c.access(10), "re-access misses after invalidate");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_geometry_panics() {
+        SetAssocCache::new(0, 4);
+    }
+
+    #[test]
+    fn stealth_cache_flat_needs_only_tlb() {
+        let mut sc = StealthCache::paper_default();
+        assert!(!sc.access(7, TripFormat::Flat));
+        assert!(sc.access(7, TripFormat::Flat));
+        assert_eq!(sc.stats().hits, 1);
+        assert_eq!(sc.stats().misses, 1);
+    }
+
+    #[test]
+    fn stealth_cache_uneven_needs_both_structures() {
+        let mut sc = StealthCache::paper_default();
+        // Warm only the TLB side via a flat access.
+        sc.access(7, TripFormat::Flat);
+        // Uneven access still misses (side entry cold)...
+        assert!(!sc.access(7, TripFormat::Uneven));
+        // ...then hits once both are warm.
+        assert!(sc.access(7, TripFormat::Uneven));
+    }
+
+    #[test]
+    fn stealth_cache_full_occupies_four_blocks() {
+        let mut sc = StealthCache::new(StealthCacheConfig {
+            tlb_entries: 8,
+            overflow_blocks: 8,
+            overflow_ways: 8,
+        });
+        assert!(!sc.access(1, TripFormat::Full));
+        assert!(sc.access(1, TripFormat::Full));
+        // A second full page forces the 8-block buffer to evict: with two
+        // full entries (8 blocks) the buffer is exactly full.
+        assert!(!sc.access(2, TripFormat::Full));
+        assert!(sc.access(2, TripFormat::Full));
+        // A third page's fill must evict some of page 1 or 2.
+        assert!(!sc.access(3, TripFormat::Full));
+        let resident_after: usize =
+            [1u64, 2, 3].iter().filter(|&&p| sc.access(p, TripFormat::Full)).count();
+        assert!(resident_after < 3, "capacity must bound residency");
+    }
+
+    #[test]
+    fn stealth_cache_invalidate_page() {
+        let mut sc = StealthCache::paper_default();
+        sc.access(5, TripFormat::Uneven);
+        sc.access(5, TripFormat::Uneven);
+        sc.invalidate_page(5);
+        assert!(!sc.access(5, TripFormat::Uneven), "post-invalidate access misses");
+    }
+
+    #[test]
+    fn mac_cache_eight_blocks_share_entry() {
+        let mut mc = MacCache::paper_default();
+        assert!(!mc.access(0)); // fills MAC block 0 (covers data blocks 0..8)
+        for i in 1..8u64 {
+            assert!(mc.access(i * 64), "data block {i} shares the MAC block");
+        }
+        assert!(!mc.access(8 * 64), "ninth block needs the next MAC block");
+    }
+
+    #[test]
+    fn mac_cache_capacity() {
+        let mut mc = MacCache::new(1); // 1 KB = 16 blocks, one 16-way set
+        for i in 0..16u64 {
+            mc.access(i * 64 * 8);
+        }
+        for i in 0..16u64 {
+            assert!(mc.access(i * 64 * 8), "16 distinct MAC blocks fit in 1 KB");
+        }
+        mc.access(16 * 64 * 8); // evicts one
+        let s = mc.stats();
+        assert_eq!(s.misses, 17);
+    }
+}

@@ -1,0 +1,492 @@
+//! The Toleo device: trusted smart memory storing stealth versions.
+//!
+//! The device accepts the paper's three request types (§5):
+//!
+//! * **READ** — return the stealth version of a cache block.
+//! * **UPDATE** — increment and return the stealth version of a cache block
+//!   (issued on every LLC dirty-eviction / memory write).
+//! * **RESET** — OS-initiated downgrade of a page to flat (page free or
+//!   remap), which re-randomizes the stealth base.
+//!
+//! UPDATE may additionally signal **UV_UPDATE** back to the host when the
+//! probabilistic stealth reset fires; the host then increments the page's
+//! shared upper version and re-encrypts the page.
+//!
+//! The device owns a statically mapped flat-entry array (one 12-byte entry
+//! per protected page) and a dynamic region from which uneven (1 block) and
+//! full (4 block) side entries are allocated. When the dynamic region is
+//! exhausted, upgrades are rejected with [`ToleoError::DeviceFull`] until
+//! the host frees space via RESET.
+
+use crate::config::{ToleoConfig, DYNAMIC_BLOCK_BYTES, FLAT_ENTRY_BYTES};
+use crate::error::{Result, ToleoError};
+use crate::trip::{PageEntry, TripFormat, UpdateEffect};
+use crate::version::StealthVersion;
+use std::collections::HashMap;
+use toleo_crypto::range::DRange;
+
+/// Streamed to the host when a stealth reset fires: the page's pre-reset
+/// versions, which the host needs to decrypt each block before
+/// re-encrypting it under the incremented UV and the fresh stealth base.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ResetNotice {
+    /// Per-line stealth versions immediately before the reset (after the
+    /// triggering write's increment).
+    pub old_stealth: Box<[StealthVersion; crate::config::LINES_PER_PAGE]>,
+}
+
+/// Outcome of an UPDATE request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UpdateResponse {
+    /// The cache block's new stealth version (post-reset if one fired).
+    pub stealth: StealthVersion,
+    /// If set, the stealth versions of the page were reset: the host must
+    /// increment the page's UV and re-encrypt all its cache blocks
+    /// (UV_UPDATE in the paper's protocol, §5).
+    pub reset: Option<ResetNotice>,
+}
+
+impl UpdateResponse {
+    /// Whether this update fired a stealth reset (UV_UPDATE).
+    pub fn uv_update(&self) -> bool {
+        self.reset.is_some()
+    }
+}
+
+/// Running usage statistics, sampled for Fig. 11/12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceUsage {
+    /// Pages currently in flat format that have been touched.
+    pub flat_pages: u64,
+    /// Pages currently in uneven format.
+    pub uneven_pages: u64,
+    /// Pages currently in full format.
+    pub full_pages: u64,
+    /// Bytes of statically mapped flat entries for *touched* pages (the
+    /// paper derives static usage from RSS).
+    pub flat_bytes: u64,
+    /// Bytes of dynamically allocated side entries.
+    pub dynamic_bytes: u64,
+}
+
+impl DeviceUsage {
+    /// Total Toleo bytes in use for the touched working set.
+    pub fn total_bytes(&self) -> u64 {
+        self.flat_bytes + self.dynamic_bytes
+    }
+}
+
+/// Cumulative event counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DeviceStats {
+    /// READ requests served.
+    pub reads: u64,
+    /// UPDATE requests served.
+    pub updates: u64,
+    /// OS RESET (downgrade) requests served.
+    pub resets: u64,
+    /// Probabilistic stealth resets fired (each implies one UV_UPDATE).
+    pub stealth_resets: u64,
+    /// Flat -> uneven upgrades.
+    pub upgrades_to_uneven: u64,
+    /// Uneven -> full upgrades.
+    pub upgrades_to_full: u64,
+    /// Updates rejected because the dynamic region was exhausted.
+    pub rejected_full: u64,
+}
+
+/// The trusted Toleo smart-memory device.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_core::config::ToleoConfig;
+/// use toleo_core::device::ToleoDevice;
+///
+/// let mut dev = ToleoDevice::new(ToleoConfig::small());
+/// let v0 = dev.read(0, 0).unwrap();
+/// let r = dev.update(0, 0).unwrap();
+/// assert_eq!(r.stealth.raw(), v0.raw().wrapping_add(1) & ((1 << 27) - 1));
+/// ```
+#[derive(Debug)]
+pub struct ToleoDevice {
+    cfg: ToleoConfig,
+    /// Sparse backing for the flat-entry array: pages are materialized on
+    /// first touch with a random base (the full array is statically mapped
+    /// in hardware; sparseness here is a simulation artifact).
+    pages: HashMap<u64, PageEntry>,
+    /// Allocated dynamic blocks (56 B each).
+    dynamic_blocks_used: u64,
+    /// Capacity of the dynamic region in blocks.
+    dynamic_blocks_cap: u64,
+    rng: DRange,
+    stats: DeviceStats,
+}
+
+impl ToleoDevice {
+    /// Creates a device for the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`ToleoConfig::validate`].
+    pub fn new(cfg: ToleoConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid ToleoConfig: {e}");
+        }
+        let dynamic_blocks_cap = cfg.dynamic_region_bytes() / DYNAMIC_BLOCK_BYTES as u64;
+        let rng = DRange::from_seed(cfg.rng_seed);
+        ToleoDevice { cfg, pages: HashMap::new(), dynamic_blocks_used: 0, dynamic_blocks_cap, rng, stats: DeviceStats::default() }
+    }
+
+    /// The device configuration.
+    pub fn config(&self) -> &ToleoConfig {
+        &self.cfg
+    }
+
+    /// Cumulative event counters.
+    pub fn stats(&self) -> DeviceStats {
+        self.stats
+    }
+
+    /// Current space usage snapshot.
+    pub fn usage(&self) -> DeviceUsage {
+        let mut u = DeviceUsage::default();
+        for entry in self.pages.values() {
+            match entry.format() {
+                TripFormat::Flat => u.flat_pages += 1,
+                TripFormat::Uneven => u.uneven_pages += 1,
+                TripFormat::Full => u.full_pages += 1,
+            }
+        }
+        u.flat_bytes = self.pages.len() as u64 * FLAT_ENTRY_BYTES as u64;
+        u.dynamic_bytes = self.dynamic_blocks_used * DYNAMIC_BLOCK_BYTES as u64;
+        u
+    }
+
+    /// Format of a page (for inspection; materializes the page).
+    pub fn page_format(&mut self, page: u64) -> Result<TripFormat> {
+        self.check_page(page)?;
+        Ok(self.entry(page).format())
+    }
+
+    fn check_page(&self, page: u64) -> Result<()> {
+        let pages = self.cfg.protected_pages();
+        if page >= pages {
+            return Err(ToleoError::PageOutOfRange { page, pages });
+        }
+        Ok(())
+    }
+
+    /// Materializes (first touch) and returns the entry for `page`.
+    fn entry(&mut self, page: u64) -> &mut PageEntry {
+        let bits = self.cfg.stealth_bits;
+        let rng = &mut self.rng;
+        self.pages
+            .entry(page)
+            .or_insert_with(|| PageEntry::new_flat(random_base(rng, bits)))
+    }
+
+    /// READ: the stealth version of cache block `line` in `page`.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::PageOutOfRange`] for addresses beyond the protected
+    /// pool.
+    pub fn read(&mut self, page: u64, line: usize) -> Result<StealthVersion> {
+        self.check_page(page)?;
+        self.stats.reads += 1;
+        let cfg = self.cfg.clone();
+        Ok(self.entry(page).version_of(line, &cfg))
+    }
+
+    /// UPDATE: increment and return the stealth version of a cache block,
+    /// possibly firing the probabilistic stealth reset.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::DeviceFull`] if the update requires an uneven/full
+    /// allocation and the dynamic region is exhausted;
+    /// [`ToleoError::PageOutOfRange`] for bad addresses. On `DeviceFull`
+    /// the version state is unchanged — the host may retry after freeing
+    /// space.
+    pub fn update(&mut self, page: u64, line: usize) -> Result<UpdateResponse> {
+        self.check_page(page)?;
+        let cfg = self.cfg.clone();
+        // Pre-check allocation headroom by simulating the effect on a copy:
+        // cheaper to check against worst case (flat->uneven needs 1 block,
+        // uneven->full needs +3 net).
+        let entry_snapshot = self.entry(page).clone();
+        let mut entry = entry_snapshot.clone();
+        let effect = entry.record_write(line, &cfg);
+        let extra_blocks: i64 = match effect {
+            UpdateEffect::UpgradedToUneven => 1,
+            UpdateEffect::UpgradedToFull => crate::config::FULL_ENTRY_BLOCKS as i64 - 1,
+            _ => 0,
+        };
+        if extra_blocks > 0
+            && self.dynamic_blocks_used + extra_blocks as u64 > self.dynamic_blocks_cap
+        {
+            self.stats.rejected_full += 1;
+            return Err(ToleoError::DeviceFull { page });
+        }
+        self.stats.updates += 1;
+        match effect {
+            UpdateEffect::UpgradedToUneven => {
+                self.dynamic_blocks_used += 1;
+                self.stats.upgrades_to_uneven += 1;
+            }
+            UpdateEffect::UpgradedToFull => {
+                self.dynamic_blocks_used += extra_blocks as u64;
+                self.stats.upgrades_to_full += 1;
+            }
+            _ => {}
+        }
+
+        // Reset check (§4.3): only when the page's leading version advanced.
+        let leading_before = entry_snapshot.leading_version(&cfg);
+        let leading_after = entry.leading_version(&cfg);
+        let mut reset = None;
+        if PageEntry::leading_advanced(leading_before, leading_after)
+            && self.rng.one_in_pow2(cfg.reset_log2)
+        {
+            // Stream the pre-reset versions to the host for re-encryption,
+            // then free any side entry and return to flat with a fresh base.
+            let mut old_stealth =
+                Box::new([StealthVersion::default(); crate::config::LINES_PER_PAGE]);
+            for (l, slot) in old_stealth.iter_mut().enumerate() {
+                *slot = entry.version_of(l, &cfg);
+            }
+            self.dynamic_blocks_used -= entry.dynamic_blocks() as u64;
+            let base = random_base(&mut self.rng, cfg.stealth_bits);
+            entry.reset_to_flat(base);
+            self.stats.stealth_resets += 1;
+            reset = Some(ResetNotice { old_stealth });
+        }
+        let stealth = entry.version_of(line, &cfg);
+        *self.entry(page) = entry;
+        Ok(UpdateResponse { stealth, reset })
+    }
+
+    /// RESET: OS-initiated downgrade of `page` to flat (free / remap). The
+    /// stealth base re-randomizes; the host must also bump the UV, which
+    /// scrambles the old contents (their MACs can no longer verify).
+    ///
+    /// Returns the page's new shared stealth version.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::PageOutOfRange`] for bad addresses.
+    pub fn reset(&mut self, page: u64) -> Result<StealthVersion> {
+        self.check_page(page)?;
+        self.stats.resets += 1;
+        let bits = self.cfg.stealth_bits;
+        let base = random_base(&mut self.rng, bits);
+        let entry = self.entry(page);
+        let freed = entry.dynamic_blocks() as u64;
+        entry.reset_to_flat(base);
+        self.dynamic_blocks_used -= freed;
+        Ok(base)
+    }
+
+    /// Remaining dynamic blocks (each 56 B).
+    pub fn free_dynamic_blocks(&self) -> u64 {
+        self.dynamic_blocks_cap - self.dynamic_blocks_used
+    }
+
+    /// Read-only peek at a page's shared stealth base, if the page has
+    /// been touched. For analysis and tests; does not count as a READ and
+    /// does not materialize the page.
+    pub fn peek_base(&self, page: u64) -> Option<StealthVersion> {
+        self.pages.get(&page).map(|e| e.base())
+    }
+}
+
+fn random_base(rng: &mut DRange, bits: u32) -> StealthVersion {
+    StealthVersion::new(rng.below(1u64 << bits), bits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LINES_PER_PAGE;
+
+    fn dev() -> ToleoDevice {
+        ToleoDevice::new(ToleoConfig::small())
+    }
+
+    #[test]
+    fn update_increments_version() {
+        let mut d = dev();
+        let v0 = d.read(3, 5).unwrap();
+        let r = d.update(3, 5).unwrap();
+        assert_eq!(r.stealth.raw(), v0.incremented(27).raw());
+        assert_eq!(d.read(3, 5).unwrap(), r.stealth);
+    }
+
+    #[test]
+    fn fresh_pages_have_random_bases() {
+        let mut d = dev();
+        let a = d.read(0, 0).unwrap();
+        let b = d.read(1, 0).unwrap();
+        let c = d.read(2, 0).unwrap();
+        // Three identical random 27-bit draws would be astronomically
+        // unlikely; equality of all three means initialization is broken.
+        assert!(!(a == b && b == c), "bases look non-random: {a:?}");
+    }
+
+    #[test]
+    fn page_out_of_range_rejected() {
+        let mut d = dev();
+        let pages = d.config().protected_pages();
+        assert!(matches!(d.read(pages, 0), Err(ToleoError::PageOutOfRange { .. })));
+        assert!(matches!(d.update(pages + 5, 0), Err(ToleoError::PageOutOfRange { .. })));
+        assert!(matches!(d.reset(u64::MAX), Err(ToleoError::PageOutOfRange { .. })));
+    }
+
+    #[test]
+    fn upgrade_allocates_and_reset_frees() {
+        let mut d = dev();
+        assert_eq!(d.usage().dynamic_bytes, 0);
+        d.update(0, 7).unwrap();
+        d.update(0, 7).unwrap(); // -> uneven
+        assert_eq!(d.usage().dynamic_bytes, DYNAMIC_BLOCK_BYTES as u64);
+        assert_eq!(d.page_format(0).unwrap(), TripFormat::Uneven);
+        d.reset(0).unwrap();
+        assert_eq!(d.usage().dynamic_bytes, 0);
+        assert_eq!(d.page_format(0).unwrap(), TripFormat::Flat);
+        let s = d.stats();
+        assert_eq!(s.upgrades_to_uneven, 1);
+        assert_eq!(s.resets, 1);
+    }
+
+    #[test]
+    fn full_upgrade_uses_four_blocks() {
+        let mut d = dev();
+        for _ in 0..200 {
+            d.update(0, 7).unwrap();
+        }
+        assert_eq!(d.page_format(0).unwrap(), TripFormat::Full);
+        assert_eq!(d.usage().dynamic_bytes, 4 * DYNAMIC_BLOCK_BYTES as u64);
+        assert_eq!(d.stats().upgrades_to_full, 1);
+    }
+
+    #[test]
+    fn device_full_rejects_upgrades_but_not_flat_updates() {
+        let mut cfg = ToleoConfig::small();
+        // Dynamic region of exactly 1 block.
+        cfg.device_capacity_bytes = cfg.flat_array_bytes() + DYNAMIC_BLOCK_BYTES as u64;
+        let mut d = ToleoDevice::new(cfg);
+        // First upgrade succeeds and consumes the only block.
+        d.update(0, 3).unwrap();
+        d.update(0, 3).unwrap();
+        assert_eq!(d.free_dynamic_blocks(), 0);
+        // Second page cannot upgrade...
+        d.update(1, 4).unwrap();
+        assert!(matches!(d.update(1, 4), Err(ToleoError::DeviceFull { page: 1 })));
+        assert_eq!(d.stats().rejected_full, 1);
+        // ...but uniform (flat) updates still work.
+        d.update(1, 5).unwrap();
+        // Freeing page 0 lets page 1 upgrade.
+        d.reset(0).unwrap();
+        d.update(1, 4).unwrap();
+        assert_eq!(d.page_format(1).unwrap(), TripFormat::Uneven);
+    }
+
+    #[test]
+    fn device_full_leaves_state_unchanged() {
+        let mut cfg = ToleoConfig::small();
+        cfg.device_capacity_bytes = cfg.flat_array_bytes(); // zero dynamic blocks
+        let mut d = ToleoDevice::new(cfg);
+        d.update(0, 3).unwrap();
+        let v_before = d.read(0, 3).unwrap();
+        assert!(d.update(0, 3).is_err());
+        assert_eq!(d.read(0, 3).unwrap(), v_before, "rejected update must not mutate");
+        assert_eq!(d.page_format(0).unwrap(), TripFormat::Flat);
+    }
+
+    #[test]
+    fn uniform_writes_never_allocate() {
+        let mut d = dev();
+        for round in 0..3 {
+            for line in 0..LINES_PER_PAGE {
+                d.update(9, line).unwrap();
+            }
+            assert_eq!(d.usage().dynamic_bytes, 0, "round {round}");
+        }
+        assert_eq!(d.page_format(9).unwrap(), TripFormat::Flat);
+    }
+
+    #[test]
+    fn stealth_reset_fires_at_expected_rate() {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 6; // 1/64 for a fast statistical test
+        let mut d = ToleoDevice::new(cfg);
+        let mut resets = 0u64;
+        let mut leading_increments = 0u64;
+        // Hot-line updates: every update advances the leading version once
+        // the page is uneven/full.
+        for i in 0..20_000u64 {
+            let r = d.update(0, 0).unwrap();
+            leading_increments += 1;
+            if r.uv_update() {
+                resets += 1;
+            }
+            let _ = i;
+        }
+        let rate = resets as f64 / leading_increments as f64;
+        assert!(
+            (rate - 1.0 / 64.0).abs() < 0.006,
+            "reset rate {rate}, expected ~{}",
+            1.0 / 64.0
+        );
+    }
+
+    #[test]
+    fn reset_downgrades_and_frees() {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 4; // 1/16: resets happen fast
+        let mut d = ToleoDevice::new(cfg);
+        let mut saw_reset_from_nonflat = false;
+        for _ in 0..2_000 {
+            let fmt_before = d.page_format(0).unwrap();
+            let r = d.update(0, 1).unwrap();
+            if r.uv_update() {
+                assert_eq!(d.page_format(0).unwrap(), TripFormat::Flat);
+                if fmt_before != TripFormat::Flat {
+                    saw_reset_from_nonflat = true;
+                    assert_eq!(d.usage().dynamic_bytes, 0, "side entry freed on reset");
+                }
+            }
+        }
+        assert!(saw_reset_from_nonflat, "test never exercised a non-flat reset");
+    }
+
+    #[test]
+    fn update_response_reflects_post_reset_version() {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 3;
+        let mut d = ToleoDevice::new(cfg);
+        for _ in 0..500 {
+            let r = d.update(0, 2).unwrap();
+            let now = d.read(0, 2).unwrap();
+            assert_eq!(r.stealth, now, "UPDATE must return the live version");
+        }
+    }
+
+    #[test]
+    fn usage_counts_formats() {
+        let mut d = dev();
+        d.update(0, 0).unwrap(); // flat
+        d.update(1, 0).unwrap();
+        d.update(1, 0).unwrap(); // uneven
+        for _ in 0..200 {
+            d.update(2, 0).unwrap(); // full
+        }
+        let u = d.usage();
+        assert_eq!(u.flat_pages, 1);
+        assert_eq!(u.uneven_pages, 1);
+        assert_eq!(u.full_pages, 1);
+        assert_eq!(u.flat_bytes, 3 * FLAT_ENTRY_BYTES as u64);
+        assert_eq!(u.total_bytes(), u.flat_bytes + u.dynamic_bytes);
+    }
+}

@@ -1,0 +1,550 @@
+//! The host-side memory protection engine.
+//!
+//! Sits between the LLC and the memory system, like client SGX's memory
+//! encryption engine, but sources freshness from the Toleo device instead
+//! of a Merkle tree:
+//!
+//! * **write** (dirty LLC eviction): UPDATE the block's stealth version in
+//!   Toleo, encrypt the plaintext with AES-XTS under the
+//!   `(full version, address)` tweak, compute the 56-bit MAC over
+//!   `(version, address, ciphertext)`, store ciphertext + MAC (+ shared UV)
+//!   in untrusted conventional memory.
+//! * **read** (LLC miss): fetch ciphertext, MAC and UV from untrusted
+//!   memory and the stealth version from Toleo (or the on-chip stealth
+//!   cache), recompute the MAC, and *only if it verifies* decrypt and
+//!   return plaintext. A mismatch means tampering or replay: the kill
+//!   switch engages and the engine refuses all further service.
+//!
+//! The [`UntrustedDram`] it writes to is fully exposed to the adversary —
+//! integration tests replay old (ciphertext, MAC, UV) triples through it
+//! to demonstrate detection.
+
+use crate::cache::{CacheStats, MacCache, StealthCache};
+use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE};
+use crate::device::{ToleoDevice, UpdateResponse};
+use crate::error::{Result, ToleoError};
+use crate::layout;
+use crate::version::{FullVersion, StealthVersion, UpperVersion};
+use std::collections::HashMap;
+use toleo_crypto::mac::{MacKey, Tag56};
+use toleo_crypto::modes::{AesXts, Tweak};
+
+/// A 64-byte cache block of plaintext or ciphertext.
+pub type Block = [u8; CACHE_BLOCK_BYTES];
+
+/// Untrusted conventional memory: ciphertext data blocks, MAC tags and
+/// shared UVs (the UVs live in the spare space of MAC blocks, Fig. 4).
+///
+/// Everything in here is adversary-accessible: the struct deliberately
+/// exposes tampering entry points for security testing.
+#[derive(Debug, Default, Clone)]
+pub struct UntrustedDram {
+    data: HashMap<u64, Block>,
+    macs: HashMap<u64, Tag56>,
+    uvs: HashMap<u64, UpperVersion>,
+}
+
+/// Everything an adversary can capture about one cache block at an instant:
+/// the ciphertext, its MAC, and the co-located UV. Replaying a stale
+/// capsule is the attack freshness must defeat.
+#[derive(Debug, Clone)]
+pub struct ReplayCapsule {
+    address: u64,
+    data: Option<Block>,
+    tag: Option<Tag56>,
+    uv: Option<UpperVersion>,
+}
+
+impl UntrustedDram {
+    /// Captures the current (ciphertext, MAC, UV) for the block at `addr`.
+    pub fn capture(&self, addr: u64) -> ReplayCapsule {
+        let base = layout::block_base(addr);
+        ReplayCapsule {
+            address: base,
+            data: self.data.get(&base).copied(),
+            tag: self.macs.get(&base).copied(),
+            uv: self.uvs.get(&layout::page_of(base)).copied(),
+        }
+    }
+
+    /// Replays a previously captured capsule — the classic replay attack.
+    pub fn replay(&mut self, capsule: &ReplayCapsule) {
+        let base = capsule.address;
+        match capsule.data {
+            Some(d) => {
+                self.data.insert(base, d);
+            }
+            None => {
+                self.data.remove(&base);
+            }
+        }
+        match capsule.tag {
+            Some(t) => {
+                self.macs.insert(base, t);
+            }
+            None => {
+                self.macs.remove(&base);
+            }
+        }
+        match capsule.uv {
+            Some(u) => {
+                self.uvs.insert(layout::page_of(base), u);
+            }
+            None => {
+                self.uvs.remove(&layout::page_of(base));
+            }
+        }
+    }
+
+    /// Flips bits in the stored ciphertext at `addr` (integrity attack).
+    pub fn corrupt_data(&mut self, addr: u64, xor_mask: u8) {
+        let base = layout::block_base(addr);
+        if let Some(block) = self.data.get_mut(&base) {
+            block[0] ^= xor_mask;
+        }
+    }
+
+    /// Overwrites the stored MAC at `addr` (forgery attempt).
+    pub fn forge_mac(&mut self, addr: u64, tag: Tag56) {
+        self.macs.insert(layout::block_base(addr), tag);
+    }
+
+    /// Raw ciphertext view (for traffic-analysis experiments).
+    pub fn ciphertext(&self, addr: u64) -> Option<&Block> {
+        self.data.get(&layout::block_base(addr))
+    }
+
+    /// The page's shared UV (0 if never written).
+    pub fn uv(&self, page: u64) -> UpperVersion {
+        self.uvs.get(&page).copied().unwrap_or_default()
+    }
+
+    fn set_uv(&mut self, page: u64, uv: UpperVersion) {
+        self.uvs.insert(page, uv);
+    }
+
+    /// Number of resident data blocks.
+    pub fn resident_blocks(&self) -> usize {
+        self.data.len()
+    }
+}
+
+/// Engine event counters (feeds Figs. 7–9 via the simulator).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineStats {
+    /// Blocks written (dirty evictions processed).
+    pub writes: u64,
+    /// Blocks read (LLC miss fills).
+    pub reads: u64,
+    /// UPDATE requests that reached the Toleo device.
+    pub device_updates: u64,
+    /// READ requests that reached the Toleo device (stealth-cache misses).
+    pub device_reads: u64,
+    /// MAC-block fetches from conventional DRAM (MAC-cache misses).
+    pub mac_fetches: u64,
+    /// Stealth resets processed (pages re-encrypted).
+    pub pages_reencrypted: u64,
+    /// Pages freed/downgraded at OS request.
+    pub pages_freed: u64,
+}
+
+/// The memory protection engine in the Toleo configuration (CIF:
+/// confidentiality + integrity + freshness).
+///
+/// # Examples
+///
+/// ```
+/// use toleo_core::engine::ProtectionEngine;
+/// use toleo_core::config::ToleoConfig;
+///
+/// let mut engine = ProtectionEngine::new(ToleoConfig::small(), [7u8; 48]);
+/// engine.write(0x1000, &[42u8; 64]).unwrap();
+/// assert_eq!(engine.read(0x1000).unwrap(), [42u8; 64]);
+/// ```
+#[derive(Debug)]
+pub struct ProtectionEngine {
+    cfg: ToleoConfig,
+    xts: AesXts,
+    mac: MacKey,
+    device: ToleoDevice,
+    dram: UntrustedDram,
+    stealth_cache: StealthCache,
+    mac_cache: MacCache,
+    stats: EngineStats,
+    killed: bool,
+}
+
+impl ProtectionEngine {
+    /// Creates an engine. `key_material` supplies the XTS data key, XTS
+    /// tweak key and MAC key (16 bytes each).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` is invalid (see [`ToleoConfig::validate`]).
+    pub fn new(cfg: ToleoConfig, key_material: [u8; 48]) -> Self {
+        let data_key: [u8; 16] = key_material[..16].try_into().expect("16 bytes");
+        let tweak_key: [u8; 16] = key_material[16..32].try_into().expect("16 bytes");
+        let mac_key: [u8; 16] = key_material[32..].try_into().expect("16 bytes");
+        ProtectionEngine {
+            device: ToleoDevice::new(cfg.clone()),
+            cfg,
+            xts: AesXts::new(&data_key, &tweak_key),
+            mac: MacKey::new(mac_key),
+            dram: UntrustedDram::default(),
+            stealth_cache: StealthCache::paper_default(),
+            mac_cache: MacCache::paper_default(),
+            stats: EngineStats::default(),
+            killed: false,
+        }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &ToleoConfig {
+        &self.cfg
+    }
+
+    /// Engine event counters.
+    pub fn stats(&self) -> EngineStats {
+        self.stats
+    }
+
+    /// Stealth-cache statistics (Fig. 7).
+    pub fn stealth_cache_stats(&self) -> CacheStats {
+        self.stealth_cache.stats()
+    }
+
+    /// MAC-cache statistics (Fig. 7).
+    pub fn mac_cache_stats(&self) -> CacheStats {
+        self.mac_cache.stats()
+    }
+
+    /// The trusted device (for usage/format statistics).
+    pub fn device(&self) -> &ToleoDevice {
+        &self.device
+    }
+
+    /// Adversary access to untrusted memory. Anything reachable from here
+    /// is outside the trust boundary by construction.
+    pub fn adversary(&mut self) -> &mut UntrustedDram {
+        &mut self.dram
+    }
+
+    /// Whether the kill switch has engaged.
+    pub fn is_killed(&self) -> bool {
+        self.killed
+    }
+
+    fn check_alive(&self, address: u64) -> Result<()> {
+        if self.killed {
+            return Err(ToleoError::IntegrityViolation { address });
+        }
+        Ok(())
+    }
+
+    fn full_version(&self, uv: UpperVersion, stealth: StealthVersion) -> FullVersion {
+        FullVersion::compose(uv, stealth, self.cfg.stealth_bits)
+    }
+
+    fn seal(&mut self, base: u64, fv: FullVersion, plaintext: &Block) {
+        let mut ct = *plaintext;
+        self.xts.encrypt(Tweak { version: fv.raw(), address: base }, &mut ct);
+        let tag = self.mac.mac(fv.raw(), base, &ct);
+        self.dram.data.insert(base, ct);
+        self.dram.macs.insert(base, tag);
+    }
+
+    fn unseal(&mut self, base: u64, fv: FullVersion) -> Result<Block> {
+        let ct = match self.dram.data.get(&base) {
+            Some(c) => *c,
+            None => {
+                // Never-written block: treated as a zero-filled page (the
+                // OS scrubs pages at allocation; no MAC exists yet).
+                return Ok([0u8; CACHE_BLOCK_BYTES]);
+            }
+        };
+        let stored_tag =
+            self.dram.macs.get(&base).copied().ok_or(ToleoError::IntegrityViolation {
+                address: base,
+            })?;
+        let expect = self.mac.mac(fv.raw(), base, &ct);
+        if !expect.verify(&stored_tag) {
+            self.killed = true;
+            return Err(ToleoError::IntegrityViolation { address: base });
+        }
+        let mut pt = ct;
+        self.xts.decrypt(Tweak { version: fv.raw(), address: base }, &mut pt);
+        Ok(pt)
+    }
+
+    /// Writes a 64-byte block at `addr` (must be block-aligned).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ToleoError::DeviceFull`] (retryable after the OS frees
+    /// pages) and address-range errors; fails permanently after a kill.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64-byte aligned.
+    pub fn write(&mut self, addr: u64, plaintext: &Block) -> Result<()> {
+        assert_eq!(addr % CACHE_BLOCK_BYTES as u64, 0, "unaligned block write");
+        self.check_alive(addr)?;
+        let page = layout::page_of(addr);
+        let line = layout::line_of(addr);
+
+        // Version-cache access for stats; the UPDATE goes through to the
+        // device regardless (write-through), but a hit means the host knew
+        // the current version and did not stall on the CXL round trip.
+        let fmt = self.device.page_format(page)?;
+        self.stealth_cache.access(page, fmt);
+
+        let resp: UpdateResponse = self.device.update(page, line)?;
+        self.stats.device_updates += 1;
+        self.stats.writes += 1;
+
+        // MAC block access (it must be fetched to update the block's slot).
+        if !self.mac_cache.access(addr) {
+            self.stats.mac_fetches += 1;
+        }
+
+        let mut uv = self.dram.uv(page);
+        if let Some(notice) = resp.reset {
+            // UV_UPDATE: bump the shared UV and re-encrypt every resident
+            // block of the page under the fresh stealth base.
+            let new_uv = uv.incremented();
+            let new_base = self.device.read(page, 0)?; // post-reset shared base
+            for l in 0..LINES_PER_PAGE {
+                let lbase = page * crate::config::PAGE_BYTES as u64
+                    + (l * CACHE_BLOCK_BYTES) as u64;
+                if l == line || !self.dram.data.contains_key(&lbase) {
+                    continue;
+                }
+                let old_fv = self.full_version(uv, notice.old_stealth[l]);
+                let pt = self.unseal(lbase, old_fv)?;
+                let new_fv = self.full_version(new_uv, new_base);
+                self.seal(lbase, new_fv, &pt);
+            }
+            self.dram.set_uv(page, new_uv);
+            self.stealth_cache.invalidate_page(page);
+            self.stats.pages_reencrypted += 1;
+            uv = new_uv;
+        }
+
+        let fv = self.full_version(uv, resp.stealth);
+        self.seal(addr, fv, plaintext);
+        Ok(())
+    }
+
+    /// Reads the 64-byte block at `addr` (must be block-aligned), verifying
+    /// integrity and freshness.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::IntegrityViolation`] on any MAC mismatch — tampering
+    /// or replay. This engages the kill switch: all subsequent operations
+    /// fail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` is not 64-byte aligned.
+    pub fn read(&mut self, addr: u64) -> Result<Block> {
+        assert_eq!(addr % CACHE_BLOCK_BYTES as u64, 0, "unaligned block read");
+        self.check_alive(addr)?;
+        let page = layout::page_of(addr);
+        let line = layout::line_of(addr);
+        self.stats.reads += 1;
+
+        let fmt = self.device.page_format(page)?;
+        if !self.stealth_cache.access(page, fmt) {
+            self.stats.device_reads += 1;
+        }
+        let stealth = self.device.read(page, line)?;
+
+        if !self.mac_cache.access(addr) {
+            self.stats.mac_fetches += 1;
+        }
+        let uv = self.dram.uv(page);
+        let fv = self.full_version(uv, stealth);
+        self.unseal(addr, fv)
+    }
+
+    /// OS page free / remap: downgrade the page's Toleo entry to flat and
+    /// bump its UV *without* re-encrypting (§4.3 "Page free and remap").
+    /// Old contents become unreadable — their MACs can no longer verify.
+    ///
+    /// # Errors
+    ///
+    /// Address-range errors only; freeing is always safe.
+    pub fn free_page(&mut self, page: u64) -> Result<()> {
+        self.check_alive(page * crate::config::PAGE_BYTES as u64)?;
+        self.device.reset(page)?;
+        let uv = self.dram.uv(page).incremented();
+        self.dram.set_uv(page, uv);
+        self.stealth_cache.invalidate_page(page);
+        self.stats.pages_freed += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn engine() -> ProtectionEngine {
+        ProtectionEngine::new(ToleoConfig::small(), [0x5cu8; 48])
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut e = engine();
+        let data = [0xabu8; 64];
+        e.write(0x4_0000, &data).unwrap();
+        assert_eq!(e.read(0x4_0000).unwrap(), data);
+    }
+
+    #[test]
+    fn unwritten_reads_as_zero() {
+        let mut e = engine();
+        assert_eq!(e.read(0x8_0000).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let mut e = engine();
+        e.write(0, &[1u8; 64]).unwrap();
+        e.write(0, &[2u8; 64]).unwrap();
+        assert_eq!(e.read(0).unwrap(), [2u8; 64]);
+    }
+
+    #[test]
+    fn ciphertext_differs_from_plaintext_and_across_versions() {
+        let mut e = engine();
+        e.write(0, &[9u8; 64]).unwrap();
+        let ct1 = *e.adversary().ciphertext(0).unwrap();
+        assert_ne!(ct1, [9u8; 64], "data must be encrypted at rest");
+        e.write(0, &[9u8; 64]).unwrap();
+        let ct2 = *e.adversary().ciphertext(0).unwrap();
+        assert_ne!(ct1, ct2, "same plaintext re-encrypts differently (fresh version)");
+    }
+
+    #[test]
+    fn tampered_ciphertext_detected_and_kills() {
+        let mut e = engine();
+        e.write(0x40, &[7u8; 64]).unwrap();
+        e.adversary().corrupt_data(0x40, 0x01);
+        assert!(matches!(e.read(0x40), Err(ToleoError::IntegrityViolation { .. })));
+        assert!(e.is_killed());
+        // Kill switch: even untampered addresses now refuse service.
+        assert!(e.read(0x80).is_err());
+        assert!(e.write(0x80, &[0u8; 64]).is_err());
+    }
+
+    #[test]
+    fn replay_attack_detected() {
+        let mut e = engine();
+        e.write(0x1000, &[1u8; 64]).unwrap();
+        let stale = e.adversary().capture(0x1000);
+        e.write(0x1000, &[2u8; 64]).unwrap();
+        e.adversary().replay(&stale);
+        // The stealth version advanced, so the stale MAC cannot verify.
+        assert!(matches!(e.read(0x1000), Err(ToleoError::IntegrityViolation { .. })));
+        assert!(e.is_killed());
+    }
+
+    #[test]
+    fn forged_mac_detected() {
+        let mut e = engine();
+        e.write(0, &[5u8; 64]).unwrap();
+        e.adversary().forge_mac(0, toleo_crypto::mac::Tag56::from_raw(0xdead));
+        assert!(e.read(0).is_err());
+    }
+
+    #[test]
+    fn freed_page_contents_unreadable() {
+        let mut e = engine();
+        e.write(0x2000, &[3u8; 64]).unwrap();
+        e.free_page(layout::page_of(0x2000)).unwrap();
+        // UV bumped + stealth re-randomized without re-encryption: the old
+        // MAC can no longer verify, so a malicious OS cannot read the page.
+        assert!(matches!(e.read(0x2000), Err(ToleoError::IntegrityViolation { .. })));
+    }
+
+    #[test]
+    fn survives_stealth_resets() {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 4; // force frequent resets
+        let mut e = ProtectionEngine::new(cfg, [1u8; 48]);
+        // Hot-line writes so every update advances the leading version.
+        for i in 0..500u64 {
+            let val = [(i % 251) as u8; 64];
+            e.write(0x3000, &val).unwrap();
+            assert_eq!(e.read(0x3000).unwrap(), val, "iteration {i}");
+        }
+        assert!(e.stats().pages_reencrypted > 0, "test must exercise resets");
+    }
+
+    #[test]
+    fn reset_reencryption_preserves_other_lines() {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 4;
+        let mut e = ProtectionEngine::new(cfg, [2u8; 48]);
+        // Populate several lines of page 1.
+        for l in 0..8u64 {
+            e.write(0x1000 + l * 64, &[l as u8 + 1; 64]).unwrap();
+        }
+        // Hammer line 9 until resets have certainly fired.
+        for _ in 0..300 {
+            e.write(0x1000 + 9 * 64, &[0xee; 64]).unwrap();
+        }
+        assert!(e.stats().pages_reencrypted > 0);
+        for l in 0..8u64 {
+            assert_eq!(e.read(0x1000 + l * 64).unwrap(), [l as u8 + 1; 64], "line {l}");
+        }
+    }
+
+    #[test]
+    fn write_after_free_starts_cleanly() {
+        let mut e = engine();
+        e.write(0x5000, &[1u8; 64]).unwrap();
+        e.free_page(layout::page_of(0x5000)).unwrap();
+        e.write(0x5000, &[9u8; 64]).unwrap();
+        assert_eq!(e.read(0x5000).unwrap(), [9u8; 64]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unaligned")]
+    fn unaligned_write_panics() {
+        engine().write(3, &[0u8; 64]).unwrap();
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut e = engine();
+        e.write(0, &[1u8; 64]).unwrap();
+        e.read(0).unwrap();
+        e.read(0).unwrap();
+        let s = e.stats();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.device_updates, 1);
+        // Second read hits the stealth cache.
+        assert!(e.stealth_cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn uv_advances_on_reset_never_repeats_full_version() {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 3;
+        let mut e = ProtectionEngine::new(cfg.clone(), [3u8; 48]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..400u64 {
+            e.write(0x7000, &[i as u8; 64]).unwrap();
+            let page = layout::page_of(0x7000);
+            let line = layout::line_of(0x7000);
+            let stealth = e.device.read(page, line).unwrap();
+            let uv = e.dram.uv(page);
+            let fv = FullVersion::compose(uv, stealth, cfg.stealth_bits);
+            assert!(seen.insert(fv.raw()), "full version repeated at write {i}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Error types. A failed integrity or freshness check is fatal by design:
+//! the platform "kill switch" (§2.1) destroys the enclave rather than let a
+//! replay be retried.
+
+/// Errors raised by the Toleo device and the host protection engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ToleoError {
+    /// A MAC check failed on a memory read: the ciphertext, MAC, UV, or the
+    /// replayed stealth version did not match. The platform must halt.
+    IntegrityViolation {
+        /// Physical address of the offending cache block.
+        address: u64,
+    },
+    /// The CXL IDE link detected tampering or replay of version traffic.
+    LinkViolation {
+        /// Description from the IDE layer.
+        detail: String,
+    },
+    /// The Toleo device has no free dynamic blocks for an upgrade; the host
+    /// OS must issue downgrade (RESET) requests to reclaim space. Update
+    /// requests are rejected until then (§4.3 "Page free and remap").
+    DeviceFull {
+        /// Page whose upgrade was rejected.
+        page: u64,
+    },
+    /// A request referenced a page outside the protected range.
+    PageOutOfRange {
+        /// The offending page number.
+        page: u64,
+        /// Number of protected pages.
+        pages: u64,
+    },
+}
+
+impl std::fmt::Display for ToleoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ToleoError::IntegrityViolation { address } => {
+                write!(f, "integrity/freshness check failed at {address:#x}: kill switch engaged")
+            }
+            ToleoError::LinkViolation { detail } => {
+                write!(f, "cxl ide violation: {detail}")
+            }
+            ToleoError::DeviceFull { page } => {
+                write!(f, "toleo device full; cannot upgrade page {page:#x}")
+            }
+            ToleoError::PageOutOfRange { page, pages } => {
+                write!(f, "page {page:#x} outside protected range of {pages} pages")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ToleoError {}
+
+/// Convenience alias for fallible Toleo operations.
+pub type Result<T> = std::result::Result<T, ToleoError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(ToleoError::IntegrityViolation { address: 0x40 }
+            .to_string()
+            .contains("kill switch"));
+        assert!(ToleoError::DeviceFull { page: 1 }.to_string().contains("full"));
+        assert!(ToleoError::PageOutOfRange { page: 9, pages: 4 }
+            .to_string()
+            .contains("outside"));
+        assert!(ToleoError::LinkViolation { detail: "replay".into() }
+            .to_string()
+            .contains("replay"));
+    }
+
+    #[test]
+    fn error_is_std_error_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<ToleoError>();
+    }
+}

@@ -1,0 +1,67 @@
+//! # toleo-core
+//!
+//! A from-scratch reproduction of **Toleo** (*Scaling Freshness to
+//! Tera-scale Memory using CXL and PIM*, ASPLOS 2024): freshness
+//! protection for tera-scale memory pools using a small trusted smart
+//! memory device, instead of an unscalable Merkle tree.
+//!
+//! ## Architecture
+//!
+//! * [`version`] — 64-bit full versions split into a 37-bit upper version
+//!   (UV, stored with the MACs in conventional memory) and a 27-bit
+//!   *stealth version* (stored only in trusted Toleo memory).
+//! * [`trip`] — the Trip (Tri-level Page) compression: flat (12 B / 4 KB
+//!   page, 341:1), uneven (+56 B, 60:1) and full (+216 B, 18:1) formats,
+//!   upgraded on demand as version locality degrades.
+//! * [`device`] — the Toleo device: READ / UPDATE / RESET requests, the
+//!   probabilistic stealth reset (p = 2^-20) with random re-initialization,
+//!   and dynamic space management.
+//! * [`engine`] — the host-side protection engine: AES-XTS with a
+//!   `(version, address)` tweak, 56-bit MACs, UV management, page
+//!   re-encryption on reset, and the kill switch.
+//! * [`cache`] — the L2-TLB stealth extension, the 28 KB overflow buffer,
+//!   and the per-core MAC cache.
+//! * [`layout`] — data / MAC+UV partitioning of conventional memory.
+//! * [`analysis`] — closed-form and Monte-Carlo §6.2 security margins.
+//! * [`rowhammer`] — the §2.1 write-frequency rate limiter the Toleo
+//!   controller runs against Rowhammer-style abuse.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use toleo_core::config::ToleoConfig;
+//! use toleo_core::engine::ProtectionEngine;
+//!
+//! let mut engine = ProtectionEngine::new(ToleoConfig::small(), [0u8; 48]);
+//!
+//! // Ordinary protected accesses.
+//! engine.write(0x1000, &[1u8; 64])?;
+//! assert_eq!(engine.read(0x1000)?, [1u8; 64]);
+//!
+//! // A replay attack: capture stale ciphertext+MAC, write new data,
+//! // replay the stale capsule — the read is detected and killed.
+//! let stale = engine.adversary().capture(0x1000);
+//! engine.write(0x1000, &[2u8; 64])?;
+//! engine.adversary().replay(&stale);
+//! assert!(engine.read(0x1000).is_err());
+//! # Ok::<(), toleo_core::error::ToleoError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod cache;
+pub mod config;
+pub mod device;
+pub mod engine;
+pub mod error;
+pub mod layout;
+pub mod rowhammer;
+pub mod trip;
+pub mod version;
+
+pub use config::ToleoConfig;
+pub use device::ToleoDevice;
+pub use engine::ProtectionEngine;
+pub use error::{Result, ToleoError};

@@ -1,0 +1,172 @@
+//! Rowhammer defense (§2.1): "we assume Toleo can easily track write
+//! frequencies and perform rate limiting if it detects a Rowhammer
+//! threat".
+//!
+//! The Toleo controller already sees every UPDATE, so it can implement a
+//! BlockHammer-style [Yağlıkçı et al., HPCA'21] frequency tracker for
+//! free: count per-page update rates in a sliding window and throttle
+//! pages that exceed the safe activation budget.
+
+use std::collections::HashMap;
+
+/// Decision for one tracked update.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RateDecision {
+    /// Under the budget: proceed at full speed.
+    Allow,
+    /// Over the budget: the controller inserts `delay_ns` before issuing
+    /// the underlying DRAM activation.
+    Throttle {
+        /// Added delay in nanoseconds.
+        delay_ns: u64,
+    },
+}
+
+/// Sliding-window per-page update-rate limiter.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_core::rowhammer::{RateLimiter, RateDecision};
+///
+/// let mut rl = RateLimiter::new(64, 1_000_000, 100);
+/// // A page hammered past the budget gets throttled.
+/// let mut throttled = false;
+/// for t in 0..100u64 {
+///     if rl.record(7, t * 100) != RateDecision::Allow {
+///         throttled = true;
+///     }
+/// }
+/// assert!(throttled);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RateLimiter {
+    /// Maximum updates per page per window before throttling.
+    budget: u32,
+    /// Window length in nanoseconds.
+    window_ns: u64,
+    /// Delay inserted per over-budget update.
+    delay_ns: u64,
+    /// Per-page (window_start_ns, count).
+    counters: HashMap<u64, (u64, u32)>,
+    /// Total throttles issued.
+    throttles: u64,
+}
+
+impl RateLimiter {
+    /// Creates a limiter: at most `budget` updates per page per
+    /// `window_ns`, punishing excess with `delay_ns` stalls.
+    pub fn new(budget: u32, window_ns: u64, delay_ns: u64) -> Self {
+        RateLimiter { budget, window_ns, delay_ns, counters: HashMap::new(), throttles: 0 }
+    }
+
+    /// A limiter sized for the DDR4 Rowhammer threshold (~50k activations
+    /// per 64 ms refresh window; budget set well below with margin).
+    pub fn ddr4_default() -> Self {
+        RateLimiter::new(25_000, 64_000_000, 320)
+    }
+
+    /// Records an update to `page` at time `now_ns` and decides whether to
+    /// throttle it.
+    pub fn record(&mut self, page: u64, now_ns: u64) -> RateDecision {
+        let entry = self.counters.entry(page).or_insert((now_ns, 0));
+        if now_ns.saturating_sub(entry.0) >= self.window_ns {
+            *entry = (now_ns, 0);
+        }
+        entry.1 += 1;
+        if entry.1 > self.budget {
+            self.throttles += 1;
+            RateDecision::Throttle { delay_ns: self.delay_ns }
+        } else {
+            RateDecision::Allow
+        }
+    }
+
+    /// Pages currently over half their budget — the "suspects" a platform
+    /// monitor would surface.
+    pub fn suspects(&self) -> Vec<u64> {
+        self.counters
+            .iter()
+            .filter(|(_, (_, n))| *n * 2 > self.budget)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+
+    /// Total throttle decisions issued.
+    pub fn throttles(&self) -> u64 {
+        self.throttles
+    }
+
+    /// Drops expired windows to bound tracker memory (the hardware uses a
+    /// counting-bloom-style structure; the model just garbage-collects).
+    pub fn expire(&mut self, now_ns: u64) {
+        let window = self.window_ns;
+        self.counters.retain(|_, (start, _)| now_ns.saturating_sub(*start) < window);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_budget_is_allowed() {
+        let mut rl = RateLimiter::new(10, 1000, 50);
+        for i in 0..10u64 {
+            assert_eq!(rl.record(1, i), RateDecision::Allow);
+        }
+        assert_eq!(rl.throttles(), 0);
+    }
+
+    #[test]
+    fn over_budget_is_throttled() {
+        let mut rl = RateLimiter::new(10, 1000, 50);
+        for i in 0..10u64 {
+            rl.record(1, i);
+        }
+        assert_eq!(rl.record(1, 10), RateDecision::Throttle { delay_ns: 50 });
+        assert_eq!(rl.throttles(), 1);
+    }
+
+    #[test]
+    fn window_expiry_resets_budget() {
+        let mut rl = RateLimiter::new(2, 100, 50);
+        rl.record(1, 0);
+        rl.record(1, 1);
+        assert_ne!(rl.record(1, 2), RateDecision::Allow);
+        // A new window starts after window_ns.
+        assert_eq!(rl.record(1, 150), RateDecision::Allow);
+    }
+
+    #[test]
+    fn pages_tracked_independently() {
+        let mut rl = RateLimiter::new(2, 1000, 50);
+        rl.record(1, 0);
+        rl.record(1, 1);
+        rl.record(1, 2); // page 1 over budget
+        assert_eq!(rl.record(2, 3), RateDecision::Allow, "page 2 unaffected");
+    }
+
+    #[test]
+    fn suspects_surface_hot_pages() {
+        let mut rl = RateLimiter::new(10, 1000, 50);
+        for i in 0..8u64 {
+            rl.record(42, i);
+        }
+        rl.record(7, 9);
+        let s = rl.suspects();
+        assert!(s.contains(&42));
+        assert!(!s.contains(&7));
+    }
+
+    #[test]
+    fn expire_bounds_memory() {
+        let mut rl = RateLimiter::new(10, 100, 50);
+        for p in 0..50u64 {
+            rl.record(p, 0);
+        }
+        rl.expire(1000);
+        assert!(rl.suspects().is_empty());
+        assert_eq!(rl.record(0, 1000), RateDecision::Allow);
+    }
+}

@@ -1,0 +1,165 @@
+//! Version-number types: stealth versions, upper versions, full versions.
+//!
+//! The paper splits a 64-bit full version into a 37-bit **upper version
+//! (UV)**, stored in conventional memory alongside the MACs, and a 27-bit
+//! **stealth version**, stored only inside the trusted Toleo device
+//! (§4.2). Freshness is guaranteed by the stealth half alone (a replay must
+//! guess it, 2^-27), while uniqueness of the concatenated full version keeps
+//! the AES tweak non-repeating.
+
+use serde::{Deserialize, Serialize};
+
+/// Width of the stealth version in the paper's design point.
+pub const STEALTH_BITS: u32 = 27;
+/// Width of the upper version in the paper's design point.
+pub const UV_BITS: u32 = 37;
+
+/// A stealth version: the low-order, confidential part of a full version.
+///
+/// Stored only in Toleo smart memory; may wrap and repeat across stealth
+/// intervals, which is safe because it stays confidential.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct StealthVersion(u32);
+
+impl StealthVersion {
+    /// Creates a stealth version, masking to `bits` wide.
+    pub fn new(raw: u64, bits: u32) -> Self {
+        debug_assert!((1..=32).contains(&bits));
+        StealthVersion((raw & ((1u64 << bits) - 1)) as u32)
+    }
+
+    /// Raw counter value.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// The successor, wrapping within `bits`.
+    #[must_use]
+    pub fn incremented(self, bits: u32) -> Self {
+        self.offset_by(1, bits)
+    }
+
+    /// Adds `delta`, wrapping within `bits`.
+    #[must_use]
+    pub fn offset_by(self, delta: u32, bits: u32) -> Self {
+        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        StealthVersion(self.0.wrapping_add(delta) & mask)
+    }
+}
+
+/// An upper version (UV): the high-order part of a full version, shared by
+/// all cache blocks of a page and stored in the spare space of MAC blocks
+/// in conventional memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct UpperVersion(u64);
+
+impl UpperVersion {
+    /// Creates a UV from a raw counter.
+    pub fn new(raw: u64) -> Self {
+        UpperVersion(raw)
+    }
+
+    /// Raw counter value.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The successor UV. Saturates rather than wraps: exhausting 2^37 UV
+    /// increments is outside the platform lifetime by construction (§6.2).
+    #[must_use]
+    pub fn incremented(self) -> Self {
+        UpperVersion(self.0.saturating_add(1))
+    }
+}
+
+/// A full 64-bit version: `UV << stealth_bits | stealth`. This is the AES
+/// tweak component and the MAC input; it must never repeat for a given
+/// address during the platform lifetime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct FullVersion(u64);
+
+impl FullVersion {
+    /// Composes a full version from its halves.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use toleo_core::version::{FullVersion, StealthVersion, UpperVersion, STEALTH_BITS};
+    ///
+    /// let fv = FullVersion::compose(UpperVersion::new(2), StealthVersion::new(5, STEALTH_BITS), STEALTH_BITS);
+    /// assert_eq!(fv.raw(), (2 << 27) | 5);
+    /// assert_eq!(fv.stealth(STEALTH_BITS).raw(), 5);
+    /// assert_eq!(fv.upper(STEALTH_BITS).raw(), 2);
+    /// ```
+    pub fn compose(uv: UpperVersion, stealth: StealthVersion, stealth_bits: u32) -> Self {
+        FullVersion((uv.raw() << stealth_bits) | stealth.raw() as u64)
+    }
+
+    /// Raw 64-bit value (used as the AES tweak's version lane).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Extracts the stealth half.
+    pub fn stealth(self, stealth_bits: u32) -> StealthVersion {
+        StealthVersion::new(self.0, stealth_bits)
+    }
+
+    /// Extracts the UV half.
+    pub fn upper(self, stealth_bits: u32) -> UpperVersion {
+        UpperVersion::new(self.0 >> stealth_bits)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stealth_masks_to_width() {
+        let s = StealthVersion::new(u64::MAX, 27);
+        assert_eq!(s.raw(), (1 << 27) - 1);
+        let s = StealthVersion::new(0x1_0000_0001, 27);
+        assert_eq!(s.raw(), 1);
+    }
+
+    #[test]
+    fn stealth_offset_wraps() {
+        let s = StealthVersion::new((1 << 27) - 1, 27);
+        assert_eq!(s.offset_by(1, 27).raw(), 0);
+        assert_eq!(s.offset_by(2, 27).raw(), 1);
+    }
+
+    #[test]
+    fn uv_increment_saturates() {
+        let uv = UpperVersion::new(u64::MAX);
+        assert_eq!(uv.incremented().raw(), u64::MAX);
+        assert_eq!(UpperVersion::new(4).incremented().raw(), 5);
+    }
+
+    #[test]
+    fn full_version_round_trips() {
+        for (uv, st) in [(0u64, 0u64), (1, 1), (123456, 98765), ((1 << 37) - 1, (1 << 27) - 1)] {
+            let fv = FullVersion::compose(
+                UpperVersion::new(uv),
+                StealthVersion::new(st, STEALTH_BITS),
+                STEALTH_BITS,
+            );
+            assert_eq!(fv.upper(STEALTH_BITS).raw(), uv);
+            assert_eq!(fv.stealth(STEALTH_BITS).raw(), st as u32);
+        }
+    }
+
+    #[test]
+    fn full_versions_are_ordered_lexicographically() {
+        // (uv=1, s=0) > (uv=0, s=max): UV dominates, which is what makes
+        // reset-increments-UV preserve monotonic uniqueness.
+        let low = FullVersion::compose(
+            UpperVersion::new(0),
+            StealthVersion::new((1 << 27) - 1, 27),
+            27,
+        );
+        let high = FullVersion::compose(UpperVersion::new(1), StealthVersion::new(0, 27), 27);
+        assert!(high > low);
+    }
+}

@@ -1,0 +1,115 @@
+//! Memory-trace representation shared by the workload generators and the
+//! simulator.
+//!
+//! A trace is the stream a PinPlay region-of-interest capture would give
+//! the paper's Sniper setup: interleaved compute batches and 64-byte-block
+//! memory accesses.
+
+use serde::{Deserialize, Serialize};
+
+/// One trace operation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Op {
+    /// `n` non-memory instructions (they retire at dispatch width).
+    Compute(u32),
+    /// A load from the 64-byte block containing this physical address.
+    Read(u64),
+    /// A store to the 64-byte block containing this physical address.
+    Write(u64),
+}
+
+/// A workload's memory trace plus the metadata the harness reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Trace {
+    /// Benchmark name (paper Table 2 spelling).
+    pub name: String,
+    /// Operation stream.
+    pub ops: Vec<Op>,
+    /// Peak resident set size the trace touches, in bytes.
+    pub rss_bytes: u64,
+    /// Memory-level-parallelism hint: how many outstanding misses the
+    /// workload's access pattern sustains (dependent pointer chases ~1-2,
+    /// streaming ~8+). Drives the simulator's overlap model.
+    pub mlp: f64,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new(name: impl Into<String>) -> Self {
+        Trace { name: name.into(), ops: Vec::new(), rss_bytes: 0, mlp: 4.0 }
+    }
+
+    /// Total instruction count (compute + one per memory op).
+    pub fn instructions(&self) -> u64 {
+        self.ops
+            .iter()
+            .map(|op| match op {
+                Op::Compute(n) => *n as u64,
+                _ => 1,
+            })
+            .sum()
+    }
+
+    /// Number of memory operations.
+    pub fn mem_ops(&self) -> u64 {
+        self.ops.iter().filter(|op| !matches!(op, Op::Compute(_))).count() as u64
+    }
+
+    /// Number of writes.
+    pub fn writes(&self) -> u64 {
+        self.ops.iter().filter(|op| matches!(op, Op::Write(_))).count() as u64
+    }
+
+    /// Appends a compute batch, merging with a trailing batch if present.
+    pub fn compute(&mut self, n: u32) {
+        if let Some(Op::Compute(last)) = self.ops.last_mut() {
+            *last = last.saturating_add(n);
+        } else {
+            self.ops.push(Op::Compute(n));
+        }
+    }
+
+    /// Appends a read of the block containing `addr`.
+    pub fn read(&mut self, addr: u64) {
+        self.ops.push(Op::Read(addr));
+    }
+
+    /// Appends a write to the block containing `addr`.
+    pub fn write(&mut self, addr: u64) {
+        self.ops.push(Op::Write(addr));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instruction_accounting() {
+        let mut t = Trace::new("t");
+        t.compute(10);
+        t.read(0);
+        t.write(64);
+        t.compute(5);
+        assert_eq!(t.instructions(), 17);
+        assert_eq!(t.mem_ops(), 2);
+        assert_eq!(t.writes(), 1);
+    }
+
+    #[test]
+    fn compute_batches_merge() {
+        let mut t = Trace::new("t");
+        t.compute(10);
+        t.compute(20);
+        assert_eq!(t.ops.len(), 1);
+        assert_eq!(t.ops[0], Op::Compute(30));
+    }
+
+    #[test]
+    fn compute_merge_saturates() {
+        let mut t = Trace::new("t");
+        t.compute(u32::MAX);
+        t.compute(10);
+        assert_eq!(t.ops[0], Op::Compute(u32::MAX));
+    }
+}

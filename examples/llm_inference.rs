@@ -1,0 +1,46 @@
+//! The paper's motivating workload: LLM token generation over a large
+//! CXL-expanded memory pool. Runs the llama2-gen trace under all five
+//! protection configurations and reports what freshness actually costs.
+//!
+//! ```sh
+//! cargo run --release -p toleo-bench --example llm_inference
+//! ```
+
+use toleo_sim::config::{Protection, SimConfig};
+use toleo_sim::system::System;
+use toleo_workloads::{generate, Benchmark, GenConfig};
+
+fn main() {
+    let trace = generate(Benchmark::Llama2Gen, &GenConfig::default());
+    println!(
+        "llama2-gen: {} instructions, {} memory ops, {:.1} MB working set\n",
+        trace.instructions(),
+        trace.mem_ops(),
+        trace.rss_bytes as f64 / 1e6
+    );
+
+    let mut base_cycles = 0.0;
+    println!(
+        "{:<11}{:>14}{:>11}{:>13}{:>13}{:>12}",
+        "config", "cycles", "overhead", "read lat", "stealth hit", "B/instr"
+    );
+    for p in Protection::all() {
+        let stats = System::new(SimConfig::scaled(p)).run(&trace);
+        if p == Protection::NoProtect {
+            base_cycles = stats.cycles;
+        }
+        println!(
+            "{:<11}{:>14.0}{:>10.1}%{:>11.0}ns{:>12.1}%{:>12.2}",
+            p.to_string(),
+            stats.cycles,
+            (stats.cycles / base_cycles - 1.0) * 100.0,
+            stats.avg_read_latency_ns(),
+            stats.stealth_hit_rate * 100.0,
+            stats.bytes_per_instruction()
+        );
+    }
+
+    println!("\nThe model's weights stream through the LLC with no reuse, so the");
+    println!("activation buffer's uniform writes keep every page flat: freshness");
+    println!("for tera-scale model state costs ~12 bytes of smart memory per 4 KB.");
+}

@@ -1,0 +1,52 @@
+//! Quickstart: protect a memory region with Toleo freshness and watch a
+//! replay attack die.
+//!
+//! ```sh
+//! cargo run -p toleo-bench --example quickstart
+//! ```
+
+use toleo_core::config::ToleoConfig;
+use toleo_core::engine::ProtectionEngine;
+
+fn main() {
+    // A protection engine = AES-XTS + 56-bit MACs in conventional memory,
+    // stealth versions in the (modelled) trusted Toleo device.
+    let mut key = [0u8; 48];
+    key[..31].copy_from_slice(b"quickstart key material entropy");
+    let mut engine = ProtectionEngine::new(ToleoConfig::small(), key);
+
+    // Ordinary protected writes and reads.
+    let mut secret = [b'.'; 64];
+    secret[..41].copy_from_slice(b"patient genome shard #001 [CONFIDENTIAL] ");
+    engine.write(0x1000, &secret).expect("protected write");
+    let back = engine.read(0x1000).expect("protected read");
+    assert_eq!(back, secret);
+    println!("[ok] wrote and read back a protected cache block");
+
+    // The adversary sees only ciphertext.
+    let ct = *engine.adversary().ciphertext(0x1000).expect("resident");
+    assert_ne!(ct, secret);
+    println!("[ok] data at rest is ciphertext: {:02x?}...", &ct[..8]);
+
+    // Same plaintext written again -> different ciphertext (fresh version
+    // in the XTS tweak), so even write traffic analysis learns nothing.
+    engine.write(0x1000, &secret).expect("rewrite");
+    let ct2 = *engine.adversary().ciphertext(0x1000).expect("resident");
+    assert_ne!(ct, ct2);
+    println!("[ok] same value re-encrypts differently under a fresh version");
+
+    // Replay attack: capture the current (ciphertext, MAC, UV), let the
+    // victim write something new, then restore the stale capture.
+    let stale = engine.adversary().capture(0x1000);
+    let mut update = [b'.'; 64];
+    update[..17].copy_from_slice(b"updated record v2");
+    engine.write(0x1000, &update).expect("victim write");
+    engine.adversary().replay(&stale);
+    match engine.read(0x1000) {
+        Err(e) => println!("[ok] replay detected, kill switch engaged: {e}"),
+        Ok(_) => unreachable!("a replay must never verify"),
+    }
+    assert!(engine.is_killed());
+    println!("[ok] engine refuses all further service after the violation");
+    println!("\nstats: {:?}", engine.stats());
+}

@@ -1,0 +1,152 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * Trip entries agree with a naive per-line counter model under any
+//!   write sequence, through all upgrades and renormalizations.
+//! * The protection engine is a faithful memory under any op sequence.
+//! * Full versions never repeat per address under any write pattern.
+//! * Crypto round-trips hold for arbitrary data/tweaks.
+//! * The counter tree stays consistent under arbitrary update patterns.
+
+use proptest::prelude::*;
+use toleo_baselines::tree::CounterTree;
+use toleo_core::config::{ToleoConfig, LINES_PER_PAGE};
+use toleo_core::engine::ProtectionEngine;
+use toleo_core::trip::PageEntry;
+use toleo_core::version::StealthVersion;
+use toleo_crypto::modes::{AesXts, Tweak};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Trip versions always equal a wrapping per-line shadow counter.
+    #[test]
+    fn trip_matches_shadow_counters(
+        base in 0u64..(1 << 27),
+        writes in proptest::collection::vec(0usize..LINES_PER_PAGE, 1..600),
+    ) {
+        let cfg = ToleoConfig::small();
+        let mask = (1u32 << 27) - 1;
+        let mut entry = PageEntry::new_flat(StealthVersion::new(base, 27));
+        let mut shadow = [base as u32; LINES_PER_PAGE];
+        for line in writes {
+            entry.record_write(line, &cfg);
+            shadow[line] = shadow[line].wrapping_add(1) & mask;
+            for (l, expect) in shadow.iter().enumerate() {
+                prop_assert_eq!(entry.version_of(l, &cfg).raw(), *expect);
+            }
+        }
+    }
+
+    /// Trip's leading version is always the max of the per-line versions
+    /// (modulo wrap, which these bounded sequences cannot reach).
+    #[test]
+    fn trip_leading_is_max(
+        writes in proptest::collection::vec(0usize..LINES_PER_PAGE, 1..400),
+    ) {
+        let cfg = ToleoConfig::small();
+        let mut entry = PageEntry::new_flat(StealthVersion::new(0, 27));
+        for line in writes {
+            entry.record_write(line, &cfg);
+            let max = (0..LINES_PER_PAGE)
+                .map(|l| entry.version_of(l, &cfg).raw())
+                .max()
+                .unwrap();
+            prop_assert_eq!(entry.leading_version(&cfg).raw(), max);
+        }
+    }
+
+    /// The engine behaves as an ordinary memory for any access sequence:
+    /// reads return the last write.
+    #[test]
+    fn engine_is_a_faithful_memory(
+        ops in proptest::collection::vec((0u64..64, 0u8..=255, any::<bool>()), 1..150),
+    ) {
+        let mut e = ProtectionEngine::new(ToleoConfig::small(), [9u8; 48]);
+        let mut model = std::collections::HashMap::new();
+        for (slot, val, is_write) in ops {
+            let addr = slot * 64;
+            if is_write {
+                e.write(addr, &[val; 64]).unwrap();
+                model.insert(addr, val);
+            } else {
+                let got = e.read(addr).unwrap();
+                let expect = model.get(&addr).map(|v| [*v; 64]).unwrap_or([0u8; 64]);
+                prop_assert_eq!(got, expect);
+            }
+        }
+    }
+
+    /// Full versions (UV, stealth) never repeat per address, even with an
+    /// aggressive reset policy.
+    #[test]
+    fn full_versions_never_repeat(n_writes in 50usize..400) {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 4; // aggressive resets
+        let mut e = ProtectionEngine::new(cfg.clone(), [2u8; 48]);
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n_writes {
+            e.write(0x40, &[i as u8; 64]).unwrap();
+            let stealth = e.device().peek_base(0).expect("touched");
+            // Reconstruct the full version of the hammered line via a
+            // fresh read of device state.
+            let _ = stealth;
+            let fv = {
+                // Engine-internal: UV from untrusted memory would need a
+                // getter; use ciphertext uniqueness as the observable
+                // proxy for version uniqueness.
+                *e.adversary().ciphertext(0x40).expect("resident")
+            };
+            prop_assert!(seen.insert(fv.to_vec()), "ciphertext repeated at write {}", i);
+        }
+    }
+
+    /// XTS round-trips for arbitrary block contents and tweaks.
+    #[test]
+    fn xts_roundtrip(
+        data in proptest::array::uniform32(any::<u8>()),
+        version in any::<u64>(),
+        address in any::<u64>(),
+    ) {
+        let xts = AesXts::new(b"prop test key 16", b"prop tweak key16");
+        let mut buf = [0u8; 64];
+        buf[..32].copy_from_slice(&data);
+        buf[32..].copy_from_slice(&data);
+        let orig = buf;
+        let tweak = Tweak { version, address };
+        xts.encrypt(tweak, &mut buf);
+        prop_assert_ne!(buf, orig);
+        xts.decrypt(tweak, &mut buf);
+        prop_assert_eq!(buf, orig);
+    }
+
+    /// The counter tree stays verifiable under arbitrary update sequences
+    /// and counts versions exactly.
+    #[test]
+    fn counter_tree_consistency(
+        updates in proptest::collection::vec(0u64..512, 1..120),
+    ) {
+        let mut tree = CounterTree::new(8, 512, 32);
+        let mut model = std::collections::HashMap::new();
+        for b in updates {
+            tree.update(b).unwrap();
+            *model.entry(b).or_insert(0u64) += 1;
+        }
+        for (b, count) in model {
+            prop_assert_eq!(tree.verify(b).unwrap().version, count);
+        }
+    }
+
+    /// Device UPDATE responses always match a subsequent READ.
+    #[test]
+    fn device_update_matches_read(
+        ops in proptest::collection::vec((0u64..16, 0usize..LINES_PER_PAGE), 1..300),
+    ) {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 5;
+        let mut dev = toleo_core::device::ToleoDevice::new(cfg);
+        for (page, line) in ops {
+            let resp = dev.update(page, line).unwrap();
+            prop_assert_eq!(dev.read(page, line).unwrap(), resp.stealth);
+        }
+    }
+}
