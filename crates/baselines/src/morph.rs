@@ -125,7 +125,11 @@ impl MorphLeaf {
             self.base += max;
             self.deltas = [0; BLOCKS_PER_LEAF];
         }
-        self.encoding = if self.over_uniform() == 0 { Encoding::Uniform } else { Encoding::Skewed };
+        self.encoding = if self.over_uniform() == 0 {
+            Encoding::Uniform
+        } else {
+            Encoding::Skewed
+        };
         self.rebases += 1;
         BLOCKS_PER_LEAF as u64
     }
@@ -191,7 +195,11 @@ mod tests {
         let mut shadow = [0u64; BLOCKS_PER_LEAF];
         // Deterministic skewed pattern.
         for i in 0..2000usize {
-            let slot = if i % 3 == 0 { i % 5 } else { i % BLOCKS_PER_LEAF };
+            let slot = if i % 3 == 0 {
+                i % 5
+            } else {
+                i % BLOCKS_PER_LEAF
+            };
             leaf.update(slot);
             shadow[slot] += 1;
         }
@@ -199,7 +207,11 @@ mod tests {
         // for the monotone property (rebases may advance the base past
         // intermediate values but never lose increments).
         for (slot, s) in shadow.iter().enumerate() {
-            assert!(leaf.version(slot) >= *s, "slot {slot}: {} < {s}", leaf.version(slot));
+            assert!(
+                leaf.version(slot) >= *s,
+                "slot {slot}: {} < {s}",
+                leaf.version(slot)
+            );
         }
     }
 

@@ -128,13 +128,37 @@ impl VersionScheme {
     /// computed by the harness from device statistics).
     pub fn table4_static() -> Vec<VersionScheme> {
         vec![
-            VersionScheme { name: "Client SGX (Leaf)", version_bytes: 7.0, data_bytes: 64 },
-            VersionScheme { name: "VAULT (Leaf)", version_bytes: 64.0, data_bytes: 4096 },
-            VersionScheme { name: "MorphCtr-128 (Leaf)", version_bytes: 64.0, data_bytes: 8192 },
-            VersionScheme { name: "Toleo Stealth Flat", version_bytes: 12.0, data_bytes: 4096 },
+            VersionScheme {
+                name: "Client SGX (Leaf)",
+                version_bytes: 7.0,
+                data_bytes: 64,
+            },
+            VersionScheme {
+                name: "VAULT (Leaf)",
+                version_bytes: 64.0,
+                data_bytes: 4096,
+            },
+            VersionScheme {
+                name: "MorphCtr-128 (Leaf)",
+                version_bytes: 64.0,
+                data_bytes: 8192,
+            },
+            VersionScheme {
+                name: "Toleo Stealth Flat",
+                version_bytes: 12.0,
+                data_bytes: 4096,
+            },
             // Uneven/full rows include the flat entry they still use.
-            VersionScheme { name: "Toleo Stealth Uneven", version_bytes: 68.0, data_bytes: 4096 },
-            VersionScheme { name: "Toleo Stealth Full", version_bytes: 228.0, data_bytes: 4096 },
+            VersionScheme {
+                name: "Toleo Stealth Uneven",
+                version_bytes: 68.0,
+                data_bytes: 4096,
+            },
+            VersionScheme {
+                name: "Toleo Stealth Full",
+                version_bytes: 228.0,
+                data_bytes: 4096,
+            },
         ]
     }
 }

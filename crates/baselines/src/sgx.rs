@@ -198,7 +198,10 @@ mod tests {
         e.write(0x80, &[2u8; 64]).unwrap();
         e.replay(0x80, stale);
         // The tree's leaf version moved on, so the stale MAC mismatches.
-        assert!(matches!(e.read(0x80), Err(SgxError::IntegrityViolation { .. })));
+        assert!(matches!(
+            e.read(0x80),
+            Err(SgxError::IntegrityViolation { .. })
+        ));
     }
 
     #[test]
@@ -214,7 +217,10 @@ mod tests {
     fn epc_limit_enforced() {
         let mut e = sgx();
         assert!(matches!(e.read(1 << 20), Err(SgxError::OutOfEpc { .. })));
-        assert!(matches!(e.write(1 << 21, &[0u8; 64]), Err(SgxError::OutOfEpc { .. })));
+        assert!(matches!(
+            e.write(1 << 21, &[0u8; 64]),
+            Err(SgxError::OutOfEpc { .. })
+        ));
     }
 
     #[test]
@@ -237,7 +243,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(SgxError::OutOfEpc { address: 1 }.to_string().contains("EPC"));
-        assert!(SgxError::IntegrityViolation { address: 1 }.to_string().contains("integrity"));
+        assert!(SgxError::OutOfEpc { address: 1 }
+            .to_string()
+            .contains("EPC"));
+        assert!(SgxError::IntegrityViolation { address: 1 }
+            .to_string()
+            .contains("integrity"));
     }
 }

@@ -35,7 +35,10 @@ impl std::fmt::Display for TreeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TreeError::NodeTampered { level, index } => {
-                write!(f, "counter-tree node {index} at level {level} failed its MAC")
+                write!(
+                    f,
+                    "counter-tree node {index} at level {level} failed its MAC"
+                )
             }
             TreeError::OutOfRange { block } => write!(f, "block {block} outside the tree"),
         }
@@ -113,7 +116,10 @@ impl CounterTree {
             .iter()
             .map(|&count| {
                 (0..count)
-                    .map(|_| TreeNode { counters: vec![0; arity], tag: Tag56::default() })
+                    .map(|_| TreeNode {
+                        counters: vec![0; arity],
+                        tag: Tag56::default(),
+                    })
                     .collect()
             })
             .collect();
@@ -166,7 +172,8 @@ impl CounterTree {
         for c in &node.counters {
             bytes.extend_from_slice(&c.to_le_bytes());
         }
-        self.mac_key.mac(parent_counter, (level as u64) << 32 | index as u64, &bytes)
+        self.mac_key
+            .mac(parent_counter, (level as u64) << 32 | index as u64, &bytes)
     }
 
     fn path(&self, block: u64) -> Vec<(usize, usize)> {
@@ -236,7 +243,10 @@ impl CounterTree {
             let tag = self.node_mac(level, index, parent_ctr);
             self.levels[level][index].tag = tag;
         }
-        Ok(WalkResult { version: verified.version + 1, memory_accesses: verified.memory_accesses })
+        Ok(WalkResult {
+            version: verified.version + 1,
+            memory_accesses: verified.memory_accesses,
+        })
     }
 
     /// Adversary hook: overwrite a stored counter in untrusted memory.
@@ -335,7 +345,10 @@ mod tests {
     fn out_of_range_rejected() {
         let mut t = tree();
         assert!(matches!(t.verify(4096), Err(TreeError::OutOfRange { .. })));
-        assert!(matches!(t.update(u64::MAX), Err(TreeError::OutOfRange { .. })));
+        assert!(matches!(
+            t.update(u64::MAX),
+            Err(TreeError::OutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -357,7 +370,11 @@ mod tests {
 
     #[test]
     fn error_display() {
-        assert!(TreeError::NodeTampered { level: 1, index: 2 }.to_string().contains("MAC"));
-        assert!(TreeError::OutOfRange { block: 5 }.to_string().contains("outside"));
+        assert!(TreeError::NodeTampered { level: 1, index: 2 }
+            .to_string()
+            .contains("MAC"));
+        assert!(TreeError::OutOfRange { block: 5 }
+            .to_string()
+            .contains("outside"));
     }
 }

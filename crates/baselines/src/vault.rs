@@ -33,9 +33,18 @@ impl VaultTree {
     /// 32-ary mid levels (12-bit), 16-ary upper levels (25-bit).
     pub fn paper_geometry() -> Vec<LevelSpec> {
         vec![
-            LevelSpec { arity: 16, counter_bits: 25 },
-            LevelSpec { arity: 32, counter_bits: 12 },
-            LevelSpec { arity: 64, counter_bits: 6 },
+            LevelSpec {
+                arity: 16,
+                counter_bits: 25,
+            },
+            LevelSpec {
+                arity: 32,
+                counter_bits: 12,
+            },
+            LevelSpec {
+                arity: 64,
+                counter_bits: 6,
+            },
         ]
     }
 
@@ -46,7 +55,10 @@ impl VaultTree {
     ///
     /// Panics if `geometry` is empty or `blocks == 0`.
     pub fn new(geometry: Vec<LevelSpec>, blocks: u64) -> Self {
-        assert!(!geometry.is_empty(), "geometry must have at least one level");
+        assert!(
+            !geometry.is_empty(),
+            "geometry must have at least one level"
+        );
         assert!(blocks > 0, "must protect at least one block");
         VaultTree {
             levels: geometry,
@@ -63,7 +75,11 @@ impl VaultTree {
         let mut depth = 0;
         // Repeat the leaf level's arity for deep trees.
         loop {
-            let spec = self.levels[self.levels.len().saturating_sub(depth + 1).min(self.levels.len() - 1)];
+            let spec = self.levels[self
+                .levels
+                .len()
+                .saturating_sub(depth + 1)
+                .min(self.levels.len() - 1)];
             covered = covered.saturating_mul(spec.arity as u64);
             depth += 1;
             if covered >= self.blocks {
@@ -166,7 +182,10 @@ mod tests {
         for _ in 0..1000 {
             reenc += v.update(0);
         }
-        assert!(reenc >= 15 * 64, "re-encrypted {reenc} blocks for 1000 writes");
+        assert!(
+            reenc >= 15 * 64,
+            "re-encrypted {reenc} blocks for 1000 writes"
+        );
     }
 
     #[test]

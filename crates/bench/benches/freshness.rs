@@ -31,7 +31,7 @@ fn bench_version_update(c: &mut Criterion) {
         let mut cfg = ToleoConfig::small();
         cfg.protected_bytes = 1 << 30;
         cfg.device_capacity_bytes = cfg.flat_array_bytes() + (8 << 20);
-        let mut dev = ToleoDevice::new(cfg);
+        let mut dev = ToleoDevice::new(cfg).expect("valid ToleoConfig");
         let mut i = 0u64;
         b.iter(|| {
             i = (i + 4097) % (1 << 18);
@@ -88,5 +88,10 @@ fn bench_stealth_cache(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_version_update, bench_engine_roundtrip, bench_stealth_cache);
+criterion_group!(
+    benches,
+    bench_version_update,
+    bench_engine_roundtrip,
+    bench_stealth_cache
+);
 criterion_main!(benches);

@@ -13,14 +13,21 @@ fn bench_aes_block(c: &mut Criterion) {
     let block = [0x5au8; 16];
     let mut g = c.benchmark_group("aes128");
     g.throughput(Throughput::Bytes(16));
-    g.bench_function("encrypt_block", |b| b.iter(|| aes.encrypt_block(std::hint::black_box(&block))));
-    g.bench_function("decrypt_block", |b| b.iter(|| aes.decrypt_block(std::hint::black_box(&block))));
+    g.bench_function("encrypt_block", |b| {
+        b.iter(|| aes.encrypt_block(std::hint::black_box(&block)))
+    });
+    g.bench_function("decrypt_block", |b| {
+        b.iter(|| aes.decrypt_block(std::hint::black_box(&block)))
+    });
     g.finish();
 }
 
 fn bench_xts_cache_block(c: &mut Criterion) {
     let xts = AesXts::new(b"0123456789abcdef", b"fedcba9876543210");
-    let tweak = Tweak { version: 77, address: 0x4000 };
+    let tweak = Tweak {
+        version: 77,
+        address: 0x4000,
+    };
     let mut g = c.benchmark_group("xts");
     g.throughput(Throughput::Bytes(64));
     g.bench_function("encrypt_64B_cache_block", |b| {

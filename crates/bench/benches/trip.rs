@@ -69,9 +69,15 @@ fn bench_version_of(c: &mut Criterion) {
     let uneven = uneven_page(&cfg);
     let full = full_page(&cfg);
     let mut g = c.benchmark_group("trip/version_of");
-    g.bench_function("flat", |b| b.iter(|| flat.version_of(std::hint::black_box(17), &cfg)));
-    g.bench_function("uneven", |b| b.iter(|| uneven.version_of(std::hint::black_box(17), &cfg)));
-    g.bench_function("full", |b| b.iter(|| full.version_of(std::hint::black_box(17), &cfg)));
+    g.bench_function("flat", |b| {
+        b.iter(|| flat.version_of(std::hint::black_box(17), &cfg))
+    });
+    g.bench_function("uneven", |b| {
+        b.iter(|| uneven.version_of(std::hint::black_box(17), &cfg))
+    });
+    g.bench_function("full", |b| {
+        b.iter(|| full.version_of(std::hint::black_box(17), &cfg))
+    });
     g.finish();
 }
 
@@ -95,5 +101,10 @@ fn bench_upgrade_paths(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_record_write, bench_version_of, bench_upgrade_paths);
+criterion_group!(
+    benches,
+    bench_record_write,
+    bench_version_of,
+    bench_upgrade_paths
+);
 criterion_main!(benches);

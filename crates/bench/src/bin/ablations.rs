@@ -6,11 +6,11 @@
 //! 4. TLB-extension version cache vs Merkle-tree caching (accesses
 //!    per miss).
 
+use toleo_baselines::tree::CounterTree;
+use toleo_bench::harness;
 use toleo_core::analysis::StealthAnalysis;
 use toleo_core::config::{ToleoConfig, FLAT_ENTRY_BYTES, FULL_ENTRY_BYTES, UNEVEN_ENTRY_BYTES};
 use toleo_core::device::ToleoDevice;
-use toleo_baselines::tree::CounterTree;
-use toleo_bench::harness;
 use toleo_sim::config::Protection;
 
 fn main() {
@@ -29,10 +29,15 @@ fn ablation_reset_policy() {
     let naive_flat = (2.0 * bits + 64.0 + 2.0) / 8.0; // two stealth copies
     let prob_flat = (bits + 64.0 + 2.0) / 8.0;
     println!("flat entry, probabilistic reset : {prob_flat:.1} B/page");
-    println!("flat entry, naive stored-initial: {naive_flat:.1} B/page ({:.0}% larger)",
-        (naive_flat / prob_flat - 1.0) * 100.0);
+    println!(
+        "flat entry, naive stored-initial: {naive_flat:.1} B/page ({:.0}% larger)",
+        (naive_flat / prob_flat - 1.0) * 100.0
+    );
     let a = StealthAnalysis::default();
-    println!("probabilistic residual risk     : {:.1e} (acceptable)\n", a.p_exhaustion());
+    println!(
+        "probabilistic residual risk     : {:.1e} (acceptable)\n",
+        a.p_exhaustion()
+    );
 }
 
 /// 2\. Fixed-format alternatives: flat-only cannot represent strided
@@ -53,11 +58,17 @@ fn ablation_trip_formats() {
     let full_only = pages * (FLAT_ENTRY_BYTES + FULL_ENTRY_BYTES) as u64;
     println!("pages: {pages} ({flat} flat / {uneven} uneven / {full} full)");
     println!("Trip (dynamic)   : {:.2} MB", trip_bytes as f64 / 1e6);
-    println!("full-only        : {:.2} MB ({:.1}x)", full_only as f64 / 1e6,
-        full_only as f64 / trip_bytes as f64);
-    println!("flat-only        : {:.2} MB but {} pages ({:.1}%) need strides it cannot encode,",
-        (pages * FLAT_ENTRY_BYTES as u64) as f64 / 1e6, uneven + full,
-        (uneven + full) as f64 / pages as f64 * 100.0);
+    println!(
+        "full-only        : {:.2} MB ({:.1}x)",
+        full_only as f64 / 1e6,
+        full_only as f64 / trip_bytes as f64
+    );
+    println!(
+        "flat-only        : {:.2} MB but {} pages ({:.1}%) need strides it cannot encode,",
+        (pages * FLAT_ENTRY_BYTES as u64) as f64 / 1e6,
+        uneven + full,
+        (uneven + full) as f64 / pages as f64 * 100.0
+    );
     println!("                   each forcing a UV bump + full-page re-encryption per write\n");
 }
 
@@ -65,11 +76,22 @@ fn ablation_trip_formats() {
 /// balances a 2^-27 guess probability against 12 B flat entries.
 fn ablation_stealth_width() {
     println!("== Ablation 3: stealth width sweep ==");
-    println!("{:>6}{:>16}{:>18}{:>14}", "bits", "P(replay)", "P(exhaustion)", "flat B/page");
+    println!(
+        "{:>6}{:>16}{:>18}{:>14}",
+        "bits", "P(replay)", "P(exhaustion)", "flat B/page"
+    );
     for bits in [20u32, 24, 27, 30, 32] {
-        let a = StealthAnalysis { stealth_bits: bits, ..Default::default() };
+        let a = StealthAnalysis {
+            stealth_bits: bits,
+            ..Default::default()
+        };
         let flat_bytes = (bits as f64 + 64.0 + 2.0) / 8.0;
-        println!("{bits:>6}{:>16.1e}{:>18.1e}{:>14.1}", a.p_replay_success(), a.p_exhaustion(), flat_bytes);
+        println!(
+            "{bits:>6}{:>16.1e}{:>18.1e}{:>14.1}",
+            a.p_replay_success(),
+            a.p_exhaustion(),
+            flat_bytes
+        );
     }
     println!();
 }
@@ -77,7 +99,10 @@ fn ablation_stealth_width() {
 /// 4\. Merkle walk accesses vs Toleo's single access, as memory grows.
 fn ablation_tree_walks() {
     println!("== Ablation 4: Merkle walk cost vs memory size (cold paths) ==");
-    println!("{:>12}{:>8}{:>22}", "blocks", "levels", "accesses/miss (cold)");
+    println!(
+        "{:>12}{:>8}{:>22}",
+        "blocks", "levels", "accesses/miss (cold)"
+    );
     for log2_blocks in [14u32, 17, 20, 23] {
         let mut tree = CounterTree::new(8, 1 << log2_blocks, 64);
         // Sample cold walks across the space.
@@ -87,17 +112,25 @@ fn ablation_tree_walks() {
             let block = (i * ((1u64 << log2_blocks) / n)) % (1 << log2_blocks);
             total += tree.verify(block).unwrap().memory_accesses;
         }
-        println!("{:>12}{:>8}{:>22.1}", 1u64 << log2_blocks, tree.depth(), total as f64 / n as f64);
+        println!(
+            "{:>12}{:>8}{:>22.1}",
+            1u64 << log2_blocks,
+            tree.depth(),
+            total as f64 / n as f64
+        );
     }
     println!("Toleo: 1 stealth access per miss at any scale (98% filtered by the cache).");
     // Exercise a device at the paper's design point for reference.
-    let dev = ToleoDevice::new(ToleoConfig::small());
-    println!("(device flat array for this config: {} KB)\n", dev.config().flat_array_bytes() / 1024);
+    let dev = ToleoDevice::new(ToleoConfig::small()).expect("valid ToleoConfig");
+    println!(
+        "(device flat array for this config: {} KB)\n",
+        dev.config().flat_array_bytes() / 1024
+    );
 }
 
 /// 5. Hot-write handling: compressed Merkle leaves (VAULT, MorphCtr) pay
-/// group re-encryptions when a small counter overflows; Toleo's uneven
-/// format absorbs the same skew with one side-entry allocation.
+///    group re-encryptions when a small counter overflows; Toleo's uneven
+///    format absorbs the same skew with one side-entry allocation.
 fn ablation_hot_write_cost() {
     use toleo_baselines::morph::MorphLeaf;
     use toleo_baselines::vault::VaultTree;
@@ -108,18 +141,24 @@ fn ablation_hot_write_cost() {
     for _ in 0..10_000 {
         vault_reenc += vault.update(0);
     }
-    println!("VAULT     : {} blocks re-encrypted ({} overflow resets)", vault_reenc, vault.overflow_resets);
+    println!(
+        "VAULT     : {} blocks re-encrypted ({} overflow resets)",
+        vault_reenc, vault.overflow_resets
+    );
 
     let mut morph = MorphLeaf::new();
     let mut morph_reenc = 0u64;
     for _ in 0..10_000 {
         morph_reenc += morph.update(0);
     }
-    println!("MorphCtr  : {} blocks re-encrypted ({} rebases, {} morphs)", morph_reenc, morph.rebases, morph.morphs);
+    println!(
+        "MorphCtr  : {} blocks re-encrypted ({} rebases, {} morphs)",
+        morph_reenc, morph.rebases, morph.morphs
+    );
 
     let mut cfg = ToleoConfig::small();
     cfg.reset_log2 = 20;
-    let mut dev = ToleoDevice::new(cfg);
+    let mut dev = ToleoDevice::new(cfg).expect("valid ToleoConfig");
     let mut toleo_reenc = 0u64;
     for _ in 0..10_000 {
         if dev.update(0, 0).expect("in range").uv_update() {

@@ -8,17 +8,36 @@ fn main() {
     let base = harness::run_all(Protection::NoProtect);
     let ci = harness::run_all(Protection::Ci);
     let toleo = harness::run_all(Protection::Toleo);
-    println!("{:<12}{:>7}{:>8}{:>9}{:>8}{:>9}{:>8}{:>8}{:>7}{:>7}{:>7}",
-        "bench","mpki","target","st-hit","mac-hit","CI-ovh","T-ovh","T-CI","flat%","unev%","full%");
+    println!(
+        "{:<12}{:>7}{:>8}{:>9}{:>8}{:>9}{:>8}{:>8}{:>7}{:>7}{:>7}",
+        "bench",
+        "mpki",
+        "target",
+        "st-hit",
+        "mac-hit",
+        "CI-ovh",
+        "T-ovh",
+        "T-CI",
+        "flat%",
+        "unev%",
+        "full%"
+    );
     for (i, b) in Benchmark::all().iter().enumerate() {
-        let (f,u,fl) = toleo[i].trip_pages;
-        let tot = (f+u+fl).max(1) as f64;
-        println!("{:<12}{:>7.2}{:>8.2}{:>8.1}%{:>7.1}%{:>8.1}%{:>7.1}%{:>7.1}%{:>6.1}%{:>6.1}%{:>6.2}%",
-            b.name(), base[i].llc_mpki, b.paper_mpki(),
-            toleo[i].stealth_hit_rate*100.0, toleo[i].mac_hit_rate*100.0,
-            (ci[i].cycles/base[i].cycles-1.0)*100.0,
-            (toleo[i].cycles/base[i].cycles-1.0)*100.0,
-            (toleo[i].cycles/ci[i].cycles-1.0)*100.0,
-            f as f64/tot*100.0, u as f64/tot*100.0, fl as f64/tot*100.0);
+        let (f, u, fl) = toleo[i].trip_pages;
+        let tot = (f + u + fl).max(1) as f64;
+        println!(
+            "{:<12}{:>7.2}{:>8.2}{:>8.1}%{:>7.1}%{:>8.1}%{:>7.1}%{:>7.1}%{:>6.1}%{:>6.1}%{:>6.2}%",
+            b.name(),
+            base[i].llc_mpki,
+            b.paper_mpki(),
+            toleo[i].stealth_hit_rate * 100.0,
+            toleo[i].mac_hit_rate * 100.0,
+            (ci[i].cycles / base[i].cycles - 1.0) * 100.0,
+            (toleo[i].cycles / base[i].cycles - 1.0) * 100.0,
+            (toleo[i].cycles / ci[i].cycles - 1.0) * 100.0,
+            f as f64 / tot * 100.0,
+            u as f64 / tot * 100.0,
+            fl as f64 / tot * 100.0
+        );
     }
 }

@@ -6,10 +6,14 @@ use toleo_sim::config::Protection;
 fn main() {
     let stats = harness::run_all(Protection::Toleo);
     println!("Figure 11. Peak Toleo Usage (GB per TB of protected data)");
-    println!("{:<12}{:>8}{:>9}{:>8}{:>8}", "bench", "flat", "uneven", "full", "total");
+    println!(
+        "{:<12}{:>8}{:>9}{:>8}{:>8}",
+        "bench", "flat", "uneven", "full", "total"
+    );
     let mut totals = Vec::new();
     for s in &stats {
-        let scale = 1000.0 / s.rss_bytes as f64; // bytes/byte -> GB/TB
+        // bytes/byte -> GB/TB
+        let scale = 1000.0 / s.rss_bytes as f64;
         // Paper accounting: the flat array is statically mapped over the
         // whole RSS; uneven/full side entries are dynamic.
         let flat = (s.rss_bytes / 4096 * 12) as f64 * scale;
@@ -20,7 +24,10 @@ fn main() {
         let full_gb = dynamic - uneven_gb;
         let total = s.toleo_gb_per_tb();
         totals.push(total);
-        println!("{:<12}{:>8.2}{:>9.2}{:>8.2}{:>8.2}", s.name, flat, uneven_gb, full_gb, total);
+        println!(
+            "{:<12}{:>8.2}{:>9.2}{:>8.2}{:>8.2}",
+            s.name, flat, uneven_gb, full_gb, total
+        );
     }
     println!("{:<12}{:>33}{:>8.2}", "average", "", mean(&totals));
     println!("\n(paper: 4.27 GB/TB average; fmi worst at 7.6; 168 GB protects ~37 TB)");

@@ -11,7 +11,10 @@ fn main() {
     let invisimem = harness::run_all(Protection::InvisiMem);
 
     println!("Figure 6. CI and Toleo Performance Overhead (% over NoProtect)");
-    println!("{:<12}{:>8}{:>8}{:>11}{:>13}", "bench", "CI", "Toleo", "InvisiMem", "Toleo-CI");
+    println!(
+        "{:<12}{:>8}{:>8}{:>11}{:>13}",
+        "bench", "CI", "Toleo", "InvisiMem", "Toleo-CI"
+    );
     let mut ci_all = Vec::new();
     let mut toleo_all = Vec::new();
     let mut inv_all = Vec::new();
@@ -24,7 +27,11 @@ fn main() {
         inv_all.push(v);
         println!(
             "{:<12}{:>7.1}%{:>7.1}%{:>10.1}%{:>12.1}%",
-            base[i].name, c * 100.0, t * 100.0, v * 100.0, (t - c) * 100.0
+            base[i].name,
+            c * 100.0,
+            t * 100.0,
+            v * 100.0,
+            (t - c) * 100.0
         );
     }
     println!(

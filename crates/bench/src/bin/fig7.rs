@@ -13,8 +13,18 @@ fn main() {
     for s in &stats {
         sh.push(s.stealth_hit_rate);
         mh.push(s.mac_hit_rate);
-        println!("{:<12}{:>14.1}%{:>11.1}%", s.name, s.stealth_hit_rate * 100.0, s.mac_hit_rate * 100.0);
+        println!(
+            "{:<12}{:>14.1}%{:>11.1}%",
+            s.name,
+            s.stealth_hit_rate * 100.0,
+            s.mac_hit_rate * 100.0
+        );
     }
-    println!("{:<12}{:>14.1}%{:>11.1}%", "average", mean(&sh) * 100.0, mean(&mh) * 100.0);
+    println!(
+        "{:<12}{:>14.1}%{:>11.1}%",
+        "average",
+        mean(&sh) * 100.0,
+        mean(&mh) * 100.0
+    );
     println!("\n(paper: stealth 98% avg — redis 67%, memcached 85% outliers; MAC 67% avg)");
 }

@@ -10,7 +10,12 @@ fn main() {
         "{:<12}{:>11}{:>9}{:>9}{:>9}{:>9}{:>9}",
         "bench", "config", "data", "MAC+UV", "stealth", "dummy", "total"
     );
-    for p in [Protection::NoProtect, Protection::Ci, Protection::Toleo, Protection::InvisiMem] {
+    for p in [
+        Protection::NoProtect,
+        Protection::Ci,
+        Protection::Toleo,
+        Protection::InvisiMem,
+    ] {
         for s in harness::run_all(p) {
             let i = s.instructions.max(1) as f64;
             println!(

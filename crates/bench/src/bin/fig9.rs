@@ -26,6 +26,9 @@ fn main() {
         println!();
     }
     let cfg = SimConfig::scaled(Protection::NoProtect);
-    println!("Zero-load DRAM reference: {:.0} ns", cfg.dram.zero_load_ns() + cfg.dram.t_rcd_ns);
+    println!(
+        "Zero-load DRAM reference: {:.0} ns",
+        cfg.dram.zero_load_ns() + cfg.dram.t_rcd_ns
+    );
     println!("(paper: AES +18.6%, integrity +36.9%, Toleo <5% except redis/memcached)");
 }

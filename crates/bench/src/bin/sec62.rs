@@ -8,9 +8,18 @@ fn main() {
     println!("Section 6.2: Full Version Is Non-Repeating");
     println!("stealth bits                : {}", a.stealth_bits);
     println!("reset probability           : 2^-{}", a.reset_log2);
-    println!("P(no reset in one interval) : {:.2e}  (paper derivation: e^-64 = 1.6e-28)", a.p_no_reset_in_interval());
-    println!("P(stealth space exhaustion) : {:.2e}  (paper: 1.7e-19)", a.p_exhaustion());
-    println!("P(single replay success)    : {:.2e}  (2^-27)", a.p_replay_success());
+    println!(
+        "P(no reset in one interval) : {:.2e}  (paper derivation: e^-64 = 1.6e-28)",
+        a.p_no_reset_in_interval()
+    );
+    println!(
+        "P(stealth space exhaustion) : {:.2e}  (paper: 1.7e-19)",
+        a.p_exhaustion()
+    );
+    println!(
+        "P(single replay success)    : {:.2e}  (2^-27)",
+        a.p_replay_success()
+    );
 
     println!("\nMonte-Carlo validation at scaled parameters (space 2^12, reset 2^-5,");
     println!("same headroom ratio as the 2^27 / 2^-20 design point):");

@@ -4,7 +4,10 @@ use toleo_baselines::schemes::Scheme;
 
 fn main() {
     println!("Table 1. Memory Protection Comparison");
-    println!("{:<28}{:>12}{:>13}{:>13}", "Protects", "Client SGX", "Scalable SGX", "Toleo");
+    println!(
+        "{:<28}{:>12}{:>13}{:>13}",
+        "Protects", "Client SGX", "Scalable SGX", "Toleo"
+    );
     let schemes = Scheme::table1();
     type GetCell = fn(&toleo_baselines::Guarantees) -> String;
     let rows: [(&str, GetCell); 4] = [
@@ -15,6 +18,9 @@ fn main() {
     ];
     for (label, get) in rows {
         let cells: Vec<String> = schemes.iter().map(|s| get(&s.guarantees())).collect();
-        println!("{:<28}{:>12}{:>13}{:>13}", label, cells[0], cells[1], cells[2]);
+        println!(
+            "{:<28}{:>12}{:>13}{:>13}",
+            label, cells[0], cells[1], cells[2]
+        );
     }
 }

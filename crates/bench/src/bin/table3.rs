@@ -4,13 +4,37 @@ use toleo_sim::config::{Protection, SimConfig};
 
 fn print_cfg(label: &str, c: &SimConfig) {
     println!("== {label} ==");
-    println!("Processor         {} GHz, {}-wide dispatch", c.freq_ghz, c.dispatch_width);
-    println!("L1-D cache        {} KB, {}-way, {} cycles", c.l1.capacity >> 10, c.l1.ways, c.l1.latency_cycles);
-    println!("L2 cache          {} KB, {}-way, {} cycles", c.l2.capacity >> 10, c.l2.ways, c.l2.latency_cycles);
-    println!("L3 cache          {} KB, {}-way, {} cycles", c.l3.capacity >> 10, c.l3.ways, c.l3.latency_cycles);
+    println!(
+        "Processor         {} GHz, {}-wide dispatch",
+        c.freq_ghz, c.dispatch_width
+    );
+    println!(
+        "L1-D cache        {} KB, {}-way, {} cycles",
+        c.l1.capacity >> 10,
+        c.l1.ways,
+        c.l1.latency_cycles
+    );
+    println!(
+        "L2 cache          {} KB, {}-way, {} cycles",
+        c.l2.capacity >> 10,
+        c.l2.ways,
+        c.l2.latency_cycles
+    );
+    println!(
+        "L3 cache          {} KB, {}-way, {} cycles",
+        c.l3.capacity >> 10,
+        c.l3.ways,
+        c.l3.latency_cycles
+    );
     println!("Local DRAM        DDR4-3200, {} channels", c.dram.channels);
-    println!("CXL mem pool      {} GB/s, {} ns (PCIe5 x8 w/ re-timer), DDR4 x{}", c.pool_link.bytes_per_ns, c.pool_link.latency_ns, c.pool_dram.channels);
-    println!("Toleo link        {} GB/s, {} ns (CXL2.0 IDE x2)", c.toleo_link.bytes_per_ns, c.toleo_link.latency_ns);
+    println!(
+        "CXL mem pool      {} GB/s, {} ns (PCIe5 x8 w/ re-timer), DDR4 x{}",
+        c.pool_link.bytes_per_ns, c.pool_link.latency_ns, c.pool_dram.channels
+    );
+    println!(
+        "Toleo link        {} GB/s, {} ns (CXL2.0 IDE x2)",
+        c.toleo_link.bytes_per_ns, c.toleo_link.latency_ns
+    );
     println!("Toleo DRAM        HMC-style, {} ns", c.toleo_dram_ns);
     println!("AES engine        {} cycles", c.aes_cycles);
     println!("MAC cache         {} KB/core, 16-way", c.mac_cache_kib);
@@ -21,6 +45,12 @@ fn print_cfg(label: &str, c: &SimConfig) {
 
 fn main() {
     println!("Table 3. Simulation Configuration");
-    print_cfg("paper preset (Table 3)", &SimConfig::paper(Protection::Toleo));
-    print_cfg("scaled preset (used for figures; caches 1:16)", &SimConfig::scaled(Protection::Toleo));
+    print_cfg(
+        "paper preset (Table 3)",
+        &SimConfig::paper(Protection::Toleo),
+    );
+    print_cfg(
+        "scaled preset (used for figures; caches 1:16)",
+        &SimConfig::scaled(Protection::Toleo),
+    );
 }

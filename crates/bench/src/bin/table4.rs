@@ -8,9 +8,18 @@ use toleo_sim::config::Protection;
 
 fn main() {
     println!("Table 4. Freshness Protected Version Size Comparison");
-    println!("{:<24}{:>14}{:>16}{:>18}", "Representation", "Version Size", "Data Protected", "Data:Version");
+    println!(
+        "{:<24}{:>14}{:>16}{:>18}",
+        "Representation", "Version Size", "Data Protected", "Data:Version"
+    );
     for r in VersionScheme::table4_static() {
-        println!("{:<24}{:>13}B{:>15}B{:>15.1}:1", r.name, r.version_bytes, r.data_bytes, r.ratio());
+        println!(
+            "{:<24}{:>13}B{:>15}B{:>15.1}:1",
+            r.name,
+            r.version_bytes,
+            r.data_bytes,
+            r.ratio()
+        );
     }
     // Measured average across the 12 workloads: weight each page's entry
     // size by the final Trip-format mix.
@@ -23,8 +32,22 @@ fn main() {
     }
     let pages = (flat + uneven + full) as f64;
     let avg_bytes = (flat as f64 * 12.0 + uneven as f64 * 68.0 + full as f64 * 228.0) / pages;
-    let avg = VersionScheme { name: "Toleo Stealth Avg. (measured)", version_bytes: avg_bytes, data_bytes: 4096 };
-    println!("{:<24}{:>12.2}B{:>15}B{:>15.1}:1", avg.name, avg.version_bytes, avg.data_bytes, avg.ratio());
-    println!("\n(paper: avg 17.08 B -> 240:1; page mix here: {:.1}% flat, {:.1}% uneven, {:.2}% full)",
-        flat as f64 / pages * 100.0, uneven as f64 / pages * 100.0, full as f64 / pages * 100.0);
+    let avg = VersionScheme {
+        name: "Toleo Stealth Avg. (measured)",
+        version_bytes: avg_bytes,
+        data_bytes: 4096,
+    };
+    println!(
+        "{:<24}{:>12.2}B{:>15}B{:>15.1}:1",
+        avg.name,
+        avg.version_bytes,
+        avg.data_bytes,
+        avg.ratio()
+    );
+    println!(
+        "\n(paper: avg 17.08 B -> 240:1; page mix here: {:.1}% flat, {:.1}% uneven, {:.2}% full)",
+        flat as f64 / pages * 100.0,
+        uneven as f64 / pages * 100.0,
+        full as f64 / pages * 100.0
+    );
 }

@@ -41,15 +41,14 @@ pub mod harness {
     pub fn run_all_with(protection: Protection, gen: &GenConfig) -> Vec<RunStats> {
         let traces = all_traces(gen);
         let mut out: Vec<Option<RunStats>> = vec![None; traces.len()];
-        crossbeam::scope(|s| {
+        std::thread::scope(|s| {
             for (slot, trace) in out.iter_mut().zip(&traces) {
-                s.spawn(move |_| {
+                s.spawn(move || {
                     let mut sys = System::new(SimConfig::scaled(protection));
                     *slot = Some(sys.run(trace));
                 });
             }
-        })
-        .expect("worker panicked");
+        });
         out.into_iter().map(|o| o.expect("run completed")).collect()
     }
 
@@ -102,7 +101,10 @@ pub mod harness {
 
         #[test]
         fn run_all_produces_twelve() {
-            let gen = toleo_workloads::GenConfig { mem_ops: 1_000, ..Default::default() };
+            let gen = toleo_workloads::GenConfig {
+                mem_ops: 1_000,
+                ..Default::default()
+            };
             let stats = run_all_with(toleo_sim::config::Protection::NoProtect, &gen);
             assert_eq!(stats.len(), 12);
             assert_eq!(stats[0].name, "bsw");

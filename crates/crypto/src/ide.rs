@@ -134,7 +134,11 @@ impl IdeTx {
         let mut ciphertext = payload.to_vec();
         keystream_xor(&self.cipher, seq, &mut ciphertext);
         let tag = self.mac.mac(seq, 0, &ciphertext);
-        Flit { seq, ciphertext, tag }
+        Flit {
+            seq,
+            ciphertext,
+            tag,
+        }
     }
 }
 
@@ -148,7 +152,10 @@ impl IdeRx {
     /// error must escalate to the platform kill switch.
     pub fn receive(&mut self, flit: &Flit) -> Result<Vec<u8>, IdeError> {
         if flit.seq != self.next_seq {
-            return Err(IdeError::Replay { expected: self.next_seq, got: flit.seq });
+            return Err(IdeError::Replay {
+                expected: self.next_seq,
+                got: flit.seq,
+            });
         }
         let expect = self.mac.mac(flit.seq, 0, &flit.ciphertext);
         if !expect.verify(&flit.tag) {
@@ -184,7 +191,10 @@ mod tests {
         let (mut tx, _rx) = session();
         let a = tx.send(b"same stealth version");
         let b = tx.send(b"same stealth version");
-        assert_ne!(a.ciphertext, b.ciphertext, "IDE stream must be non-deterministic");
+        assert_ne!(
+            a.ciphertext, b.ciphertext,
+            "IDE stream must be non-deterministic"
+        );
     }
 
     #[test]
@@ -211,7 +221,13 @@ mod tests {
         let (mut tx, mut rx) = session();
         let f0 = tx.send(b"v1");
         let f1 = tx.send(b"v2");
-        assert!(matches!(rx.receive(&f1), Err(IdeError::Replay { expected: 0, got: 1 })));
+        assert!(matches!(
+            rx.receive(&f1),
+            Err(IdeError::Replay {
+                expected: 0,
+                got: 1
+            })
+        ));
         // In-order delivery still works after the rejection.
         assert!(rx.receive(&f0).is_ok());
     }
@@ -226,7 +242,10 @@ mod tests {
 
     #[test]
     fn error_display() {
-        let e = IdeError::Replay { expected: 3, got: 1 };
+        let e = IdeError::Replay {
+            expected: 3,
+            got: 1,
+        };
         assert!(e.to_string().contains("replay"));
     }
 }

@@ -51,7 +51,9 @@ pub struct MacKey {
 
 impl std::fmt::Debug for MacKey {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("MacKey").field("key", &"<redacted>").finish()
+        f.debug_struct("MacKey")
+            .field("key", &"<redacted>")
+            .finish()
     }
 }
 

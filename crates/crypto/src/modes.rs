@@ -51,7 +51,9 @@ pub struct AesCtr {
 impl AesCtr {
     /// Creates a CTR cipher from a 16-byte key.
     pub fn new(key: &[u8; 16]) -> Self {
-        AesCtr { cipher: Aes128::new(key) }
+        AesCtr {
+            cipher: Aes128::new(key),
+        }
     }
 
     /// Encrypts or decrypts `data` in place with keystream derived from
@@ -202,7 +204,10 @@ mod tests {
         let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
         let orig: Vec<u8> = (0..64u8).collect();
         let mut buf = orig.clone();
-        let tw = Tweak { version: 99, address: 0xdead_beef };
+        let tw = Tweak {
+            version: 99,
+            address: 0xdead_beef,
+        };
         xts.encrypt(tw, &mut buf);
         assert_ne!(buf, orig);
         xts.decrypt(tw, &mut buf);
@@ -214,7 +219,10 @@ mod tests {
         // This is the scalable-SGX confidentiality weakness: deterministic
         // encryption under a fixed tweak.
         let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
-        let tw = Tweak { version: 0, address: 0x1000 };
+        let tw = Tweak {
+            version: 0,
+            address: 0x1000,
+        };
         let mut a = [7u8; 16];
         let mut b = [7u8; 16];
         xts.encrypt(tw, &mut a);
@@ -229,18 +237,37 @@ mod tests {
         let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
         let mut a = [7u8; 16];
         let mut b = [7u8; 16];
-        xts.encrypt(Tweak { version: 1, address: 0x1000 }, &mut a);
-        xts.encrypt(Tweak { version: 2, address: 0x1000 }, &mut b);
+        xts.encrypt(
+            Tweak {
+                version: 1,
+                address: 0x1000,
+            },
+            &mut a,
+        );
+        xts.encrypt(
+            Tweak {
+                version: 2,
+                address: 0x1000,
+            },
+            &mut b,
+        );
         assert_ne!(a, b);
     }
 
     #[test]
     fn xts_blocks_are_position_dependent() {
         let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
-        let tw = Tweak { version: 5, address: 0 };
+        let tw = Tweak {
+            version: 5,
+            address: 0,
+        };
         let mut buf = [9u8; 32];
         xts.encrypt(tw, &mut buf);
-        assert_ne!(buf[..16], buf[16..], "sequential sectors must differ via alpha tweak");
+        assert_ne!(
+            buf[..16],
+            buf[16..],
+            "sequential sectors must differ via alpha tweak"
+        );
     }
 
     #[test]
@@ -248,7 +275,13 @@ mod tests {
     fn xts_rejects_partial_sector() {
         let xts = AesXts::new(&[1u8; 16], &[2u8; 16]);
         let mut buf = [0u8; 15];
-        xts.encrypt(Tweak { version: 0, address: 0 }, &mut buf);
+        xts.encrypt(
+            Tweak {
+                version: 0,
+                address: 0,
+            },
+            &mut buf,
+        );
     }
 
     #[test]

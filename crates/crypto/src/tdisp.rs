@@ -87,7 +87,11 @@ pub struct TdispManager {
 impl TdispManager {
     /// A manager that will only attach devices matching `expected`.
     pub fn new(expected_measurement: u64) -> Self {
-        TdispManager { expected_measurement, epoch: 0, session: None }
+        TdispManager {
+            expected_measurement,
+            epoch: 0,
+            session: None,
+        }
     }
 
     /// Whether a device is currently attached.
@@ -126,7 +130,10 @@ impl TdispManager {
     ///
     /// [`TdispError::NotAttached`] if nothing is attached.
     pub fn detach(&mut self) -> Result<(), TdispError> {
-        self.session.take().map(|_| ()).ok_or(TdispError::NotAttached)
+        self.session
+            .take()
+            .map(|_| ())
+            .ok_or(TdispError::NotAttached)
     }
 
     /// The live IDE channel endpoints.
@@ -196,7 +203,10 @@ mod tests {
         mgr.detach().unwrap();
         mgr.attach(&dev, 7).unwrap(); // same nonce, new epoch
         let flit_b = mgr.channel().unwrap().0.send(b"epoch one");
-        assert_ne!(flit_a.ciphertext, flit_b.ciphertext, "sessions must not share keys");
+        assert_ne!(
+            flit_a.ciphertext, flit_b.ciphertext,
+            "sessions must not share keys"
+        );
         // Old-session flits fail on the new channel.
         assert!(mgr.channel().unwrap().1.receive(&flit_a).is_err());
     }
@@ -204,11 +214,16 @@ mod tests {
     #[test]
     fn measurement_is_stable_and_key_dependent() {
         assert_eq!(genuine().measurement(), genuine().measurement());
-        assert_ne!(genuine().measurement(), DeviceIdentity::new([1u8; 16]).measurement());
+        assert_ne!(
+            genuine().measurement(),
+            DeviceIdentity::new([1u8; 16]).measurement()
+        );
     }
 
     #[test]
     fn error_display() {
-        assert!(TdispError::AttestationFailed.to_string().contains("attestation"));
+        assert!(TdispError::AttestationFailed
+            .to_string()
+            .contains("attestation"));
     }
 }

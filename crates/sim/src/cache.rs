@@ -58,10 +58,19 @@ impl DataCache {
             line.dirty |= write;
             set.insert(0, line);
             self.hits += 1;
-            return AccessResult { hit: true, writeback: None };
+            return AccessResult {
+                hit: true,
+                writeback: None,
+            };
         }
         self.misses += 1;
-        set.insert(0, Line { tag: block, dirty: write });
+        set.insert(
+            0,
+            Line {
+                tag: block,
+                dirty: write,
+            },
+        );
         let mut writeback = None;
         if set.len() > ways {
             let victim = set.pop().expect("overfull set");
@@ -69,7 +78,10 @@ impl DataCache {
                 writeback = Some(victim.tag * 64);
             }
         }
-        AccessResult { hit: false, writeback }
+        AccessResult {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Hits so far.
@@ -159,7 +171,10 @@ impl Hierarchy {
             }
         }
         if r1.hit {
-            return HierarchyResult { level: HitLevel::L1, llc_writebacks };
+            return HierarchyResult {
+                level: HitLevel::L1,
+                llc_writebacks,
+            };
         }
         let r2 = self.l2.access(addr, false);
         if let Some(wb2) = r2.writeback {
@@ -169,14 +184,24 @@ impl Hierarchy {
             }
         }
         if r2.hit {
-            return HierarchyResult { level: HitLevel::L2, llc_writebacks };
+            return HierarchyResult {
+                level: HitLevel::L2,
+                llc_writebacks,
+            };
         }
         let r3 = self.l3.access(addr, false);
         if let Some(wb3) = r3.writeback {
             llc_writebacks.push(wb3);
         }
-        let level = if r3.hit { HitLevel::L3 } else { HitLevel::Memory };
-        HierarchyResult { level, llc_writebacks }
+        let level = if r3.hit {
+            HitLevel::L3
+        } else {
+            HitLevel::Memory
+        };
+        HierarchyResult {
+            level,
+            llc_writebacks,
+        }
     }
 
     /// LLC misses so far (the Table 2 MPKI numerator).
@@ -213,7 +238,11 @@ mod tests {
     use crate::config::{Protection, SimConfig};
 
     fn tiny_cache(blocks: usize, ways: usize) -> DataCache {
-        DataCache::new(CacheConfig { capacity: blocks * 64, ways, latency_cycles: 1 })
+        DataCache::new(CacheConfig {
+            capacity: blocks * 64,
+            ways,
+            latency_cycles: 1,
+        })
     }
 
     #[test]
@@ -269,7 +298,10 @@ mod tests {
             h.access(0x1000 + i * 4096, false); // same L1 set pressure
         }
         let lvl = h.access(0x1000, false).level;
-        assert!(lvl == HitLevel::L2 || lvl == HitLevel::L3, "demoted to {lvl:?}");
+        assert!(
+            lvl == HitLevel::L2 || lvl == HitLevel::L3,
+            "demoted to {lvl:?}"
+        );
     }
 
     #[test]

@@ -27,7 +27,13 @@ pub enum Protection {
 impl Protection {
     /// All configurations, in the paper's comparison order.
     pub fn all() -> [Protection; 5] {
-        [Protection::NoProtect, Protection::C, Protection::Ci, Protection::Toleo, Protection::InvisiMem]
+        [
+            Protection::NoProtect,
+            Protection::C,
+            Protection::Ci,
+            Protection::Toleo,
+            Protection::InvisiMem,
+        ]
     }
 }
 
@@ -158,13 +164,31 @@ impl SimConfig {
         SimConfig {
             freq_ghz: 2.25,
             dispatch_width: 6,
-            l1: CacheConfig { capacity: 32 << 10, ways: 8, latency_cycles: 4 },
-            l2: CacheConfig { capacity: 1 << 20, ways: 16, latency_cycles: 14 },
-            l3: CacheConfig { capacity: 16 << 20, ways: 16, latency_cycles: 49 },
+            l1: CacheConfig {
+                capacity: 32 << 10,
+                ways: 8,
+                latency_cycles: 4,
+            },
+            l2: CacheConfig {
+                capacity: 1 << 20,
+                ways: 16,
+                latency_cycles: 14,
+            },
+            l3: CacheConfig {
+                capacity: 16 << 20,
+                ways: 16,
+                latency_cycles: 49,
+            },
             dram: DramConfig::ddr4_3200(3),
             pool_dram: DramConfig::ddr4_3200(2),
-            pool_link: LinkConfig { latency_ns: 95.0, bytes_per_ns: 12.7 },
-            toleo_link: LinkConfig { latency_ns: 95.0, bytes_per_ns: 3.32 },
+            pool_link: LinkConfig {
+                latency_ns: 95.0,
+                bytes_per_ns: 12.7,
+            },
+            toleo_link: LinkConfig {
+                latency_ns: 95.0,
+                bytes_per_ns: 3.32,
+            },
             toleo_dram_ns: 15.0,
             aes_cycles: 40,
             remote_page_fraction: 12.7 / (3.0 * 25.6 + 12.7),
@@ -210,7 +234,11 @@ mod tests {
 
     #[test]
     fn cache_geometry() {
-        let c = CacheConfig { capacity: 32 << 10, ways: 8, latency_cycles: 4 };
+        let c = CacheConfig {
+            capacity: 32 << 10,
+            ways: 8,
+            latency_cycles: 4,
+        };
         assert_eq!(c.blocks(), 512);
         assert_eq!(c.sets(), 64);
     }

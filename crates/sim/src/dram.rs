@@ -59,7 +59,11 @@ impl Dram {
         let row_id = addr / self.cfg.row_bytes;
         let bank_in_ch = (row_id % self.cfg.banks_per_channel as u64) as usize;
         let row = row_id / self.cfg.banks_per_channel as u64;
-        (channel, channel * self.cfg.banks_per_channel + bank_in_ch, row)
+        (
+            channel,
+            channel * self.cfg.banks_per_channel + bank_in_ch,
+            row,
+        )
     }
 
     /// Performs one 64-byte access starting no earlier than `now_ns`;
@@ -68,7 +72,9 @@ impl Dram {
         let (channel, bank_idx, row) = self.map(addr);
         let burst = 64.0 / self.cfg.bytes_per_ns_per_channel * self.service_multiplier;
         let bank = &mut self.banks[bank_idx];
-        let start = now_ns.max(bank.next_free_ns).max(self.bus_next_free_ns[channel]);
+        let start = now_ns
+            .max(bank.next_free_ns)
+            .max(self.bus_next_free_ns[channel]);
         let row_latency = match bank.open_row {
             Some(r) if r == row => {
                 self.stats.row_hits += 1;
@@ -154,6 +160,7 @@ mod tests {
         let mut d = dram();
         let a = d.access(0.0, 0, true); // channel 0
         let b = d.access(0.0, 64, true); // channel 1
+
         // Different channels: no bus queueing between them.
         assert!((a - b).abs() < 1.0);
     }

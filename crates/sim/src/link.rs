@@ -30,7 +30,11 @@ pub struct Link {
 impl Link {
     /// Creates a link.
     pub fn new(cfg: LinkConfig) -> Self {
-        Link { cfg, next_free_ns: 0.0, stats: LinkStats::default() }
+        Link {
+            cfg,
+            next_free_ns: 0.0,
+            stats: LinkStats::default(),
+        }
     }
 
     /// Transfers `bytes` starting no earlier than `now_ns`; returns arrival
@@ -69,7 +73,10 @@ mod tests {
     use super::*;
 
     fn link() -> Link {
-        Link::new(LinkConfig { latency_ns: 95.0, bytes_per_ns: 12.7 })
+        Link::new(LinkConfig {
+            latency_ns: 95.0,
+            bytes_per_ns: 12.7,
+        })
     }
 
     #[test]

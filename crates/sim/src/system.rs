@@ -101,8 +101,7 @@ impl RunStats {
     /// and full side entries are charged as dynamically allocated.
     pub fn toleo_gb_per_tb(&self) -> f64 {
         let static_flat = self.rss_bytes / 4096 * 12;
-        (static_flat + self.peak_toleo.dynamic_bytes) as f64 / self.rss_bytes.max(1) as f64
-            * 1000.0
+        (static_flat + self.peak_toleo.dynamic_bytes) as f64 / self.rss_bytes.max(1) as f64 * 1000.0
     }
 }
 
@@ -124,7 +123,7 @@ impl SharedMemory {
             // Protect enough pages for any scaled workload.
             tcfg.protected_bytes = 1 << 32; // 4 GiB of protected space
             tcfg.device_capacity_bytes = tcfg.flat_array_bytes() + (64 << 20);
-            Some(ToleoDevice::new(tcfg))
+            Some(ToleoDevice::new(tcfg).expect("valid ToleoConfig"))
         } else {
             None
         };
@@ -197,7 +196,13 @@ impl Node {
     }
 
     /// Raw (unprotected) memory access; returns completion time.
-    fn memory_access(&mut self, shared: &mut SharedMemory, now: f64, addr: u64, is_read: bool) -> f64 {
+    fn memory_access(
+        &mut self,
+        shared: &mut SharedMemory,
+        now: f64,
+        addr: u64,
+        is_read: bool,
+    ) -> f64 {
         let padded = self.cfg.protection == Protection::InvisiMem;
         if self.is_remote(addr) {
             // Request out, pool DRAM access, response back.
@@ -253,7 +258,9 @@ impl Node {
                 if self.cfg.protection == Protection::Toleo {
                     let page = layout::page_of(addr);
                     let dev = shared.device.as_mut().expect("toleo device");
-                    let fmt = dev.page_format(page).unwrap_or(toleo_core::trip::TripFormat::Flat);
+                    let fmt = dev
+                        .page_format(page)
+                        .unwrap_or(toleo_core::trip::TripFormat::Flat);
                     let fresh_ready = if self.stealth_cache.access(page, fmt) {
                         now
                     } else {
@@ -309,7 +316,9 @@ impl Node {
                     let page = layout::page_of(addr);
                     let line = layout::line_of(addr);
                     let dev = shared.device.as_mut().expect("toleo device");
-                    let fmt = dev.page_format(page).unwrap_or(toleo_core::trip::TripFormat::Flat);
+                    let fmt = dev
+                        .page_format(page)
+                        .unwrap_or(toleo_core::trip::TripFormat::Flat);
                     // The stealth caches are inclusive *writeback* caches:
                     // on a hit the cached Trip entry is updated in place and
                     // no link traffic occurs; a miss fetches the entry (and
@@ -324,8 +333,9 @@ impl Node {
                         // Fetch + dirty-victim writeback.
                         self.stats.bytes_stealth += 16 + entry + entry;
                         let arrive = self.toleo_link.transfer(now, 16);
-                        let _ =
-                            self.toleo_link.transfer(arrive + self.cfg.toleo_dram_ns, 2 * entry);
+                        let _ = self
+                            .toleo_link
+                            .transfer(arrive + self.cfg.toleo_dram_ns, 2 * entry);
                     }
                     match dev.update(page, line) {
                         Ok(resp) => {
@@ -366,12 +376,10 @@ impl Node {
                 match res.level {
                     HitLevel::L1 => {}
                     HitLevel::L2 => {
-                        self.now_ns +=
-                            self.cfg.cycles_to_ns(self.cfg.l2.latency_cycles) / self.mlp;
+                        self.now_ns += self.cfg.cycles_to_ns(self.cfg.l2.latency_cycles) / self.mlp;
                     }
                     HitLevel::L3 => {
-                        self.now_ns +=
-                            self.cfg.cycles_to_ns(self.cfg.l3.latency_cycles) / self.mlp;
+                        self.now_ns += self.cfg.cycles_to_ns(self.cfg.l3.latency_cycles) / self.mlp;
                     }
                     HitLevel::Memory => {
                         if is_write {
@@ -395,7 +403,9 @@ impl Node {
         if self.instructions >= self.next_sample {
             self.next_sample += self.sample_every;
             if let Some(dev) = shared.device.as_ref() {
-                self.stats.usage_timeline.push((self.instructions, dev.usage()));
+                self.stats
+                    .usage_timeline
+                    .push((self.instructions, dev.usage()));
             }
         }
     }
@@ -457,7 +467,10 @@ impl System {
     /// assert!(stats.cycles > 0.0);
     /// ```
     pub fn new(cfg: SimConfig) -> Self {
-        System { shared: SharedMemory::new(&cfg), node: Node::new(cfg) }
+        System {
+            shared: SharedMemory::new(&cfg),
+            node: Node::new(cfg),
+        }
     }
 
     /// Sets the MLP overlap factor (defaults to the trace's hint in
@@ -575,10 +588,17 @@ mod tests {
         assert!(c.cycles >= base.cycles, "C >= NoProtect");
         assert!(ci.cycles >= c.cycles, "CI >= C");
         assert!(toleo.cycles >= ci.cycles * 0.99, "Toleo ~>= CI");
-        assert!(invisimem.cycles > ci.cycles, "InvisiMem is the most expensive");
+        assert!(
+            invisimem.cycles > ci.cycles,
+            "InvisiMem is the most expensive"
+        );
         // Toleo's freshness addition over CI is small (paper: 1-2%).
         let toleo_over_ci = toleo.cycles / ci.cycles - 1.0;
-        assert!(toleo_over_ci < 0.15, "Toleo adds {:.1}% over CI", toleo_over_ci * 100.0);
+        assert!(
+            toleo_over_ci < 0.15,
+            "Toleo adds {:.1}% over CI",
+            toleo_over_ci * 100.0
+        );
     }
 
     #[test]
@@ -592,7 +612,11 @@ mod tests {
     #[test]
     fn toleo_stealth_cache_hits_high_for_regular_workloads() {
         let s = run_bench(Benchmark::Bsw, Protection::Toleo);
-        assert!(s.stealth_hit_rate > 0.9, "bsw stealth hit {}", s.stealth_hit_rate);
+        assert!(
+            s.stealth_hit_rate > 0.9,
+            "bsw stealth hit {}",
+            s.stealth_hit_rate
+        );
     }
 
     #[test]
@@ -626,7 +650,15 @@ mod tests {
     fn rack_shares_device() {
         let traces: Vec<_> = [Benchmark::Chain, Benchmark::Dbg]
             .iter()
-            .map(|b| generate(*b, &GenConfig { mem_ops: 2_000, ..GenConfig::tiny() }))
+            .map(|b| {
+                generate(
+                    *b,
+                    &GenConfig {
+                        mem_ops: 2_000,
+                        ..GenConfig::tiny()
+                    },
+                )
+            })
             .collect();
         let mut rack = Rack::new(SimConfig::scaled(Protection::Toleo), 2);
         let stats = rack.run(&traces);
@@ -691,7 +723,11 @@ mod more_tests {
             trace.ops.push(Op::Read(i * 64 * 97)); // spread: all miss
         }
         let s = System::new(SimConfig::scaled(Protection::C)).run(&trace);
-        assert!(s.avg_aes_ns > 17.0 && s.avg_aes_ns < 19.0, "aes {}", s.avg_aes_ns);
+        assert!(
+            s.avg_aes_ns > 17.0 && s.avg_aes_ns < 19.0,
+            "aes {}",
+            s.avg_aes_ns
+        );
         assert_eq!(s.avg_mac_ns, 0.0);
         assert_eq!(s.avg_fresh_ns, 0.0);
         assert_eq!(s.bytes_mac, 0);
@@ -708,7 +744,11 @@ mod more_tests {
         // All 100 dirty lines must have reached the version system by the
         // end-of-run drain even though none were evicted naturally.
         let dev = sys.shared().device.as_ref().unwrap();
-        assert!(dev.stats().updates >= 100, "updates {}", dev.stats().updates);
+        assert!(
+            dev.stats().updates >= 100,
+            "updates {}",
+            dev.stats().updates
+        );
         assert_eq!(s.name, "writes");
     }
 

@@ -27,7 +27,11 @@ pub struct StealthAnalysis {
 
 impl Default for StealthAnalysis {
     fn default() -> Self {
-        StealthAnalysis { stealth_bits: 27, reset_log2: 20, total_updates_log2: 56 }
+        StealthAnalysis {
+            stealth_bits: 27,
+            reset_log2: 20,
+            total_updates_log2: 56,
+        }
     }
 }
 
@@ -103,7 +107,10 @@ pub fn monte_carlo_resets(
     let mut rng = DRange::from_seed(seed);
     let space = 1u64 << stealth_bits;
     let mut run = 0u64;
-    let mut out = MonteCarlo { updates, ..MonteCarlo::default() };
+    let mut out = MonteCarlo {
+        updates,
+        ..MonteCarlo::default()
+    };
     for _ in 0..updates {
         run += 1;
         if run >= space {
@@ -141,15 +148,27 @@ mod tests {
 
     #[test]
     fn weaker_reset_increases_exhaustion_risk() {
-        let strong = StealthAnalysis { reset_log2: 18, ..Default::default() };
-        let weak = StealthAnalysis { reset_log2: 24, ..Default::default() };
+        let strong = StealthAnalysis {
+            reset_log2: 18,
+            ..Default::default()
+        };
+        let weak = StealthAnalysis {
+            reset_log2: 24,
+            ..Default::default()
+        };
         assert!(weak.p_exhaustion() > strong.p_exhaustion());
     }
 
     #[test]
     fn wider_stealth_reduces_replay_odds() {
-        let narrow = StealthAnalysis { stealth_bits: 20, ..Default::default() };
-        let wide = StealthAnalysis { stealth_bits: 30, ..Default::default() };
+        let narrow = StealthAnalysis {
+            stealth_bits: 20,
+            ..Default::default()
+        };
+        let wide = StealthAnalysis {
+            stealth_bits: 30,
+            ..Default::default()
+        };
         assert!(wide.p_replay_success() < narrow.p_replay_success());
     }
 
@@ -158,7 +177,10 @@ mod tests {
         let mc = monte_carlo_resets(27, 8, 500_000, 42);
         let rate = mc.resets as f64 / mc.updates as f64;
         let expect = 1.0 / 256.0;
-        assert!((rate - expect).abs() < expect * 0.2, "rate {rate} vs {expect}");
+        assert!(
+            (rate - expect).abs() < expect * 0.2,
+            "rate {rate} vs {expect}"
+        );
     }
 
     #[test]

@@ -96,7 +96,11 @@ impl SetAssocCache {
         }
         self.stats.misses += 1;
         set.insert(0, key);
-        let victim = if set.len() > self.ways { set.pop() } else { None };
+        let victim = if set.len() > self.ways {
+            set.pop()
+        } else {
+            None
+        };
         (false, victim)
     }
 
@@ -152,7 +156,11 @@ pub struct StealthCacheConfig {
 
 impl Default for StealthCacheConfig {
     fn default() -> Self {
-        StealthCacheConfig { tlb_entries: 256, overflow_blocks: 512, overflow_ways: 16 }
+        StealthCacheConfig {
+            tlb_entries: 256,
+            overflow_blocks: 512,
+            overflow_ways: 16,
+        }
     }
 }
 
@@ -238,7 +246,9 @@ impl MacCache {
     /// Creates a MAC cache of `kib` kibibytes, 16-way, 64-byte blocks.
     pub fn new(kib: usize) -> Self {
         let blocks = kib * 1024 / 64;
-        MacCache { inner: SetAssocCache::new((blocks / 16).max(1), 16) }
+        MacCache {
+            inner: SetAssocCache::new((blocks / 16).max(1), 16),
+        }
     }
 
     /// Paper default: 32 KB per core.
@@ -346,8 +356,10 @@ mod tests {
         assert!(sc.access(2, TripFormat::Full));
         // A third page's fill must evict some of page 1 or 2.
         assert!(!sc.access(3, TripFormat::Full));
-        let resident_after: usize =
-            [1u64, 2, 3].iter().filter(|&&p| sc.access(p, TripFormat::Full)).count();
+        let resident_after: usize = [1u64, 2, 3]
+            .iter()
+            .filter(|&&p| sc.access(p, TripFormat::Full))
+            .count();
         assert!(resident_after < 3, "capacity must bound residency");
     }
 
@@ -357,7 +369,10 @@ mod tests {
         sc.access(5, TripFormat::Uneven);
         sc.access(5, TripFormat::Uneven);
         sc.invalidate_page(5);
-        assert!(!sc.access(5, TripFormat::Uneven), "post-invalidate access misses");
+        assert!(
+            !sc.access(5, TripFormat::Uneven),
+            "post-invalidate access misses"
+        );
     }
 
     #[test]

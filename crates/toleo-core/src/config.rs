@@ -115,7 +115,10 @@ impl ToleoConfig {
     /// Returns a human-readable description of the first violated constraint.
     pub fn validate(&self) -> Result<(), String> {
         if self.stealth_bits == 0 || self.stealth_bits > 32 {
-            return Err(format!("stealth_bits {} out of range 1..=32", self.stealth_bits));
+            return Err(format!(
+                "stealth_bits {} out of range 1..=32",
+                self.stealth_bits
+            ));
         }
         if self.stealth_bits + self.uv_bits > 64 {
             return Err(format!(

@@ -103,7 +103,7 @@ pub struct DeviceStats {
 /// use toleo_core::config::ToleoConfig;
 /// use toleo_core::device::ToleoDevice;
 ///
-/// let mut dev = ToleoDevice::new(ToleoConfig::small());
+/// let mut dev = ToleoDevice::new(ToleoConfig::small()).unwrap();
 /// let v0 = dev.read(0, 0).unwrap();
 /// let r = dev.update(0, 0).unwrap();
 /// assert_eq!(r.stealth.raw(), v0.raw().wrapping_add(1) & ((1 << 27) - 1));
@@ -126,16 +126,23 @@ pub struct ToleoDevice {
 impl ToleoDevice {
     /// Creates a device for the given configuration.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `cfg` fails [`ToleoConfig::validate`].
-    pub fn new(cfg: ToleoConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid ToleoConfig: {e}");
-        }
+    /// Returns [`ToleoError::InvalidConfig`] if `cfg` fails
+    /// [`ToleoConfig::validate`].
+    pub fn new(cfg: ToleoConfig) -> Result<Self> {
+        cfg.validate()
+            .map_err(|detail| ToleoError::InvalidConfig { detail })?;
         let dynamic_blocks_cap = cfg.dynamic_region_bytes() / DYNAMIC_BLOCK_BYTES as u64;
         let rng = DRange::from_seed(cfg.rng_seed);
-        ToleoDevice { cfg, pages: HashMap::new(), dynamic_blocks_used: 0, dynamic_blocks_cap, rng, stats: DeviceStats::default() }
+        Ok(ToleoDevice {
+            cfg,
+            pages: HashMap::new(),
+            dynamic_blocks_used: 0,
+            dynamic_blocks_cap,
+            rng,
+            stats: DeviceStats::default(),
+        })
     }
 
     /// The device configuration.
@@ -311,7 +318,26 @@ mod tests {
     use crate::config::LINES_PER_PAGE;
 
     fn dev() -> ToleoDevice {
-        ToleoDevice::new(ToleoConfig::small())
+        ToleoDevice::new(ToleoConfig::small()).unwrap()
+    }
+
+    #[test]
+    fn invalid_config_is_an_error_not_a_panic() {
+        let mut cfg = ToleoConfig::small();
+        cfg.stealth_bits = 0; // fails validate()
+        match ToleoDevice::new(cfg) {
+            Err(ToleoError::InvalidConfig { detail }) => {
+                assert!(detail.contains("stealth_bits"), "detail: {detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+
+        let mut cfg = ToleoConfig::small();
+        cfg.device_capacity_bytes = cfg.flat_array_bytes() - 1; // too small
+        assert!(matches!(
+            ToleoDevice::new(cfg),
+            Err(ToleoError::InvalidConfig { .. })
+        ));
     }
 
     #[test]
@@ -338,9 +364,18 @@ mod tests {
     fn page_out_of_range_rejected() {
         let mut d = dev();
         let pages = d.config().protected_pages();
-        assert!(matches!(d.read(pages, 0), Err(ToleoError::PageOutOfRange { .. })));
-        assert!(matches!(d.update(pages + 5, 0), Err(ToleoError::PageOutOfRange { .. })));
-        assert!(matches!(d.reset(u64::MAX), Err(ToleoError::PageOutOfRange { .. })));
+        assert!(matches!(
+            d.read(pages, 0),
+            Err(ToleoError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.update(pages + 5, 0),
+            Err(ToleoError::PageOutOfRange { .. })
+        ));
+        assert!(matches!(
+            d.reset(u64::MAX),
+            Err(ToleoError::PageOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -375,14 +410,17 @@ mod tests {
         let mut cfg = ToleoConfig::small();
         // Dynamic region of exactly 1 block.
         cfg.device_capacity_bytes = cfg.flat_array_bytes() + DYNAMIC_BLOCK_BYTES as u64;
-        let mut d = ToleoDevice::new(cfg);
+        let mut d = ToleoDevice::new(cfg).unwrap();
         // First upgrade succeeds and consumes the only block.
         d.update(0, 3).unwrap();
         d.update(0, 3).unwrap();
         assert_eq!(d.free_dynamic_blocks(), 0);
         // Second page cannot upgrade...
         d.update(1, 4).unwrap();
-        assert!(matches!(d.update(1, 4), Err(ToleoError::DeviceFull { page: 1 })));
+        assert!(matches!(
+            d.update(1, 4),
+            Err(ToleoError::DeviceFull { page: 1 })
+        ));
         assert_eq!(d.stats().rejected_full, 1);
         // ...but uniform (flat) updates still work.
         d.update(1, 5).unwrap();
@@ -396,11 +434,15 @@ mod tests {
     fn device_full_leaves_state_unchanged() {
         let mut cfg = ToleoConfig::small();
         cfg.device_capacity_bytes = cfg.flat_array_bytes(); // zero dynamic blocks
-        let mut d = ToleoDevice::new(cfg);
+        let mut d = ToleoDevice::new(cfg).unwrap();
         d.update(0, 3).unwrap();
         let v_before = d.read(0, 3).unwrap();
         assert!(d.update(0, 3).is_err());
-        assert_eq!(d.read(0, 3).unwrap(), v_before, "rejected update must not mutate");
+        assert_eq!(
+            d.read(0, 3).unwrap(),
+            v_before,
+            "rejected update must not mutate"
+        );
         assert_eq!(d.page_format(0).unwrap(), TripFormat::Flat);
     }
 
@@ -420,7 +462,7 @@ mod tests {
     fn stealth_reset_fires_at_expected_rate() {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 6; // 1/64 for a fast statistical test
-        let mut d = ToleoDevice::new(cfg);
+        let mut d = ToleoDevice::new(cfg).unwrap();
         let mut resets = 0u64;
         let mut leading_increments = 0u64;
         // Hot-line updates: every update advances the leading version once
@@ -445,7 +487,7 @@ mod tests {
     fn reset_downgrades_and_frees() {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 4; // 1/16: resets happen fast
-        let mut d = ToleoDevice::new(cfg);
+        let mut d = ToleoDevice::new(cfg).unwrap();
         let mut saw_reset_from_nonflat = false;
         for _ in 0..2_000 {
             let fmt_before = d.page_format(0).unwrap();
@@ -458,14 +500,17 @@ mod tests {
                 }
             }
         }
-        assert!(saw_reset_from_nonflat, "test never exercised a non-flat reset");
+        assert!(
+            saw_reset_from_nonflat,
+            "test never exercised a non-flat reset"
+        );
     }
 
     #[test]
     fn update_response_reflects_post_reset_version() {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 3;
-        let mut d = ToleoDevice::new(cfg);
+        let mut d = ToleoDevice::new(cfg).unwrap();
         for _ in 0..500 {
             let r = d.update(0, 2).unwrap();
             let now = d.read(0, 2).unwrap();

@@ -186,7 +186,7 @@ impl ProtectionEngine {
         let tweak_key: [u8; 16] = key_material[16..32].try_into().expect("16 bytes");
         let mac_key: [u8; 16] = key_material[32..].try_into().expect("16 bytes");
         ProtectionEngine {
-            device: ToleoDevice::new(cfg.clone()),
+            device: ToleoDevice::new(cfg.clone()).unwrap_or_else(|e| panic!("{e}")),
             cfg,
             xts: AesXts::new(&data_key, &tweak_key),
             mac: MacKey::new(mac_key),
@@ -247,7 +247,13 @@ impl ProtectionEngine {
 
     fn seal(&mut self, base: u64, fv: FullVersion, plaintext: &Block) {
         let mut ct = *plaintext;
-        self.xts.encrypt(Tweak { version: fv.raw(), address: base }, &mut ct);
+        self.xts.encrypt(
+            Tweak {
+                version: fv.raw(),
+                address: base,
+            },
+            &mut ct,
+        );
         let tag = self.mac.mac(fv.raw(), base, &ct);
         self.dram.data.insert(base, ct);
         self.dram.macs.insert(base, tag);
@@ -262,17 +268,25 @@ impl ProtectionEngine {
                 return Ok([0u8; CACHE_BLOCK_BYTES]);
             }
         };
-        let stored_tag =
-            self.dram.macs.get(&base).copied().ok_or(ToleoError::IntegrityViolation {
-                address: base,
-            })?;
+        let stored_tag = self
+            .dram
+            .macs
+            .get(&base)
+            .copied()
+            .ok_or(ToleoError::IntegrityViolation { address: base })?;
         let expect = self.mac.mac(fv.raw(), base, &ct);
         if !expect.verify(&stored_tag) {
             self.killed = true;
             return Err(ToleoError::IntegrityViolation { address: base });
         }
         let mut pt = ct;
-        self.xts.decrypt(Tweak { version: fv.raw(), address: base }, &mut pt);
+        self.xts.decrypt(
+            Tweak {
+                version: fv.raw(),
+                address: base,
+            },
+            &mut pt,
+        );
         Ok(pt)
     }
 
@@ -314,8 +328,8 @@ impl ProtectionEngine {
             let new_uv = uv.incremented();
             let new_base = self.device.read(page, 0)?; // post-reset shared base
             for l in 0..LINES_PER_PAGE {
-                let lbase = page * crate::config::PAGE_BYTES as u64
-                    + (l * CACHE_BLOCK_BYTES) as u64;
+                let lbase =
+                    page * crate::config::PAGE_BYTES as u64 + (l * CACHE_BLOCK_BYTES) as u64;
                 if l == line || !self.dram.data.contains_key(&lbase) {
                     continue;
                 }
@@ -424,7 +438,10 @@ mod tests {
         assert_ne!(ct1, [9u8; 64], "data must be encrypted at rest");
         e.write(0, &[9u8; 64]).unwrap();
         let ct2 = *e.adversary().ciphertext(0).unwrap();
-        assert_ne!(ct1, ct2, "same plaintext re-encrypts differently (fresh version)");
+        assert_ne!(
+            ct1, ct2,
+            "same plaintext re-encrypts differently (fresh version)"
+        );
     }
 
     #[test]
@@ -432,7 +449,10 @@ mod tests {
         let mut e = engine();
         e.write(0x40, &[7u8; 64]).unwrap();
         e.adversary().corrupt_data(0x40, 0x01);
-        assert!(matches!(e.read(0x40), Err(ToleoError::IntegrityViolation { .. })));
+        assert!(matches!(
+            e.read(0x40),
+            Err(ToleoError::IntegrityViolation { .. })
+        ));
         assert!(e.is_killed());
         // Kill switch: even untampered addresses now refuse service.
         assert!(e.read(0x80).is_err());
@@ -447,7 +467,10 @@ mod tests {
         e.write(0x1000, &[2u8; 64]).unwrap();
         e.adversary().replay(&stale);
         // The stealth version advanced, so the stale MAC cannot verify.
-        assert!(matches!(e.read(0x1000), Err(ToleoError::IntegrityViolation { .. })));
+        assert!(matches!(
+            e.read(0x1000),
+            Err(ToleoError::IntegrityViolation { .. })
+        ));
         assert!(e.is_killed());
     }
 
@@ -455,7 +478,8 @@ mod tests {
     fn forged_mac_detected() {
         let mut e = engine();
         e.write(0, &[5u8; 64]).unwrap();
-        e.adversary().forge_mac(0, toleo_crypto::mac::Tag56::from_raw(0xdead));
+        e.adversary()
+            .forge_mac(0, toleo_crypto::mac::Tag56::from_raw(0xdead));
         assert!(e.read(0).is_err());
     }
 
@@ -466,7 +490,10 @@ mod tests {
         e.free_page(layout::page_of(0x2000)).unwrap();
         // UV bumped + stealth re-randomized without re-encryption: the old
         // MAC can no longer verify, so a malicious OS cannot read the page.
-        assert!(matches!(e.read(0x2000), Err(ToleoError::IntegrityViolation { .. })));
+        assert!(matches!(
+            e.read(0x2000),
+            Err(ToleoError::IntegrityViolation { .. })
+        ));
     }
 
     #[test]
@@ -498,7 +525,11 @@ mod tests {
         }
         assert!(e.stats().pages_reencrypted > 0);
         for l in 0..8u64 {
-            assert_eq!(e.read(0x1000 + l * 64).unwrap(), [l as u8 + 1; 64], "line {l}");
+            assert_eq!(
+                e.read(0x1000 + l * 64).unwrap(),
+                [l as u8 + 1; 64],
+                "line {l}"
+            );
         }
     }
 

@@ -30,13 +30,22 @@ pub enum ToleoError {
         /// Number of protected pages.
         pages: u64,
     },
+    /// A device or engine was constructed from a configuration that
+    /// fails [`validate`](crate::config::ToleoConfig::validate).
+    InvalidConfig {
+        /// What the validation rejected.
+        detail: String,
+    },
 }
 
 impl std::fmt::Display for ToleoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ToleoError::IntegrityViolation { address } => {
-                write!(f, "integrity/freshness check failed at {address:#x}: kill switch engaged")
+                write!(
+                    f,
+                    "integrity/freshness check failed at {address:#x}: kill switch engaged"
+                )
             }
             ToleoError::LinkViolation { detail } => {
                 write!(f, "cxl ide violation: {detail}")
@@ -46,6 +55,9 @@ impl std::fmt::Display for ToleoError {
             }
             ToleoError::PageOutOfRange { page, pages } => {
                 write!(f, "page {page:#x} outside protected range of {pages} pages")
+            }
+            ToleoError::InvalidConfig { detail } => {
+                write!(f, "invalid ToleoConfig: {detail}")
             }
         }
     }
@@ -65,13 +77,22 @@ mod tests {
         assert!(ToleoError::IntegrityViolation { address: 0x40 }
             .to_string()
             .contains("kill switch"));
-        assert!(ToleoError::DeviceFull { page: 1 }.to_string().contains("full"));
+        assert!(ToleoError::DeviceFull { page: 1 }
+            .to_string()
+            .contains("full"));
         assert!(ToleoError::PageOutOfRange { page: 9, pages: 4 }
             .to_string()
             .contains("outside"));
-        assert!(ToleoError::LinkViolation { detail: "replay".into() }
-            .to_string()
-            .contains("replay"));
+        assert!(ToleoError::LinkViolation {
+            detail: "replay".into()
+        }
+        .to_string()
+        .contains("replay"));
+        assert!(ToleoError::InvalidConfig {
+            detail: "stealth_bits 0".into()
+        }
+        .to_string()
+        .contains("invalid ToleoConfig"));
     }
 
     #[test]

@@ -42,7 +42,11 @@ impl MemoryLayout {
     pub fn split(pool_bytes: u64) -> Self {
         let data_bytes = (pool_bytes / 9 * 8) / PAGE_BYTES as u64 * PAGE_BYTES as u64;
         let mac_bytes = pool_bytes - data_bytes;
-        MemoryLayout { pool_bytes, data_bytes, mac_bytes }
+        MemoryLayout {
+            pool_bytes,
+            data_bytes,
+            mac_bytes,
+        }
     }
 
     /// Number of protected data pages.

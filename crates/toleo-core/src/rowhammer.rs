@@ -57,7 +57,13 @@ impl RateLimiter {
     /// Creates a limiter: at most `budget` updates per page per
     /// `window_ns`, punishing excess with `delay_ns` stalls.
     pub fn new(budget: u32, window_ns: u64, delay_ns: u64) -> Self {
-        RateLimiter { budget, window_ns, delay_ns, counters: HashMap::new(), throttles: 0 }
+        RateLimiter {
+            budget,
+            window_ns,
+            delay_ns,
+            counters: HashMap::new(),
+            throttles: 0,
+        }
     }
 
     /// A limiter sized for the DDR4 Rowhammer threshold (~50k activations
@@ -76,7 +82,9 @@ impl RateLimiter {
         entry.1 += 1;
         if entry.1 > self.budget {
             self.throttles += 1;
-            RateDecision::Throttle { delay_ns: self.delay_ns }
+            RateDecision::Throttle {
+                delay_ns: self.delay_ns,
+            }
         } else {
             RateDecision::Allow
         }
@@ -101,7 +109,8 @@ impl RateLimiter {
     /// counting-bloom-style structure; the model just garbage-collects).
     pub fn expire(&mut self, now_ns: u64) {
         let window = self.window_ns;
-        self.counters.retain(|_, (start, _)| now_ns.saturating_sub(*start) < window);
+        self.counters
+            .retain(|_, (start, _)| now_ns.saturating_sub(*start) < window);
     }
 }
 

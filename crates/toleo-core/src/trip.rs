@@ -88,7 +88,10 @@ enum PageRepr {
 impl PageEntry {
     /// Creates a fresh flat entry with the given random initial base.
     pub fn new_flat(base: StealthVersion) -> Self {
-        PageEntry { format: PageRepr::Flat { written: 0 }, base }
+        PageEntry {
+            format: PageRepr::Flat { written: 0 },
+            base,
+        }
     }
 
     /// Current representation format.
@@ -120,7 +123,9 @@ impl PageEntry {
             PageRepr::Uneven { offsets } => {
                 self.base.offset_by(offsets[line] as u32, cfg.stealth_bits)
             }
-            PageRepr::Full { stealth } => StealthVersion::new(stealth[line] as u64, cfg.stealth_bits),
+            PageRepr::Full { stealth } => {
+                StealthVersion::new(stealth[line] as u64, cfg.stealth_bits)
+            }
         }
     }
 
@@ -214,8 +219,10 @@ impl PageEntry {
                 // MIN == 0: stride truly exceeds 127, upgrade to full.
                 let mut stealth = Box::new([0u32; LINES_PER_PAGE]);
                 for i in 0..LINES_PER_PAGE {
-                    stealth[i] =
-                        self.base.offset_by(offsets[i] as u32, cfg.stealth_bits).raw();
+                    stealth[i] = self
+                        .base
+                        .offset_by(offsets[i] as u32, cfg.stealth_bits)
+                        .raw();
                 }
                 stealth[line] = StealthVersion::new(stealth[line] as u64, cfg.stealth_bits)
                     .incremented(cfg.stealth_bits)
@@ -334,7 +341,9 @@ mod tests {
         for line in 0..10 {
             p.record_write(line, &cfg);
         }
-        let before: Vec<u32> = (0..LINES_PER_PAGE).map(|l| p.version_of(l, &cfg).raw()).collect();
+        let before: Vec<u32> = (0..LINES_PER_PAGE)
+            .map(|l| p.version_of(l, &cfg).raw())
+            .collect();
         p.record_write(3, &cfg); // upgrade
         for (l, b) in before.iter().enumerate() {
             let expect = if l == 3 { b + 1 } else { *b };
@@ -394,7 +403,11 @@ mod tests {
         }
         // Next write overflows the 7-bit offset but MIN=1 can be folded.
         assert_eq!(p.record_write(0, &cfg), UpdateEffect::None);
-        assert_eq!(p.format(), TripFormat::Uneven, "renormalization avoids full");
+        assert_eq!(
+            p.format(),
+            TripFormat::Uneven,
+            "renormalization avoids full"
+        );
         assert_eq!(p.base().raw(), 1, "MIN folded into base");
         assert_eq!(p.version_of(0, &cfg).raw(), cfg.max_uneven_offset + 1);
         assert_eq!(p.version_of(1, &cfg).raw(), 1);

@@ -18,7 +18,9 @@ pub const UV_BITS: u32 = 37;
 ///
 /// Stored only in Toleo smart memory; may wrap and repeat across stealth
 /// intervals, which is safe because it stays confidential.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct StealthVersion(u32);
 
 impl StealthVersion {
@@ -42,7 +44,11 @@ impl StealthVersion {
     /// Adds `delta`, wrapping within `bits`.
     #[must_use]
     pub fn offset_by(self, delta: u32, bits: u32) -> Self {
-        let mask = if bits >= 32 { u32::MAX } else { (1u32 << bits) - 1 };
+        let mask = if bits >= 32 {
+            u32::MAX
+        } else {
+            (1u32 << bits) - 1
+        };
         StealthVersion(self.0.wrapping_add(delta) & mask)
     }
 }
@@ -50,7 +56,9 @@ impl StealthVersion {
 /// An upper version (UV): the high-order part of a full version, shared by
 /// all cache blocks of a page and stored in the spare space of MAC blocks
 /// in conventional memory.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct UpperVersion(u64);
 
 impl UpperVersion {
@@ -75,7 +83,9 @@ impl UpperVersion {
 /// A full 64-bit version: `UV << stealth_bits | stealth`. This is the AES
 /// tweak component and the MAC input; it must never repeat for a given
 /// address during the platform lifetime.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct FullVersion(u64);
 
 impl FullVersion {
@@ -139,7 +149,12 @@ mod tests {
 
     #[test]
     fn full_version_round_trips() {
-        for (uv, st) in [(0u64, 0u64), (1, 1), (123456, 98765), ((1 << 37) - 1, (1 << 27) - 1)] {
+        for (uv, st) in [
+            (0u64, 0u64),
+            (1, 1),
+            (123456, 98765),
+            ((1 << 37) - 1, (1 << 27) - 1),
+        ] {
             let fv = FullVersion::compose(
                 UpperVersion::new(uv),
                 StealthVersion::new(st, STEALTH_BITS),

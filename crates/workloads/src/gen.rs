@@ -57,7 +57,9 @@ impl Benchmark {
     /// All benchmarks in the paper's Table 2 order.
     pub fn all() -> [Benchmark; 12] {
         use Benchmark::*;
-        [Bsw, Chain, Dbg, Fmi, Pileup, Bfs, Pr, Sssp, Llama2Gen, Redis, Memcached, Hyrise]
+        [
+            Bsw, Chain, Dbg, Fmi, Pileup, Bfs, Pr, Sssp, Llama2Gen, Redis, Memcached, Hyrise,
+        ]
     }
 
     /// Table 2 name.
@@ -136,14 +138,21 @@ pub struct GenConfig {
 
 impl Default for GenConfig {
     fn default() -> Self {
-        GenConfig { bytes_per_paper_gb: 1 << 20, mem_ops: 250_000, seed: 0xBE7C4 }
+        GenConfig {
+            bytes_per_paper_gb: 1 << 20,
+            mem_ops: 250_000,
+            seed: 0xBE7C4,
+        }
     }
 }
 
 impl GenConfig {
     /// A fast configuration for unit tests.
     pub fn tiny() -> Self {
-        GenConfig { mem_ops: 5_000, ..Self::default() }
+        GenConfig {
+            mem_ops: 5_000,
+            ..Self::default()
+        }
     }
 }
 
@@ -159,7 +168,8 @@ impl GenConfig {
 /// assert_eq!(t.name, "pr");
 /// ```
 pub fn generate(bench: Benchmark, cfg: &GenConfig) -> Trace {
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ bench.name().len() as u64 ^ (bench as u64) << 32);
+    let mut rng =
+        StdRng::seed_from_u64(cfg.seed ^ bench.name().len() as u64 ^ (bench as u64) << 32);
     let rss = (bench.paper_rss_gb() * cfg.bytes_per_paper_gb as f64) as u64 / PAGE * PAGE;
     let mut t = Trace::new(bench.name());
     t.rss_bytes = rss;
@@ -213,7 +223,7 @@ fn gen_dp1d(t: &mut Trace, rss: u64, cfg: &GenConfig, rng: &mut StdRng) {
     while emitted < cfg.mem_ops {
         let cur = (i % n_blocks) * BLOCK;
         // Look back at a few predecessors within the chaining window.
-        let back = rng.gen_range(1..32);
+        let back = rng.gen_range(1..32u64);
         t.compute(2000);
         t.read(cur.saturating_sub(back * BLOCK));
         t.write(cur);
@@ -300,7 +310,11 @@ fn gen_fmi(t: &mut Trace, rss: u64, cfg: &GenConfig, rng: &mut StdRng) {
             }
             let page = n_pages - 1 - (drift + rng.gen_range(0..window)) % tree_pages.max(1);
             let line = rng.gen_range(0..6u64);
-            let repeats = if line == 0 { rng.gen_range(6..12) } else { rng.gen_range(1..4) };
+            let repeats = if line == 0 {
+                rng.gen_range(6..12)
+            } else {
+                rng.gen_range(1..4)
+            };
             let addr = page * PAGE + line * BLOCK;
             for _ in 0..repeats {
                 t.compute(90);
@@ -331,8 +345,8 @@ fn gen_graph(t: &mut Trace, rss: u64, cfg: &GenConfig, rng: &mut StdRng, kind: G
     let vert_base = edge_bytes;
     let vert_blocks = (rss - edge_bytes) / BLOCK;
     let compute: u32 = match kind {
-        GraphKind::Pr => 3,    // MPKI ~134: almost no compute per edge
-        GraphKind::Bfs => 22,  // MPKI ~23
+        GraphKind::Pr => 3,     // MPKI ~134: almost no compute per edge
+        GraphKind::Bfs => 22,   // MPKI ~23
         GraphKind::Sssp => 230, // MPKI ~2.4 (priority-queue work off-trace)
     };
     let mut edge_cursor = 0u64;
@@ -567,7 +581,13 @@ mod tests {
     #[test]
     fn different_seeds_differ() {
         let a = generate(Benchmark::Redis, &GenConfig::tiny());
-        let b = generate(Benchmark::Redis, &GenConfig { seed: 99, ..GenConfig::tiny() });
+        let b = generate(
+            Benchmark::Redis,
+            &GenConfig {
+                seed: 99,
+                ..GenConfig::tiny()
+            },
+        );
         assert_ne!(a.ops, b.ops);
     }
 
@@ -576,7 +596,10 @@ mod tests {
         let cfg = GenConfig::tiny();
         let pr = generate(Benchmark::Pr, &cfg);
         let hyrise = generate(Benchmark::Hyrise, &cfg);
-        assert!(pr.rss_bytes > 2 * hyrise.rss_bytes, "pr 20.8GB vs hyrise 6.96GB");
+        assert!(
+            pr.rss_bytes > 2 * hyrise.rss_bytes,
+            "pr 20.8GB vs hyrise 6.96GB"
+        );
     }
 
     #[test]
@@ -585,7 +608,11 @@ mod tests {
             let t = generate(b, &GenConfig::tiny());
             for op in &t.ops {
                 if let crate::trace::Op::Read(a) | crate::trace::Op::Write(a) = op {
-                    assert!(*a < t.rss_bytes, "{b}: address {a:#x} >= rss {:#x}", t.rss_bytes);
+                    assert!(
+                        *a < t.rss_bytes,
+                        "{b}: address {a:#x} >= rss {:#x}",
+                        t.rss_bytes
+                    );
                 }
             }
         }
@@ -616,7 +643,10 @@ mod tests {
         let fmi = generate(Benchmark::Fmi, &cfg);
         let pr_ipm = pr.instructions() as f64 / pr.mem_ops() as f64;
         let fmi_ipm = fmi.instructions() as f64 / fmi.mem_ops() as f64;
-        assert!(pr_ipm * 10.0 < fmi_ipm, "pr {pr_ipm:.1} vs fmi {fmi_ipm:.1} instr/access");
+        assert!(
+            pr_ipm * 10.0 < fmi_ipm,
+            "pr {pr_ipm:.1} vs fmi {fmi_ipm:.1} instr/access"
+        );
     }
 
     #[test]
@@ -634,6 +664,9 @@ mod tests {
         let n = 1000u64;
         let samples: Vec<u64> = (0..10_000).map(|_| zipf_block(&mut rng, n)).collect();
         let low = samples.iter().filter(|&&s| s < n / 10).count();
-        assert!(low > 4_000, "power law must concentrate: {low}/10000 in lowest decile");
+        assert!(
+            low > 4_000,
+            "power law must concentrate: {low}/10000 in lowest decile"
+        );
     }
 }

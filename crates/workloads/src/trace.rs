@@ -36,7 +36,12 @@ pub struct Trace {
 impl Trace {
     /// Creates an empty trace.
     pub fn new(name: impl Into<String>) -> Self {
-        Trace { name: name.into(), ops: Vec::new(), rss_bytes: 0, mlp: 4.0 }
+        Trace {
+            name: name.into(),
+            ops: Vec::new(),
+            rss_bytes: 0,
+            mlp: 4.0,
+        }
     }
 
     /// Total instruction count (compute + one per memory op).
@@ -52,12 +57,18 @@ impl Trace {
 
     /// Number of memory operations.
     pub fn mem_ops(&self) -> u64 {
-        self.ops.iter().filter(|op| !matches!(op, Op::Compute(_))).count() as u64
+        self.ops
+            .iter()
+            .filter(|op| !matches!(op, Op::Compute(_)))
+            .count() as u64
     }
 
     /// Number of writes.
     pub fn writes(&self) -> u64 {
-        self.ops.iter().filter(|op| matches!(op, Op::Write(_))).count() as u64
+        self.ops
+            .iter()
+            .filter(|op| matches!(op, Op::Write(_)))
+            .count() as u64
     }
 
     /// Appends a compute batch, merging with a trailing batch if present.

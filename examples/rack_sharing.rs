@@ -13,15 +13,26 @@ use toleo_workloads::{generate, Benchmark, GenConfig};
 fn main() {
     // A genomics node, a graph-analytics node, an LLM node and a database
     // node share the rack (the paper's motivating mix).
-    let mix = [Benchmark::Bsw, Benchmark::Bfs, Benchmark::Llama2Gen, Benchmark::Hyrise];
-    let gen = GenConfig { mem_ops: 60_000, ..GenConfig::default() };
+    let mix = [
+        Benchmark::Bsw,
+        Benchmark::Bfs,
+        Benchmark::Llama2Gen,
+        Benchmark::Hyrise,
+    ];
+    let gen = GenConfig {
+        mem_ops: 60_000,
+        ..GenConfig::default()
+    };
     let traces: Vec<_> = mix.iter().map(|b| generate(*b, &gen)).collect();
 
     let mut rack = Rack::new(SimConfig::scaled(Protection::Toleo), mix.len());
     let stats = rack.run(&traces);
 
     println!("4-node rack sharing one Toleo device\n");
-    println!("{:<12}{:>14}{:>13}{:>13}{:>11}", "node", "cycles", "stealth hit", "read lat", "MPKI");
+    println!(
+        "{:<12}{:>14}{:>13}{:>13}{:>11}",
+        "node", "cycles", "stealth hit", "read lat", "MPKI"
+    );
     for s in &stats {
         println!(
             "{:<12}{:>14.0}{:>12.1}%{:>11.0}ns{:>11.1}",

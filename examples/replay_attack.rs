@@ -21,13 +21,19 @@ fn main() {
     let mut e = fresh_engine();
     e.write(0x40, &[7u8; 64]).unwrap();
     e.adversary().corrupt_data(0x40, 0x80);
-    println!("   flip one ciphertext bit -> {:?}", e.read(0x40).unwrap_err());
+    println!(
+        "   flip one ciphertext bit -> {:?}",
+        e.read(0x40).unwrap_err()
+    );
 
     println!("\n== Attack 2: MAC forgery ==");
     let mut e = fresh_engine();
     e.write(0x40, &[7u8; 64]).unwrap();
     e.adversary().forge_mac(0x40, Tag56::from_raw(0x1337));
-    println!("   forge the stored tag    -> {:?}", e.read(0x40).unwrap_err());
+    println!(
+        "   forge the stored tag    -> {:?}",
+        e.read(0x40).unwrap_err()
+    );
 
     println!("\n== Attack 3: replay of stale (ciphertext, MAC, UV) ==");
     let mut e = fresh_engine();
@@ -35,14 +41,20 @@ fn main() {
     let stale = e.adversary().capture(0x40);
     e.write(0x40, &[2u8; 64]).unwrap();
     e.adversary().replay(&stale);
-    println!("   replay the old capsule  -> {:?}", e.read(0x40).unwrap_err());
+    println!(
+        "   replay the old capsule  -> {:?}",
+        e.read(0x40).unwrap_err()
+    );
     println!("   (the stealth version in Toleo moved on; a blind guess wins 1 in 2^27)");
 
     println!("\n== Attack 4: malicious OS reads a freed page ==");
     let mut e = fresh_engine();
     e.write(0x2000, &[9u8; 64]).unwrap();
     e.free_page(0x2000 / 4096).unwrap();
-    println!("   read after free+remap   -> {:?}", e.read(0x2000).unwrap_err());
+    println!(
+        "   read after free+remap   -> {:?}",
+        e.read(0x2000).unwrap_err()
+    );
 
     println!("\n== Attack 5: tampering with the CXL IDE link ==");
     let (mut tx, mut rx) = establish_session([0x99u8; 32]);
@@ -51,11 +63,17 @@ fn main() {
     // In-flight modification.
     let mut bent = f1.clone();
     bent.ciphertext[0] ^= 1;
-    println!("   modified flit           -> {:?}", rx.receive(&bent).unwrap_err());
+    println!(
+        "   modified flit           -> {:?}",
+        rx.receive(&bent).unwrap_err()
+    );
     // Replay / reorder on the link.
     rx.receive(&f1).unwrap();
     rx.receive(&f2).unwrap();
-    println!("   replayed flit           -> {:?}", rx.receive(&f1).unwrap_err());
+    println!(
+        "   replayed flit           -> {:?}",
+        rx.receive(&f1).unwrap_err()
+    );
 
     println!("\n== Baseline: the Merkle-tree engine catches the same replay ==");
     let mut sgx = SgxEngine::new(1 << 20);
@@ -63,7 +81,13 @@ fn main() {
     let stale = sgx.capture(0x80);
     sgx.write(0x80, &[2u8; 64]).unwrap();
     sgx.replay(0x80, stale);
-    println!("   sgx replay              -> {:?}", sgx.read(0x80).unwrap_err());
-    println!("   ...but paid {} tree-node accesses to get there", sgx.tree_accesses);
+    println!(
+        "   sgx replay              -> {:?}",
+        sgx.read(0x80).unwrap_err()
+    );
+    println!(
+        "   ...but paid {} tree-node accesses to get there",
+        sgx.tree_accesses
+    );
     println!("\nBoth designs detect everything; Toleo does it with one version access.");
 }

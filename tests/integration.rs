@@ -6,18 +6,36 @@ use toleo_sim::system::{Rack, System};
 use toleo_workloads::{generate, Benchmark, GenConfig};
 
 fn quick(b: Benchmark) -> toleo_workloads::Trace {
-    generate(b, &GenConfig { mem_ops: 20_000, ..GenConfig::default() })
+    generate(
+        b,
+        &GenConfig {
+            mem_ops: 20_000,
+            ..GenConfig::default()
+        },
+    )
 }
 
 /// A longer trace for tests that need warmed caches / converged formats.
 fn warm(b: Benchmark) -> toleo_workloads::Trace {
-    generate(b, &GenConfig { mem_ops: 100_000, ..GenConfig::default() })
+    generate(
+        b,
+        &GenConfig {
+            mem_ops: 100_000,
+            ..GenConfig::default()
+        },
+    )
 }
 
 #[test]
 fn every_benchmark_runs_under_every_protection() {
     for b in Benchmark::all() {
-        let trace = generate(b, &GenConfig { mem_ops: 4_000, ..GenConfig::default() });
+        let trace = generate(
+            b,
+            &GenConfig {
+                mem_ops: 4_000,
+                ..GenConfig::default()
+            },
+        );
         for p in Protection::all() {
             let s = System::new(SimConfig::scaled(p)).run(&trace);
             assert!(s.cycles > 0.0, "{b}/{p}");
@@ -31,14 +49,23 @@ fn every_benchmark_runs_under_every_protection() {
 fn fig6_shape_toleo_freshness_is_cheap() {
     // The paper's headline: freshness adds only a few percent over CI.
     let mut ratios = Vec::new();
-    for b in [Benchmark::Bsw, Benchmark::Chain, Benchmark::Llama2Gen, Benchmark::Sssp] {
+    for b in [
+        Benchmark::Bsw,
+        Benchmark::Chain,
+        Benchmark::Llama2Gen,
+        Benchmark::Sssp,
+    ] {
         let t = quick(b);
         let ci = System::new(SimConfig::scaled(Protection::Ci)).run(&t);
         let toleo = System::new(SimConfig::scaled(Protection::Toleo)).run(&t);
         ratios.push(toleo.cycles / ci.cycles);
     }
     let avg = ratios.iter().sum::<f64>() / ratios.len() as f64;
-    assert!(avg < 1.06, "Toleo over CI averaged {:.1}% (paper: 1-2%)", (avg - 1.0) * 100.0);
+    assert!(
+        avg < 1.06,
+        "Toleo over CI averaged {:.1}% (paper: 1-2%)",
+        (avg - 1.0) * 100.0
+    );
 }
 
 #[test]
@@ -57,7 +84,11 @@ fn fig6_shape_invisimem_costs_more_than_toleo_on_bandwidth_bound() {
 fn fig7_shape_kv_stores_are_stealth_cache_outliers() {
     let regular = System::new(SimConfig::scaled(Protection::Toleo)).run(&quick(Benchmark::Bsw));
     let redis = System::new(SimConfig::scaled(Protection::Toleo)).run(&quick(Benchmark::Redis));
-    assert!(regular.stealth_hit_rate > 0.93, "bsw: {}", regular.stealth_hit_rate);
+    assert!(
+        regular.stealth_hit_rate > 0.93,
+        "bsw: {}",
+        regular.stealth_hit_rate
+    );
     assert!(
         redis.stealth_hit_rate < regular.stealth_hit_rate - 0.1,
         "redis must be an outlier: {} vs {}",
@@ -70,11 +101,19 @@ fn fig7_shape_kv_stores_are_stealth_cache_outliers() {
 fn fig8_shape_stealth_traffic_is_marginal() {
     let t = warm(Benchmark::Pr);
     let s = System::new(SimConfig::scaled(Protection::Toleo)).run(&t);
-    let stealth_frac = s.bytes_stealth as f64 / (s.bytes_data + s.bytes_mac + s.bytes_stealth) as f64;
+    let stealth_frac =
+        s.bytes_stealth as f64 / (s.bytes_data + s.bytes_mac + s.bytes_stealth) as f64;
     // Paper reports ~2% for pr; our synthetic trace has somewhat less
     // page locality, so allow up to 8% — still far below MAC traffic.
-    assert!(stealth_frac < 0.08, "stealth traffic {:.1}%", stealth_frac * 100.0);
-    assert!(s.bytes_mac > s.bytes_stealth, "MAC traffic dominates metadata");
+    assert!(
+        stealth_frac < 0.08,
+        "stealth traffic {:.1}%",
+        stealth_frac * 100.0
+    );
+    assert!(
+        s.bytes_mac > s.bytes_stealth,
+        "MAC traffic dominates metadata"
+    );
 }
 
 #[test]
@@ -83,7 +122,10 @@ fn fig9_shape_latency_components_ordered() {
     let s = System::new(SimConfig::scaled(Protection::Toleo)).run(&t);
     assert!(s.avg_dram_ns > 0.0);
     assert!(s.avg_aes_ns > 0.0);
-    assert!(s.avg_dram_ns > s.avg_fresh_ns, "freshness must be a minor component");
+    assert!(
+        s.avg_dram_ns > s.avg_fresh_ns,
+        "freshness must be a minor component"
+    );
 }
 
 #[test]
@@ -105,26 +147,45 @@ fn fig11_shape_toleo_usage_a_few_gb_per_tb() {
     let s = System::new(SimConfig::scaled(Protection::Toleo)).run(&t);
     let gb_per_tb = s.toleo_gb_per_tb();
     // Static flat floor is 2.93 GB/TB (12 B / 4 KB); paper average 4.27.
-    assert!(gb_per_tb > 2.8 && gb_per_tb < 10.0, "usage {gb_per_tb:.2} GB/TB");
+    assert!(
+        gb_per_tb > 2.8 && gb_per_tb < 10.0,
+        "usage {gb_per_tb:.2} GB/TB"
+    );
 }
 
 #[test]
 fn table2_shape_mpki_ranking() {
-    let cfg = GenConfig { mem_ops: 20_000, ..GenConfig::default() };
+    let cfg = GenConfig {
+        mem_ops: 20_000,
+        ..GenConfig::default()
+    };
     let mpki = |b| {
-        System::new(SimConfig::scaled(Protection::NoProtect)).run(&generate(b, &cfg)).llc_mpki
+        System::new(SimConfig::scaled(Protection::NoProtect))
+            .run(&generate(b, &cfg))
+            .llc_mpki
     };
     let pr = mpki(Benchmark::Pr);
     let llama = mpki(Benchmark::Llama2Gen);
     let bfs = mpki(Benchmark::Bfs);
     let chain = mpki(Benchmark::Chain);
-    assert!(pr > llama && llama > bfs && bfs > chain, "pr {pr} > llama {llama} > bfs {bfs} > chain {chain}");
+    assert!(
+        pr > llama && llama > bfs && bfs > chain,
+        "pr {pr} > llama {llama} > bfs {bfs} > chain {chain}"
+    );
 }
 
 #[test]
 fn rack_of_four_shares_one_device() {
-    let mix = [Benchmark::Bsw, Benchmark::Dbg, Benchmark::Hyrise, Benchmark::Chain];
-    let gen = GenConfig { mem_ops: 5_000, ..GenConfig::default() };
+    let mix = [
+        Benchmark::Bsw,
+        Benchmark::Dbg,
+        Benchmark::Hyrise,
+        Benchmark::Chain,
+    ];
+    let gen = GenConfig {
+        mem_ops: 5_000,
+        ..GenConfig::default()
+    };
     let traces: Vec<_> = mix.iter().map(|b| generate(*b, &gen)).collect();
     let mut rack = Rack::new(SimConfig::scaled(Protection::Toleo), 4);
     let stats = rack.run(&traces);

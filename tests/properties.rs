@@ -143,7 +143,7 @@ proptest! {
     ) {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 5;
-        let mut dev = toleo_core::device::ToleoDevice::new(cfg);
+        let mut dev = toleo_core::device::ToleoDevice::new(cfg).unwrap();
         for (page, line) in ops {
             let resp = dev.update(page, line).unwrap();
             prop_assert_eq!(dev.read(page, line).unwrap(), resp.stealth);

@@ -12,6 +12,36 @@ fn engine() -> ProtectionEngine {
 }
 
 #[test]
+fn quickstart_replay_capture_overwrite_replay_detected() {
+    // The toleo-core crate-docs quickstart, as a named integration test:
+    // ordinary protected accesses work, then a replay attack (capture
+    // stale ciphertext+MAC, overwrite with new data, replay the stale
+    // capsule) is detected on the next read and kills the platform.
+    let mut engine = ProtectionEngine::new(ToleoConfig::small(), [0u8; 48]);
+
+    // Ordinary protected accesses.
+    engine.write(0x1000, &[1u8; 64]).unwrap();
+    assert_eq!(engine.read(0x1000).unwrap(), [1u8; 64]);
+
+    // Capture the current (ciphertext, MAC) capsule at 0x1000...
+    let stale = engine.adversary().capture(0x1000);
+    // ...let the victim overwrite it...
+    engine.write(0x1000, &[2u8; 64]).unwrap();
+    // ...and replay the stale capsule.
+    engine.adversary().replay(&stale);
+
+    // The stale capsule carries an out-of-date version: detected.
+    assert!(
+        matches!(
+            engine.read(0x1000),
+            Err(ToleoError::IntegrityViolation { address: 0x1000 })
+        ),
+        "replayed capsule must fail the freshness check"
+    );
+    assert!(engine.is_killed(), "detection must engage the kill switch");
+}
+
+#[test]
 fn replay_detected_at_every_overwrite_depth() {
     // Capture at each historical version; all replays must fail.
     for depth in 1..6u8 {
@@ -116,7 +146,10 @@ fn stealth_version_not_inferable_from_fresh_pages() {
             diffs += 1;
         }
     }
-    assert!(diffs >= 7, "stealth bases must be trace-independent ({diffs}/8 differ)");
+    assert!(
+        diffs >= 7,
+        "stealth bases must be trace-independent ({diffs}/8 differ)"
+    );
 }
 
 #[test]

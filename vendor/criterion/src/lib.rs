@@ -1,0 +1,288 @@
+//! Offline shim for `criterion`.
+//!
+//! The build environment has no registry access, so the real
+//! `criterion` cannot be fetched. This shim implements the subset the
+//! workspace's benches use — [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::benchmark_group`], `bench_function`,
+//! `bench_with_input`, [`Bencher::iter`], [`Bencher::iter_batched`],
+//! [`Throughput`], [`BenchmarkId`], [`BatchSize`] — with a simple
+//! calibrated wall-clock measurement loop (median-free: mean of a
+//! fixed measurement window). No statistical analysis, plots, or
+//! baselines. Swap for the real `criterion` in
+//! `[workspace.dependencies]` when registry access is available.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box (the real criterion forwards to
+/// it on recent toolchains too).
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const MEASURE_TIME: Duration = Duration::from_millis(200);
+/// Warm-up time per benchmark.
+const WARMUP_TIME: Duration = Duration::from_millis(50);
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// How much setup output to batch per measurement (shim: ignored,
+/// every iteration gets a fresh setup value).
+#[derive(Debug, Clone, Copy)]
+pub enum BatchSize {
+    /// Small routine output.
+    SmallInput,
+    /// Large routine output.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// The timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly over the measurement window.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP_TIME {
+            black_box(routine());
+        }
+        // Measure.
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < MEASURE_TIME {
+            black_box(routine());
+            iters += 1;
+        }
+        self.total = start.elapsed();
+        self.iters = iters;
+    }
+
+    /// Measures `routine` on fresh values from `setup`, excluding the
+    /// setup cost from the reported time.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        // Warm-up.
+        let start = Instant::now();
+        while start.elapsed() < WARMUP_TIME {
+            let input = setup();
+            black_box(routine(input));
+        }
+        // Measure, timing only the routine.
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let window = Instant::now();
+        while window.elapsed() < MEASURE_TIME {
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            measured += t.elapsed();
+            iters += 1;
+        }
+        self.total = measured;
+        self.iters = iters;
+    }
+
+    fn ns_per_iter(&self) -> f64 {
+        if self.iters == 0 {
+            return f64::NAN;
+        }
+        self.total.as_nanos() as f64 / self.iters as f64
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut b = Bencher::default();
+        f(&mut b, input);
+        self.report(&id.id, &b);
+        self
+    }
+
+    /// Ends the group (report-flush point in the real criterion).
+    pub fn finish(self) {}
+
+    fn report(&self, id: &str, b: &Bencher) {
+        let ns = b.ns_per_iter();
+        let mut line = format!("{}/{:<32} {:>12.1} ns/iter", self.name, id, ns);
+        if let Some(tp) = self.throughput {
+            let (amount, unit) = match tp {
+                Throughput::Bytes(n) => (n as f64, "MiB/s"),
+                Throughput::Elements(n) => (n as f64, "Melem/s"),
+            };
+            if ns > 0.0 {
+                let per_sec = amount * 1e9 / ns;
+                let scaled = match tp {
+                    Throughput::Bytes(_) => per_sec / (1024.0 * 1024.0),
+                    Throughput::Elements(_) => per_sec / 1e6,
+                };
+                line.push_str(&format!("  {scaled:>10.1} {unit}"));
+            }
+        }
+        println!("{line}");
+    }
+}
+
+/// Entry point handed to each bench function (mirrors
+/// `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Declares a group runner invoking each bench function in turn.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+///
+/// `cargo test --benches` invokes harness-less bench binaries with
+/// `--test`; in that mode the benchmarks are skipped so test runs stay
+/// fast.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if ::std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::default();
+        b.iter(|| black_box(2u64).wrapping_mul(3));
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter() > 0.0);
+    }
+
+    #[test]
+    fn iter_batched_counts_routine_only() {
+        let mut b = Bencher::default();
+        b.iter_batched(
+            || vec![1u8; 64],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("merkle", 4096);
+        assert_eq!(id.id, "merkle/4096");
+    }
+}

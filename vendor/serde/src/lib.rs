@@ -1,0 +1,21 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment has no registry access, so the real `serde`
+//! cannot be fetched. The workspace only uses
+//! `#[derive(Serialize, Deserialize)]` as inert markers (nothing is
+//! serialized at runtime), so this shim provides marker traits plus the
+//! no-op derives from the `serde_derive` shim under the usual names.
+//! Swap for the real `serde` in `[workspace.dependencies]` when
+//! registry access is available.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize` (never implemented — the
+/// no-op derive emits nothing and nothing bounds on it).
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize` (never implemented — the
+/// no-op derive emits nothing and nothing bounds on it).
+pub trait Deserialize<'de>: Sized {}

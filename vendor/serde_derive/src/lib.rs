@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build environment has no registry access, so the real
+//! `serde_derive` cannot be fetched. The workspace only ever uses
+//! `#[derive(Serialize, Deserialize)]` as inert markers — nothing is
+//! actually serialized — so no-op derives are sufficient. Swap this
+//! crate for the real `serde_derive` in `[workspace.dependencies]`
+//! when registry access is available.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
