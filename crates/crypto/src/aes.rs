@@ -2,10 +2,18 @@
 //!
 //! This is the cipher substrate the Toleo memory-protection engine uses for
 //! AES-XTS (data confidentiality, scalable-SGX style) and AES-CTR (client-SGX
-//! style). It is a straightforward byte-oriented implementation: correctness
-//! is what matters for the reproduction; the *latency* of the hardware AES
-//! engine (40 cycles in the paper's Table 3) is modelled separately in
-//! `toleo-sim`.
+//! style). The *latency* of the hardware AES engine (40 cycles in the paper's
+//! Table 3) is modelled separately in `toleo-sim`; this implementation is
+//! about functional-engine wall-clock, so it uses the classic T-table
+//! formulation: SubBytes, ShiftRows and MixColumns are fused into four
+//! 256-entry u32 lookup tables per direction (built at compile time from the
+//! S-box), the state is held as four u32 column words, and the key schedule —
+//! including the InvMixColumns-transformed decryption round keys of the
+//! equivalent inverse cipher — is expanded once at construction.
+//!
+//! The original byte-oriented implementation is retained under
+//! `#[cfg(test)]` as [`reference`] and the two are property-tested for
+//! equivalence over random keys and blocks.
 //!
 //! # Examples
 //!
@@ -71,30 +79,98 @@ const RCON: [u8; 10] = [0x01, 0x02, 0x04, 0x08, 0x10, 0x20, 0x40, 0x80, 0x1b, 0x
 
 /// Multiply by x in GF(2^8) modulo x^8 + x^4 + x^3 + x + 1.
 #[inline]
-fn xtime(b: u8) -> u8 {
-    (b << 1) ^ (if b & 0x80 != 0 { 0x1b } else { 0 })
+const fn xtime(b: u8) -> u8 {
+    (b << 1) ^ (0x1b * (b >> 7))
 }
 
-/// General GF(2^8) multiplication (small multiplier, used by MixColumns).
+/// General GF(2^8) multiplication (small multiplier, used for table
+/// construction and by the reference MixColumns).
 #[inline]
-fn gmul(mut a: u8, mut b: u8) -> u8 {
+const fn gmul(a: u8, b: u8) -> u8 {
     let mut p = 0u8;
-    for _ in 0..8 {
+    let mut a = a;
+    let mut b = b;
+    let mut i = 0;
+    while i < 8 {
         if b & 1 != 0 {
             p ^= a;
         }
         a = xtime(a);
         b >>= 1;
+        i += 1;
     }
     p
 }
 
+/// Builds the four forward T-tables. `TE[0][x]` packs one MixColumns column
+/// of `SBOX[x]` as `(2s, s, s, 3s)` big-endian; `TE[k]` is the same word
+/// rotated right by `8k` bits, so one table lookup per state byte covers
+/// SubBytes, ShiftRows (via the byte the caller picks) and MixColumns.
+const fn build_enc_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut x = 0;
+    while x < 256 {
+        let s = SBOX[x];
+        let w = ((xtime(s) as u32) << 24)
+            | ((s as u32) << 16)
+            | ((s as u32) << 8)
+            | (xtime(s) ^ s) as u32;
+        t[0][x] = w;
+        t[1][x] = w.rotate_right(8);
+        t[2][x] = w.rotate_right(16);
+        t[3][x] = w.rotate_right(24);
+        x += 1;
+    }
+    t
+}
+
+/// Builds the four inverse T-tables: `TD[0][x]` packs the InvMixColumns
+/// column of `INV_SBOX[x]` as `(14s, 9s, 13s, 11s)` big-endian.
+const fn build_dec_tables() -> [[u32; 256]; 4] {
+    let mut t = [[0u32; 256]; 4];
+    let mut x = 0;
+    while x < 256 {
+        let s = INV_SBOX[x];
+        let w = ((gmul(s, 0x0e) as u32) << 24)
+            | ((gmul(s, 0x09) as u32) << 16)
+            | ((gmul(s, 0x0d) as u32) << 8)
+            | gmul(s, 0x0b) as u32;
+        t[0][x] = w;
+        t[1][x] = w.rotate_right(8);
+        t[2][x] = w.rotate_right(16);
+        t[3][x] = w.rotate_right(24);
+        x += 1;
+    }
+    t
+}
+
+/// Forward T-tables (SubBytes + ShiftRows + MixColumns fused).
+static TE: [[u32; 256]; 4] = build_enc_tables();
+/// Inverse T-tables (InvSubBytes + InvShiftRows + InvMixColumns fused).
+static TD: [[u32; 256]; 4] = build_dec_tables();
+
+/// InvMixColumns of a round-key word, expressed through the TD tables:
+/// `TD[k][x]` applies InvMixColumns to `INV_SBOX[x]`, so indexing with
+/// `SBOX[byte]` cancels the S-box and leaves pure InvMixColumns.
+#[inline]
+fn inv_mix_word(w: u32) -> u32 {
+    TD[0][SBOX[(w >> 24) as usize] as usize]
+        ^ TD[1][SBOX[(w >> 16) as usize & 0xff] as usize]
+        ^ TD[2][SBOX[(w >> 8) as usize & 0xff] as usize]
+        ^ TD[3][SBOX[w as usize & 0xff] as usize]
+}
+
 /// An expanded AES-128 key ready for block encryption/decryption.
 ///
-/// Construct with [`Aes128::new`]; the 11 round keys are precomputed.
+/// Construct with [`Aes128::new`]; both the 44 encryption round-key words
+/// and the InvMixColumns-transformed decryption round keys of the
+/// equivalent inverse cipher are precomputed.
 #[derive(Clone)]
 pub struct Aes128 {
-    round_keys: [[u8; 16]; NR + 1],
+    /// Encryption round keys, one u32 per state column, big-endian packed.
+    ek: [u32; 4 * (NR + 1)],
+    /// Decryption round keys for the equivalent inverse cipher.
+    dk: [u32; 4 * (NR + 1)],
 }
 
 impl std::fmt::Debug for Aes128 {
@@ -107,154 +183,312 @@ impl std::fmt::Debug for Aes128 {
 }
 
 impl Aes128 {
-    /// Expands `key` into round keys.
+    /// Expands `key` into encryption and decryption round keys.
     pub fn new(key: &[u8; 16]) -> Self {
-        let mut w = [[0u8; 4]; 4 * (NR + 1)];
+        let mut ek = [0u32; 4 * (NR + 1)];
         for (i, chunk) in key.chunks_exact(4).enumerate() {
-            w[i].copy_from_slice(chunk);
+            ek[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
         }
         for i in NK..4 * (NR + 1) {
-            let mut temp = w[i - 1];
+            let mut temp = ek[i - 1];
             if i % NK == 0 {
-                temp.rotate_left(1);
-                for t in temp.iter_mut() {
-                    *t = SBOX[*t as usize];
-                }
-                temp[0] ^= RCON[i / NK - 1];
+                let r = temp.rotate_left(8);
+                temp = ((SBOX[(r >> 24) as usize] as u32) << 24)
+                    | ((SBOX[(r >> 16) as usize & 0xff] as u32) << 16)
+                    | ((SBOX[(r >> 8) as usize & 0xff] as u32) << 8)
+                    | SBOX[r as usize & 0xff] as u32;
+                temp ^= (RCON[i / NK - 1] as u32) << 24;
             }
+            ek[i] = ek[i - NK] ^ temp;
+        }
+        // Equivalent inverse cipher: reverse the round order and apply
+        // InvMixColumns to every round key except the first and last.
+        let mut dk = [0u32; 4 * (NR + 1)];
+        for r in 0..=NR {
             for j in 0..4 {
-                w[i][j] = w[i - NK][j] ^ temp[j];
+                let w = ek[4 * (NR - r) + j];
+                dk[4 * r + j] = if r == 0 || r == NR {
+                    w
+                } else {
+                    inv_mix_word(w)
+                };
             }
         }
-        let mut round_keys = [[0u8; 16]; NR + 1];
-        for (r, rk) in round_keys.iter_mut().enumerate() {
-            for c in 0..4 {
-                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
-            }
-        }
-        Aes128 { round_keys }
+        Aes128 { ek, dk }
     }
 
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[0]);
-        for round in 1..NR {
-            sub_bytes(&mut state);
-            shift_rows(&mut state);
-            mix_columns(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
+        let rk = &self.ek;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().expect("4 bytes")) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().expect("4 bytes")) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().expect("4 bytes")) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes")) ^ rk[3];
+        // Middle rounds: iterate round keys by 4-word chunks so the
+        // compiler sees in-bounds indexing without checks.
+        for k in rk[4..4 * NR].chunks_exact(4) {
+            let t0 = TE[0][(s0 >> 24) as usize]
+                ^ TE[1][(s1 >> 16) as usize & 0xff]
+                ^ TE[2][(s2 >> 8) as usize & 0xff]
+                ^ TE[3][s3 as usize & 0xff]
+                ^ k[0];
+            let t1 = TE[0][(s1 >> 24) as usize]
+                ^ TE[1][(s2 >> 16) as usize & 0xff]
+                ^ TE[2][(s3 >> 8) as usize & 0xff]
+                ^ TE[3][s0 as usize & 0xff]
+                ^ k[1];
+            let t2 = TE[0][(s2 >> 24) as usize]
+                ^ TE[1][(s3 >> 16) as usize & 0xff]
+                ^ TE[2][(s0 >> 8) as usize & 0xff]
+                ^ TE[3][s1 as usize & 0xff]
+                ^ k[2];
+            let t3 = TE[0][(s3 >> 24) as usize]
+                ^ TE[1][(s0 >> 16) as usize & 0xff]
+                ^ TE[2][(s1 >> 8) as usize & 0xff]
+                ^ TE[3][s2 as usize & 0xff]
+                ^ k[3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
         }
-        sub_bytes(&mut state);
-        shift_rows(&mut state);
-        add_round_key(&mut state, &self.round_keys[NR]);
-        state
+        // Final round: SubBytes + ShiftRows only.
+        let k = 4 * NR;
+        let o0 = sub_word_shifted(s0, s1, s2, s3) ^ rk[k];
+        let o1 = sub_word_shifted(s1, s2, s3, s0) ^ rk[k + 1];
+        let o2 = sub_word_shifted(s2, s3, s0, s1) ^ rk[k + 2];
+        let o3 = sub_word_shifted(s3, s0, s1, s2) ^ rk[k + 3];
+        pack_state(o0, o1, o2, o3)
     }
 
     /// Decrypts one 16-byte block.
     pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
-        let mut state = *block;
-        add_round_key(&mut state, &self.round_keys[NR]);
-        for round in (1..NR).rev() {
+        let rk = &self.dk;
+        let mut s0 = u32::from_be_bytes(block[0..4].try_into().expect("4 bytes")) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(block[4..8].try_into().expect("4 bytes")) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(block[8..12].try_into().expect("4 bytes")) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes")) ^ rk[3];
+        for k in rk[4..4 * NR].chunks_exact(4) {
+            let t0 = TD[0][(s0 >> 24) as usize]
+                ^ TD[1][(s3 >> 16) as usize & 0xff]
+                ^ TD[2][(s2 >> 8) as usize & 0xff]
+                ^ TD[3][s1 as usize & 0xff]
+                ^ k[0];
+            let t1 = TD[0][(s1 >> 24) as usize]
+                ^ TD[1][(s0 >> 16) as usize & 0xff]
+                ^ TD[2][(s3 >> 8) as usize & 0xff]
+                ^ TD[3][s2 as usize & 0xff]
+                ^ k[1];
+            let t2 = TD[0][(s2 >> 24) as usize]
+                ^ TD[1][(s1 >> 16) as usize & 0xff]
+                ^ TD[2][(s0 >> 8) as usize & 0xff]
+                ^ TD[3][s3 as usize & 0xff]
+                ^ k[2];
+            let t3 = TD[0][(s3 >> 24) as usize]
+                ^ TD[1][(s2 >> 16) as usize & 0xff]
+                ^ TD[2][(s1 >> 8) as usize & 0xff]
+                ^ TD[3][s0 as usize & 0xff]
+                ^ k[3];
+            s0 = t0;
+            s1 = t1;
+            s2 = t2;
+            s3 = t3;
+        }
+        // Final round: InvSubBytes + InvShiftRows only.
+        let k = 4 * NR;
+        let o0 = inv_sub_word_shifted(s0, s3, s2, s1) ^ rk[k];
+        let o1 = inv_sub_word_shifted(s1, s0, s3, s2) ^ rk[k + 1];
+        let o2 = inv_sub_word_shifted(s2, s1, s0, s3) ^ rk[k + 2];
+        let o3 = inv_sub_word_shifted(s3, s2, s1, s0) ^ rk[k + 3];
+        pack_state(o0, o1, o2, o3)
+    }
+}
+
+/// SubBytes over the ShiftRows byte selection `(a>>24, b>>16, c>>8, d)`.
+#[inline]
+fn sub_word_shifted(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((SBOX[(b >> 16) as usize & 0xff] as u32) << 16)
+        | ((SBOX[(c >> 8) as usize & 0xff] as u32) << 8)
+        | SBOX[d as usize & 0xff] as u32
+}
+
+/// InvSubBytes over the InvShiftRows byte selection.
+#[inline]
+fn inv_sub_word_shifted(a: u32, b: u32, c: u32, d: u32) -> u32 {
+    ((INV_SBOX[(a >> 24) as usize] as u32) << 24)
+        | ((INV_SBOX[(b >> 16) as usize & 0xff] as u32) << 16)
+        | ((INV_SBOX[(c >> 8) as usize & 0xff] as u32) << 8)
+        | INV_SBOX[d as usize & 0xff] as u32
+}
+
+#[inline]
+fn pack_state(s0: u32, s1: u32, s2: u32, s3: u32) -> [u8; 16] {
+    let mut out = [0u8; 16];
+    out[0..4].copy_from_slice(&s0.to_be_bytes());
+    out[4..8].copy_from_slice(&s1.to_be_bytes());
+    out[8..12].copy_from_slice(&s2.to_be_bytes());
+    out[12..16].copy_from_slice(&s3.to_be_bytes());
+    out
+}
+
+/// The original byte-oriented FIPS-197 implementation, retained verbatim as
+/// the correctness oracle for the T-table cipher. Test-only: production code
+/// always uses [`Aes128`].
+#[cfg(test)]
+pub(crate) mod reference {
+    use super::{gmul, xtime, INV_SBOX, NK, NR, RCON, SBOX};
+
+    /// Byte-oriented AES-128 (round keys as 16-byte arrays).
+    #[derive(Clone)]
+    pub struct RefAes128 {
+        round_keys: [[u8; 16]; NR + 1],
+    }
+
+    impl RefAes128 {
+        /// Expands `key` into round keys.
+        pub fn new(key: &[u8; 16]) -> Self {
+            let mut w = [[0u8; 4]; 4 * (NR + 1)];
+            for (i, chunk) in key.chunks_exact(4).enumerate() {
+                w[i].copy_from_slice(chunk);
+            }
+            for i in NK..4 * (NR + 1) {
+                let mut temp = w[i - 1];
+                if i % NK == 0 {
+                    temp.rotate_left(1);
+                    for t in temp.iter_mut() {
+                        *t = SBOX[*t as usize];
+                    }
+                    temp[0] ^= RCON[i / NK - 1];
+                }
+                for j in 0..4 {
+                    w[i][j] = w[i - NK][j] ^ temp[j];
+                }
+            }
+            let mut round_keys = [[0u8; 16]; NR + 1];
+            for (r, rk) in round_keys.iter_mut().enumerate() {
+                for c in 0..4 {
+                    rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+                }
+            }
+            RefAes128 { round_keys }
+        }
+
+        /// Encrypts one 16-byte block.
+        pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+            let mut state = *block;
+            add_round_key(&mut state, &self.round_keys[0]);
+            for round in 1..NR {
+                sub_bytes(&mut state);
+                shift_rows(&mut state);
+                mix_columns(&mut state);
+                add_round_key(&mut state, &self.round_keys[round]);
+            }
+            sub_bytes(&mut state);
+            shift_rows(&mut state);
+            add_round_key(&mut state, &self.round_keys[NR]);
+            state
+        }
+
+        /// Decrypts one 16-byte block.
+        pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+            let mut state = *block;
+            add_round_key(&mut state, &self.round_keys[NR]);
+            for round in (1..NR).rev() {
+                inv_shift_rows(&mut state);
+                inv_sub_bytes(&mut state);
+                add_round_key(&mut state, &self.round_keys[round]);
+                inv_mix_columns(&mut state);
+            }
             inv_shift_rows(&mut state);
             inv_sub_bytes(&mut state);
-            add_round_key(&mut state, &self.round_keys[round]);
-            inv_mix_columns(&mut state);
+            add_round_key(&mut state, &self.round_keys[0]);
+            state
         }
-        inv_shift_rows(&mut state);
-        inv_sub_bytes(&mut state);
-        add_round_key(&mut state, &self.round_keys[0]);
-        state
     }
-}
 
-#[inline]
-fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
-    for (s, k) in state.iter_mut().zip(rk.iter()) {
-        *s ^= k;
+    fn add_round_key(state: &mut [u8; 16], rk: &[u8; 16]) {
+        for (s, k) in state.iter_mut().zip(rk.iter()) {
+            *s ^= k;
+        }
     }
-}
 
-#[inline]
-fn sub_bytes(state: &mut [u8; 16]) {
-    for s in state.iter_mut() {
-        *s = SBOX[*s as usize];
+    fn sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = SBOX[*s as usize];
+        }
     }
-}
 
-#[inline]
-fn inv_sub_bytes(state: &mut [u8; 16]) {
-    for s in state.iter_mut() {
-        *s = INV_SBOX[*s as usize];
+    fn inv_sub_bytes(state: &mut [u8; 16]) {
+        for s in state.iter_mut() {
+            *s = INV_SBOX[*s as usize];
+        }
     }
-}
 
-/// State is column-major: state[4*c + r] is row r, column c.
-#[inline]
-fn shift_rows(state: &mut [u8; 16]) {
-    for r in 1..4 {
-        let mut row = [0u8; 4];
+    /// State is column-major: state[4*c + r] is row r, column c.
+    fn shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[4 * ((c + r) % 4) + r];
+            }
+            for c in 0..4 {
+                state[4 * c + r] = row[c];
+            }
+        }
+    }
+
+    fn inv_shift_rows(state: &mut [u8; 16]) {
+        for r in 1..4 {
+            let mut row = [0u8; 4];
+            for c in 0..4 {
+                row[c] = state[4 * ((c + 4 - r) % 4) + r];
+            }
+            for c in 0..4 {
+                state[4 * c + r] = row[c];
+            }
+        }
+    }
+
+    fn mix_columns(state: &mut [u8; 16]) {
         for c in 0..4 {
-            row[c] = state[4 * ((c + r) % 4) + r];
-        }
-        for c in 0..4 {
-            state[4 * c + r] = row[c];
-        }
-    }
-}
-
-#[inline]
-fn inv_shift_rows(state: &mut [u8; 16]) {
-    for r in 1..4 {
-        let mut row = [0u8; 4];
-        for c in 0..4 {
-            row[c] = state[4 * ((c + 4 - r) % 4) + r];
-        }
-        for c in 0..4 {
-            state[4 * c + r] = row[c];
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
+            state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
+            state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
+            state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
         }
     }
-}
 
-#[inline]
-fn mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        state[4 * c] = xtime(col[0]) ^ (xtime(col[1]) ^ col[1]) ^ col[2] ^ col[3];
-        state[4 * c + 1] = col[0] ^ xtime(col[1]) ^ (xtime(col[2]) ^ col[2]) ^ col[3];
-        state[4 * c + 2] = col[0] ^ col[1] ^ xtime(col[2]) ^ (xtime(col[3]) ^ col[3]);
-        state[4 * c + 3] = (xtime(col[0]) ^ col[0]) ^ col[1] ^ col[2] ^ xtime(col[3]);
-    }
-}
-
-#[inline]
-fn inv_mix_columns(state: &mut [u8; 16]) {
-    for c in 0..4 {
-        let col = [
-            state[4 * c],
-            state[4 * c + 1],
-            state[4 * c + 2],
-            state[4 * c + 3],
-        ];
-        state[4 * c] =
-            gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
-        state[4 * c + 1] =
-            gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
-        state[4 * c + 2] =
-            gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
-        state[4 * c + 3] =
-            gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+    fn inv_mix_columns(state: &mut [u8; 16]) {
+        for c in 0..4 {
+            let col = [
+                state[4 * c],
+                state[4 * c + 1],
+                state[4 * c + 2],
+                state[4 * c + 3],
+            ];
+            state[4 * c] =
+                gmul(col[0], 0x0e) ^ gmul(col[1], 0x0b) ^ gmul(col[2], 0x0d) ^ gmul(col[3], 0x09);
+            state[4 * c + 1] =
+                gmul(col[0], 0x09) ^ gmul(col[1], 0x0e) ^ gmul(col[2], 0x0b) ^ gmul(col[3], 0x0d);
+            state[4 * c + 2] =
+                gmul(col[0], 0x0d) ^ gmul(col[1], 0x09) ^ gmul(col[2], 0x0e) ^ gmul(col[3], 0x0b);
+            state[4 * c + 3] =
+                gmul(col[0], 0x0b) ^ gmul(col[1], 0x0d) ^ gmul(col[2], 0x09) ^ gmul(col[3], 0x0e);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use proptest::prelude::*;
 
     /// FIPS-197 Appendix B example vector.
     #[test]
@@ -274,6 +508,9 @@ mod tests {
         let aes = Aes128::new(&key);
         assert_eq!(aes.encrypt_block(&pt), expect);
         assert_eq!(aes.decrypt_block(&expect), pt);
+        let oracle = reference::RefAes128::new(&key);
+        assert_eq!(oracle.encrypt_block(&pt), expect);
+        assert_eq!(oracle.decrypt_block(&expect), pt);
     }
 
     /// FIPS-197 Appendix C.1 vector.
@@ -291,6 +528,9 @@ mod tests {
         let aes = Aes128::new(&key);
         assert_eq!(aes.encrypt_block(&pt), expect);
         assert_eq!(aes.decrypt_block(&expect), pt);
+        let oracle = reference::RefAes128::new(&key);
+        assert_eq!(oracle.encrypt_block(&pt), expect);
+        assert_eq!(oracle.decrypt_block(&expect), pt);
     }
 
     #[test]
@@ -325,5 +565,52 @@ mod tests {
         assert_eq!(gmul(0x57, 0x01), 0x57);
         assert_eq!(gmul(0x57, 0x02), 0xae);
         assert_eq!(gmul(0x57, 0x13), 0xfe); // FIPS-197 example
+    }
+
+    #[test]
+    fn tables_relate_by_rotation() {
+        for x in 0..256usize {
+            for k in 1..4usize {
+                assert_eq!(TE[k][x], TE[0][x].rotate_right(8 * k as u32));
+                assert_eq!(TD[k][x], TD[0][x].rotate_right(8 * k as u32));
+            }
+        }
+    }
+
+    /// Walk the whole byte space through both ciphers at a fixed key.
+    #[test]
+    fn matches_reference_exhaustive_single_byte_sweep() {
+        let key = *b"table-vs-bytes!!";
+        let fast = Aes128::new(&key);
+        let slow = reference::RefAes128::new(&key);
+        for b in 0..=255u8 {
+            let block = [b; 16];
+            let ct = fast.encrypt_block(&block);
+            assert_eq!(ct, slow.encrypt_block(&block), "byte {b:#04x}");
+            assert_eq!(fast.decrypt_block(&ct), slow.decrypt_block(&ct));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// The T-table cipher agrees with the byte-oriented oracle on
+        /// random keys and blocks, both directions.
+        #[test]
+        fn matches_reference(key in proptest::array::uniform16(any::<u8>()),
+                             block in proptest::array::uniform16(any::<u8>())) {
+            let fast = Aes128::new(&key);
+            let slow = reference::RefAes128::new(&key);
+            prop_assert_eq!(fast.encrypt_block(&block), slow.encrypt_block(&block));
+            prop_assert_eq!(fast.decrypt_block(&block), slow.decrypt_block(&block));
+        }
+
+        /// Roundtrip under the optimized cipher alone.
+        #[test]
+        fn roundtrip(key in proptest::array::uniform16(any::<u8>()),
+                     block in proptest::array::uniform16(any::<u8>())) {
+            let aes = Aes128::new(&key);
+            prop_assert_eq!(aes.decrypt_block(&aes.encrypt_block(&block)), block);
+        }
     }
 }

@@ -111,14 +111,12 @@ pub fn establish_session(shared_secret: [u8; 32]) -> (IdeTx, IdeRx) {
 }
 
 fn keystream_xor(cipher: &Aes128, seq: u64, data: &mut [u8]) {
+    let mut block = [0u8; 16];
+    block[..8].copy_from_slice(&seq.to_le_bytes());
     for (i, chunk) in data.chunks_mut(16).enumerate() {
-        let mut block = [0u8; 16];
-        block[..8].copy_from_slice(&seq.to_le_bytes());
         block[8..12].copy_from_slice(&(i as u32).to_le_bytes());
         let ks = cipher.encrypt_block(&block);
-        for (d, k) in chunk.iter_mut().zip(ks.iter()) {
-            *d ^= k;
-        }
+        crate::modes::xor_with(chunk, &ks);
     }
 }
 

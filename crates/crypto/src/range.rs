@@ -18,6 +18,10 @@ use rand::RngCore;
 /// Number of simulated RNG cells harvested per activation.
 const CELLS_PER_ACTIVATION: usize = 256;
 
+/// Cells sampled per splitmix draw: one activation reads all 256 cells in
+/// four 64-cell row segments, one well-mixed u64 per segment.
+const CELLS_PER_DRAW: usize = 64;
+
 /// A modelled D-RaNGe generator.
 ///
 /// # Examples
@@ -35,8 +39,10 @@ const CELLS_PER_ACTIVATION: usize = 256;
 pub struct DRange {
     /// Per-cell latent state: cells flip pseudo-randomly under reduced tRCD.
     cell_state: u64,
-    /// Whitened output bits awaiting consumption.
-    buffer: Vec<u8>,
+    /// Whitened output bits awaiting consumption (LSB-first).
+    bit_buffer: u64,
+    /// Number of valid bits in `bit_buffer`.
+    bits_avail: u32,
     /// Count of raw cell reads performed (exposed for throughput stats).
     activations: u64,
 }
@@ -46,7 +52,8 @@ impl DRange {
     pub fn from_seed(seed: u64) -> Self {
         DRange {
             cell_state: seed ^ 0x9e3779b97f4a7c15,
-            buffer: Vec::new(),
+            bit_buffer: 0,
+            bits_avail: 0,
             activations: 0,
         }
     }
@@ -56,49 +63,66 @@ impl DRange {
         self.activations
     }
 
-    /// One reduced-tRCD activation: harvest failure bits from the RNG cells
-    /// and append von-Neumann-whitened bytes to the buffer.
-    fn activate(&mut self) {
-        self.activations += 1;
-        let mut raw_bits = Vec::with_capacity(CELLS_PER_ACTIVATION);
-        for _ in 0..CELLS_PER_ACTIVATION {
-            // splitmix64 step models the charge race each failed-timing read
-            // loses or wins.
-            self.cell_state = self.cell_state.wrapping_add(0x9e3779b97f4a7c15);
-            let mut z = self.cell_state;
-            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
-            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
-            z ^= z >> 31;
-            raw_bits.push((z & 1) as u8);
-        }
-        // Von Neumann whitening: consume bit pairs, emit on 01/10.
-        let mut acc = 0u8;
-        let mut nbits = 0;
-        for pair in raw_bits.chunks_exact(2) {
-            match (pair[0], pair[1]) {
-                (0, 1) => {
-                    acc = (acc << 1) | 1;
-                    nbits += 1;
-                }
-                (1, 0) => {
-                    acc <<= 1;
-                    nbits += 1;
-                }
-                _ => {}
-            }
-            if nbits == 8 {
-                self.buffer.push(acc);
-                acc = 0;
-                nbits = 0;
-            }
-        }
+    /// One splitmix64 step: models the charge race a 64-cell row segment of
+    /// failed-timing reads loses or wins, one bit per cell.
+    #[inline]
+    fn sample_segment(&mut self) -> u64 {
+        self.cell_state = self.cell_state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.cell_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
     }
 
-    fn take_byte(&mut self) -> u8 {
-        while self.buffer.is_empty() {
-            self.activate();
+    /// One reduced-tRCD activation: harvest failure bits from all 256 RNG
+    /// cells (four 64-cell segments) and refill the buffer with von-Neumann
+    /// whitened bits (consume bit pairs, emit the first bit on 01/10).
+    fn activate(&mut self) {
+        self.activations += 1;
+        let mut out = 0u64;
+        let mut n = 0u32;
+        for _ in 0..CELLS_PER_ACTIVATION / CELLS_PER_DRAW {
+            let mut raw = self.sample_segment();
+            for _ in 0..CELLS_PER_DRAW / 2 {
+                let pair = raw & 3;
+                raw >>= 2;
+                if (pair == 0b01 || pair == 0b10) && n < 64 {
+                    out = (out << 1) | (pair & 1);
+                    n += 1;
+                }
+            }
         }
-        self.buffer.remove(0)
+        self.bit_buffer = out;
+        self.bits_avail = n;
+    }
+
+    /// Consumes `n` whitened entropy bits (`n <= 64`), LSB-aligned.
+    #[inline]
+    fn take_bits(&mut self, n: u32) -> u64 {
+        debug_assert!(n <= 64);
+        let mut out = 0u64;
+        let mut got = 0u32;
+        while got < n {
+            if self.bits_avail == 0 {
+                self.activate();
+                continue;
+            }
+            let take = (n - got).min(self.bits_avail);
+            let chunk = if take == 64 {
+                self.bit_buffer
+            } else {
+                self.bit_buffer & ((1u64 << take) - 1)
+            };
+            self.bit_buffer = if take == 64 {
+                0
+            } else {
+                self.bit_buffer >> take
+            };
+            self.bits_avail -= take;
+            out |= chunk << got;
+            got += take;
+        }
+        out
     }
 
     /// Draws a uniformly distributed value in `[0, bound)`.
@@ -120,30 +144,28 @@ impl DRange {
 
     /// Bernoulli draw with probability `1 / 2^log2_denominator`.
     ///
-    /// This is the primitive the stealth reset policy uses (p = 2^-20).
+    /// This is the primitive the stealth reset policy uses (p = 2^-20). It
+    /// consumes exactly `log2_denominator` entropy bits — the draw succeeds
+    /// iff they are all zero — so the per-write reset check on the device
+    /// hot path does not burn a full word of whitened entropy.
     pub fn one_in_pow2(&mut self, log2_denominator: u32) -> bool {
         debug_assert!(log2_denominator <= 63);
-        let mask = (1u64 << log2_denominator) - 1;
-        (self.next_u64() & mask) == 0
+        self.take_bits(log2_denominator) == 0
     }
 }
 
 impl RngCore for DRange {
     fn next_u32(&mut self) -> u32 {
-        let mut b = [0u8; 4];
-        self.fill_bytes(&mut b);
-        u32::from_le_bytes(b)
+        self.take_bits(32) as u32
     }
 
     fn next_u64(&mut self) -> u64 {
-        let mut b = [0u8; 8];
-        self.fill_bytes(&mut b);
-        u64::from_le_bytes(b)
+        self.take_bits(64)
     }
 
     fn fill_bytes(&mut self, dest: &mut [u8]) {
         for d in dest.iter_mut() {
-            *d = self.take_byte();
+            *d = self.take_bits(8) as u8;
         }
     }
 
@@ -156,6 +178,28 @@ impl RngCore for DRange {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn take_bits_partial_draws_compose() {
+        // Drawing 64 bits in uneven pieces consumes the same stream as one
+        // whole-word draw from an identically seeded generator.
+        let mut whole = DRange::from_seed(123);
+        let mut pieces = DRange::from_seed(123);
+        let expect = whole.take_bits(64);
+        let lo = pieces.take_bits(7);
+        let mid = pieces.take_bits(33);
+        let hi = pieces.take_bits(24);
+        assert_eq!(lo | (mid << 7) | (hi << 40), expect);
+    }
+
+    #[test]
+    fn zero_bit_draw_is_free_and_true() {
+        let mut rng = DRange::from_seed(5);
+        // p = 2^0 = 1: always fires, consumes nothing.
+        let before = rng.activations();
+        assert!(rng.one_in_pow2(0));
+        assert_eq!(rng.activations(), before);
+    }
 
     #[test]
     fn reproducible_given_seed() {
@@ -209,7 +253,7 @@ mod tests {
         let mut ones = 0u32;
         let n = 10_000;
         for _ in 0..n {
-            ones += rng.take_byte().count_ones();
+            ones += (rng.take_bits(8) as u8).count_ones();
         }
         let total_bits = n * 8;
         let frac = ones as f64 / total_bits as f64;

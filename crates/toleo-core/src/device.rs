@@ -33,6 +33,9 @@ pub struct ResetNotice {
     /// Per-line stealth versions immediately before the reset (after the
     /// triggering write's increment).
     pub old_stealth: Box<[StealthVersion; crate::config::LINES_PER_PAGE]>,
+    /// The page's fresh shared stealth base after the reset, so the host
+    /// can re-encrypt without a follow-up READ round trip.
+    pub new_base: StealthVersion,
 }
 
 /// Outcome of an UPDATE request.
@@ -40,6 +43,9 @@ pub struct ResetNotice {
 pub struct UpdateResponse {
     /// The cache block's new stealth version (post-reset if one fired).
     pub stealth: StealthVersion,
+    /// The page's Trip format at the time the request arrived (pre-upgrade),
+    /// which is what the host's stealth-cache lookup raced against.
+    pub format: TripFormat,
     /// If set, the stealth versions of the page were reset: the host must
     /// increment the page's UV and re-encrypt all its cache blocks
     /// (UV_UPDATE in the paper's protocol, §5).
@@ -186,11 +192,7 @@ impl ToleoDevice {
 
     /// Materializes (first touch) and returns the entry for `page`.
     fn entry(&mut self, page: u64) -> &mut PageEntry {
-        let bits = self.cfg.stealth_bits;
-        let rng = &mut self.rng;
-        self.pages
-            .entry(page)
-            .or_insert_with(|| PageEntry::new_flat(random_base(rng, bits)))
+        materialize(&mut self.pages, &mut self.rng, self.cfg.stealth_bits, page)
     }
 
     /// READ: the stealth version of cache block `line` in `page`.
@@ -200,10 +202,30 @@ impl ToleoDevice {
     /// [`ToleoError::PageOutOfRange`] for addresses beyond the protected
     /// pool.
     pub fn read(&mut self, page: u64, line: usize) -> Result<StealthVersion> {
+        self.read_versioned(page, line).map(|(stealth, _)| stealth)
+    }
+
+    /// READ plus the page's Trip format, from a single flat-array probe.
+    /// The host needs both on every LLC miss (the format decides which
+    /// stealth-cache structures the lookup raced against), so answering
+    /// them together halves the device probes on the read hot path.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::PageOutOfRange`] for addresses beyond the protected
+    /// pool.
+    pub fn read_versioned(
+        &mut self,
+        page: u64,
+        line: usize,
+    ) -> Result<(StealthVersion, TripFormat)> {
         self.check_page(page)?;
         self.stats.reads += 1;
-        let cfg = self.cfg.clone();
-        Ok(self.entry(page).version_of(line, &cfg))
+        let ToleoDevice {
+            cfg, pages, rng, ..
+        } = self;
+        let entry = materialize(pages, rng, cfg.stealth_bits, page);
+        Ok((entry.version_of(line, cfg), entry.format()))
     }
 
     /// UPDATE: increment and return the stealth version of a cache block,
@@ -218,60 +240,77 @@ impl ToleoDevice {
     /// space.
     pub fn update(&mut self, page: u64, line: usize) -> Result<UpdateResponse> {
         self.check_page(page)?;
-        let cfg = self.cfg.clone();
-        // Pre-check allocation headroom by simulating the effect on a copy:
-        // cheaper to check against worst case (flat->uneven needs 1 block,
+        let ToleoDevice {
+            cfg,
+            pages,
+            dynamic_blocks_used,
+            dynamic_blocks_cap,
+            rng,
+            stats,
+        } = self;
+        let bits = cfg.stealth_bits;
+        let entry = materialize(pages, rng, bits, page);
+        let format = entry.format();
+        // Check allocation headroom against the predicted structural effect
+        // before mutating anything (flat->uneven needs 1 block,
         // uneven->full needs +3 net).
-        let entry_snapshot = self.entry(page).clone();
-        let mut entry = entry_snapshot.clone();
-        let effect = entry.record_write(line, &cfg);
-        let extra_blocks: i64 = match effect {
+        let effect = entry.predict_effect(line, cfg);
+        let extra_blocks: u64 = match effect {
             UpdateEffect::UpgradedToUneven => 1,
-            UpdateEffect::UpgradedToFull => crate::config::FULL_ENTRY_BLOCKS as i64 - 1,
+            UpdateEffect::UpgradedToFull => crate::config::FULL_ENTRY_BLOCKS as u64 - 1,
             _ => 0,
         };
-        if extra_blocks > 0
-            && self.dynamic_blocks_used + extra_blocks as u64 > self.dynamic_blocks_cap
-        {
-            self.stats.rejected_full += 1;
+        if extra_blocks > 0 && *dynamic_blocks_used + extra_blocks > *dynamic_blocks_cap {
+            stats.rejected_full += 1;
             return Err(ToleoError::DeviceFull { page });
         }
-        self.stats.updates += 1;
-        match effect {
+        stats.updates += 1;
+        let leading_before = entry.leading_version(cfg);
+        let recorded = entry.record_write(line, cfg);
+        debug_assert_eq!(
+            recorded, effect,
+            "predict_effect diverged from record_write"
+        );
+        match recorded {
             UpdateEffect::UpgradedToUneven => {
-                self.dynamic_blocks_used += 1;
-                self.stats.upgrades_to_uneven += 1;
+                *dynamic_blocks_used += 1;
+                stats.upgrades_to_uneven += 1;
             }
             UpdateEffect::UpgradedToFull => {
-                self.dynamic_blocks_used += extra_blocks as u64;
-                self.stats.upgrades_to_full += 1;
+                *dynamic_blocks_used += extra_blocks;
+                stats.upgrades_to_full += 1;
             }
             _ => {}
         }
 
         // Reset check (§4.3): only when the page's leading version advanced.
-        let leading_before = entry_snapshot.leading_version(&cfg);
-        let leading_after = entry.leading_version(&cfg);
+        let leading_after = entry.leading_version(cfg);
         let mut reset = None;
         if PageEntry::leading_advanced(leading_before, leading_after)
-            && self.rng.one_in_pow2(cfg.reset_log2)
+            && rng.one_in_pow2(cfg.reset_log2)
         {
             // Stream the pre-reset versions to the host for re-encryption,
             // then free any side entry and return to flat with a fresh base.
             let mut old_stealth =
                 Box::new([StealthVersion::default(); crate::config::LINES_PER_PAGE]);
             for (l, slot) in old_stealth.iter_mut().enumerate() {
-                *slot = entry.version_of(l, &cfg);
+                *slot = entry.version_of(l, cfg);
             }
-            self.dynamic_blocks_used -= entry.dynamic_blocks() as u64;
-            let base = random_base(&mut self.rng, cfg.stealth_bits);
+            *dynamic_blocks_used -= entry.dynamic_blocks() as u64;
+            let base = random_base(rng, bits);
             entry.reset_to_flat(base);
-            self.stats.stealth_resets += 1;
-            reset = Some(ResetNotice { old_stealth });
+            stats.stealth_resets += 1;
+            reset = Some(ResetNotice {
+                old_stealth,
+                new_base: base,
+            });
         }
-        let stealth = entry.version_of(line, &cfg);
-        *self.entry(page) = entry;
-        Ok(UpdateResponse { stealth, reset })
+        let stealth = entry.version_of(line, cfg);
+        Ok(UpdateResponse {
+            stealth,
+            format,
+            reset,
+        })
     }
 
     /// RESET: OS-initiated downgrade of `page` to flat (free / remap). The
@@ -310,6 +349,20 @@ impl ToleoDevice {
 
 fn random_base(rng: &mut DRange, bits: u32) -> StealthVersion {
     StealthVersion::new(rng.below(1u64 << bits), bits)
+}
+
+/// First-touch materialization of a page's flat entry, shared by every
+/// request path. A free function over the split borrows so callers holding
+/// other `ToleoDevice` fields can still use it.
+fn materialize<'a>(
+    pages: &'a mut HashMap<u64, PageEntry>,
+    rng: &mut DRange,
+    bits: u32,
+    page: u64,
+) -> &'a mut PageEntry {
+    pages
+        .entry(page)
+        .or_insert_with(|| PageEntry::new_flat(random_base(rng, bits)))
 }
 
 #[cfg(test)]

@@ -19,115 +19,17 @@
 //! integration tests replay old (ciphertext, MAC, UV) triples through it
 //! to demonstrate detection.
 
+use crate::arena::{PageSlot, SlotId};
 use crate::cache::{CacheStats, MacCache, StealthCache};
-use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE};
+use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
 use crate::device::{ToleoDevice, UpdateResponse};
 use crate::error::{Result, ToleoError};
 use crate::layout;
-use crate::version::{FullVersion, StealthVersion, UpperVersion};
-use std::collections::HashMap;
-use toleo_crypto::mac::{MacKey, Tag56};
+use crate::version::FullVersion;
+use toleo_crypto::mac::MacKey;
 use toleo_crypto::modes::{AesXts, Tweak};
 
-/// A 64-byte cache block of plaintext or ciphertext.
-pub type Block = [u8; CACHE_BLOCK_BYTES];
-
-/// Untrusted conventional memory: ciphertext data blocks, MAC tags and
-/// shared UVs (the UVs live in the spare space of MAC blocks, Fig. 4).
-///
-/// Everything in here is adversary-accessible: the struct deliberately
-/// exposes tampering entry points for security testing.
-#[derive(Debug, Default, Clone)]
-pub struct UntrustedDram {
-    data: HashMap<u64, Block>,
-    macs: HashMap<u64, Tag56>,
-    uvs: HashMap<u64, UpperVersion>,
-}
-
-/// Everything an adversary can capture about one cache block at an instant:
-/// the ciphertext, its MAC, and the co-located UV. Replaying a stale
-/// capsule is the attack freshness must defeat.
-#[derive(Debug, Clone)]
-pub struct ReplayCapsule {
-    address: u64,
-    data: Option<Block>,
-    tag: Option<Tag56>,
-    uv: Option<UpperVersion>,
-}
-
-impl UntrustedDram {
-    /// Captures the current (ciphertext, MAC, UV) for the block at `addr`.
-    pub fn capture(&self, addr: u64) -> ReplayCapsule {
-        let base = layout::block_base(addr);
-        ReplayCapsule {
-            address: base,
-            data: self.data.get(&base).copied(),
-            tag: self.macs.get(&base).copied(),
-            uv: self.uvs.get(&layout::page_of(base)).copied(),
-        }
-    }
-
-    /// Replays a previously captured capsule — the classic replay attack.
-    pub fn replay(&mut self, capsule: &ReplayCapsule) {
-        let base = capsule.address;
-        match capsule.data {
-            Some(d) => {
-                self.data.insert(base, d);
-            }
-            None => {
-                self.data.remove(&base);
-            }
-        }
-        match capsule.tag {
-            Some(t) => {
-                self.macs.insert(base, t);
-            }
-            None => {
-                self.macs.remove(&base);
-            }
-        }
-        match capsule.uv {
-            Some(u) => {
-                self.uvs.insert(layout::page_of(base), u);
-            }
-            None => {
-                self.uvs.remove(&layout::page_of(base));
-            }
-        }
-    }
-
-    /// Flips bits in the stored ciphertext at `addr` (integrity attack).
-    pub fn corrupt_data(&mut self, addr: u64, xor_mask: u8) {
-        let base = layout::block_base(addr);
-        if let Some(block) = self.data.get_mut(&base) {
-            block[0] ^= xor_mask;
-        }
-    }
-
-    /// Overwrites the stored MAC at `addr` (forgery attempt).
-    pub fn forge_mac(&mut self, addr: u64, tag: Tag56) {
-        self.macs.insert(layout::block_base(addr), tag);
-    }
-
-    /// Raw ciphertext view (for traffic-analysis experiments).
-    pub fn ciphertext(&self, addr: u64) -> Option<&Block> {
-        self.data.get(&layout::block_base(addr))
-    }
-
-    /// The page's shared UV (0 if never written).
-    pub fn uv(&self, page: u64) -> UpperVersion {
-        self.uvs.get(&page).copied().unwrap_or_default()
-    }
-
-    fn set_uv(&mut self, page: u64, uv: UpperVersion) {
-        self.uvs.insert(page, uv);
-    }
-
-    /// Number of resident data blocks.
-    pub fn resident_blocks(&self) -> usize {
-        self.data.len()
-    }
-}
+pub use crate::arena::{Block, ReplayCapsule, UntrustedDram};
 
 /// Engine event counters (feeds Figs. 7–9 via the simulator).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +70,9 @@ pub struct ProtectionEngine {
     mac: MacKey,
     device: ToleoDevice,
     dram: UntrustedDram,
+    /// Last-page fast path: the most recently touched page and its arena
+    /// slot, so consecutive accesses to one page skip the index probe.
+    last_slot: Option<(u64, SlotId)>,
     stealth_cache: StealthCache,
     mac_cache: MacCache,
     stats: EngineStats,
@@ -182,20 +87,33 @@ impl ProtectionEngine {
     ///
     /// Panics if `cfg` is invalid (see [`ToleoConfig::validate`]).
     pub fn new(cfg: ToleoConfig, key_material: [u8; 48]) -> Self {
+        Self::try_new(cfg, key_material)
+            .unwrap_or_else(|e| panic!("ProtectionEngine construction failed: {e}"))
+    }
+
+    /// Creates an engine, reporting a bad configuration as an error
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::InvalidConfig`] if `cfg` fails
+    /// [`ToleoConfig::validate`].
+    pub fn try_new(cfg: ToleoConfig, key_material: [u8; 48]) -> Result<Self> {
         let data_key: [u8; 16] = key_material[..16].try_into().expect("16 bytes");
         let tweak_key: [u8; 16] = key_material[16..32].try_into().expect("16 bytes");
         let mac_key: [u8; 16] = key_material[32..].try_into().expect("16 bytes");
-        ProtectionEngine {
-            device: ToleoDevice::new(cfg.clone()).unwrap_or_else(|e| panic!("{e}")),
+        Ok(ProtectionEngine {
+            device: ToleoDevice::new(cfg.clone())?,
             cfg,
             xts: AesXts::new(&data_key, &tweak_key),
             mac: MacKey::new(mac_key),
             dram: UntrustedDram::default(),
+            last_slot: None,
             stealth_cache: StealthCache::paper_default(),
             mac_cache: MacCache::paper_default(),
             stats: EngineStats::default(),
             killed: false,
-        }
+        })
     }
 
     /// The engine's configuration.
@@ -241,53 +159,32 @@ impl ProtectionEngine {
         Ok(())
     }
 
-    fn full_version(&self, uv: UpperVersion, stealth: StealthVersion) -> FullVersion {
-        FullVersion::compose(uv, stealth, self.cfg.stealth_bits)
-    }
-
-    fn seal(&mut self, base: u64, fv: FullVersion, plaintext: &Block) {
-        let mut ct = *plaintext;
-        self.xts.encrypt(
-            Tweak {
-                version: fv.raw(),
-                address: base,
-            },
-            &mut ct,
-        );
-        let tag = self.mac.mac(fv.raw(), base, &ct);
-        self.dram.data.insert(base, ct);
-        self.dram.macs.insert(base, tag);
-    }
-
-    fn unseal(&mut self, base: u64, fv: FullVersion) -> Result<Block> {
-        let ct = match self.dram.data.get(&base) {
-            Some(c) => *c,
-            None => {
-                // Never-written block: treated as a zero-filled page (the
-                // OS scrubs pages at allocation; no MAC exists yet).
-                return Ok([0u8; CACHE_BLOCK_BYTES]);
+    /// Arena slot for `page`, materializing it and refreshing the
+    /// last-page cache.
+    #[inline]
+    fn slot_id(&mut self, page: u64) -> SlotId {
+        if let Some((p, id)) = self.last_slot {
+            if p == page {
+                return id;
             }
-        };
-        let stored_tag = self
-            .dram
-            .macs
-            .get(&base)
-            .copied()
-            .ok_or(ToleoError::IntegrityViolation { address: base })?;
-        let expect = self.mac.mac(fv.raw(), base, &ct);
-        if !expect.verify(&stored_tag) {
-            self.killed = true;
-            return Err(ToleoError::IntegrityViolation { address: base });
         }
-        let mut pt = ct;
-        self.xts.decrypt(
-            Tweak {
-                version: fv.raw(),
-                address: base,
-            },
-            &mut pt,
-        );
-        Ok(pt)
+        let id = self.dram.ensure_slot(page);
+        self.last_slot = Some((page, id));
+        id
+    }
+
+    /// Arena slot for `page` without materializing untouched pages (reads
+    /// of never-written memory must not allocate).
+    #[inline]
+    fn slot_id_if_resident(&mut self, page: u64) -> Option<SlotId> {
+        if let Some((p, id)) = self.last_slot {
+            if p == page {
+                return Some(id);
+            }
+        }
+        let id = self.dram.slot_id(page)?;
+        self.last_slot = Some((page, id));
+        Some(id)
     }
 
     /// Writes a 64-byte block at `addr` (must be block-aligned).
@@ -306,13 +203,11 @@ impl ProtectionEngine {
         let page = layout::page_of(addr);
         let line = layout::line_of(addr);
 
-        // Version-cache access for stats; the UPDATE goes through to the
+        let resp: UpdateResponse = self.device.update(page, line)?;
+        // Version-cache access for stats; the UPDATE went through to the
         // device regardless (write-through), but a hit means the host knew
         // the current version and did not stall on the CXL round trip.
-        let fmt = self.device.page_format(page)?;
-        self.stealth_cache.access(page, fmt);
-
-        let resp: UpdateResponse = self.device.update(page, line)?;
+        self.stealth_cache.access(page, resp.format);
         self.stats.device_updates += 1;
         self.stats.writes += 1;
 
@@ -321,31 +216,49 @@ impl ProtectionEngine {
             self.stats.mac_fetches += 1;
         }
 
-        let mut uv = self.dram.uv(page);
+        let stealth_bits = self.cfg.stealth_bits;
+        let id = self.slot_id(page);
+        let mut uv = self.dram.slot(id).uv();
         if let Some(notice) = resp.reset {
             // UV_UPDATE: bump the shared UV and re-encrypt every resident
-            // block of the page under the fresh stealth base.
+            // block of the page under the fresh stealth base — one slab
+            // walk over the page's slot, no per-line map probes.
             let new_uv = uv.incremented();
-            let new_base = self.device.read(page, 0)?; // post-reset shared base
+            let new_fv = FullVersion::compose(new_uv, notice.new_base, stealth_bits);
+            let page_base = page * PAGE_BYTES as u64;
+            let slot = self.dram.slot_mut(id);
             for l in 0..LINES_PER_PAGE {
-                let lbase =
-                    page * crate::config::PAGE_BYTES as u64 + (l * CACHE_BLOCK_BYTES) as u64;
-                if l == line || !self.dram.data.contains_key(&lbase) {
+                if l == line || !slot.has_block(l) {
                     continue;
                 }
-                let old_fv = self.full_version(uv, notice.old_stealth[l]);
-                let pt = self.unseal(lbase, old_fv)?;
-                let new_fv = self.full_version(new_uv, new_base);
-                self.seal(lbase, new_fv, &pt);
+                let lbase = page_base + (l * CACHE_BLOCK_BYTES) as u64;
+                let old_fv = FullVersion::compose(uv, notice.old_stealth[l], stealth_bits);
+                match unseal_line(&self.xts, &self.mac, slot, l, lbase, old_fv) {
+                    Ok(pt) => seal_line(&self.xts, &self.mac, slot, l, lbase, new_fv, &pt),
+                    Err(fail) => {
+                        if fail == UnsealFail::BadTag {
+                            self.killed = true;
+                        }
+                        return Err(ToleoError::IntegrityViolation { address: lbase });
+                    }
+                }
             }
-            self.dram.set_uv(page, new_uv);
+            slot.set_uv(new_uv);
             self.stealth_cache.invalidate_page(page);
             self.stats.pages_reencrypted += 1;
             uv = new_uv;
         }
 
-        let fv = self.full_version(uv, resp.stealth);
-        self.seal(addr, fv, plaintext);
+        let fv = FullVersion::compose(uv, resp.stealth, stealth_bits);
+        seal_line(
+            &self.xts,
+            &self.mac,
+            self.dram.slot_mut(id),
+            line,
+            addr,
+            fv,
+            plaintext,
+        );
         Ok(())
     }
 
@@ -368,18 +281,30 @@ impl ProtectionEngine {
         let line = layout::line_of(addr);
         self.stats.reads += 1;
 
-        let fmt = self.device.page_format(page)?;
+        let (stealth, fmt) = self.device.read_versioned(page, line)?;
         if !self.stealth_cache.access(page, fmt) {
             self.stats.device_reads += 1;
         }
-        let stealth = self.device.read(page, line)?;
-
         if !self.mac_cache.access(addr) {
             self.stats.mac_fetches += 1;
         }
-        let uv = self.dram.uv(page);
-        let fv = self.full_version(uv, stealth);
-        self.unseal(addr, fv)
+
+        let Some(id) = self.slot_id_if_resident(page) else {
+            // Never-written page: treated as zero-filled (the OS scrubs
+            // pages at allocation; no MAC exists yet).
+            return Ok([0u8; CACHE_BLOCK_BYTES]);
+        };
+        let slot = self.dram.slot(id);
+        let fv = FullVersion::compose(slot.uv(), stealth, self.cfg.stealth_bits);
+        match unseal_line(&self.xts, &self.mac, slot, line, addr, fv) {
+            Ok(pt) => Ok(pt),
+            Err(fail) => {
+                if fail == UnsealFail::BadTag {
+                    self.killed = true;
+                }
+                Err(ToleoError::IntegrityViolation { address: addr })
+            }
+        }
     }
 
     /// OS page free / remap: downgrade the page's Toleo entry to flat and
@@ -390,14 +315,83 @@ impl ProtectionEngine {
     ///
     /// Address-range errors only; freeing is always safe.
     pub fn free_page(&mut self, page: u64) -> Result<()> {
-        self.check_alive(page * crate::config::PAGE_BYTES as u64)?;
+        self.check_alive(page * PAGE_BYTES as u64)?;
         self.device.reset(page)?;
-        let uv = self.dram.uv(page).incremented();
-        self.dram.set_uv(page, uv);
+        // Bump the UV only when the page holds untrusted state: a
+        // never-written page has no ciphertext to scramble, and
+        // materializing a slot for it would waste a whole-page slab.
+        if let Some(id) = self.slot_id_if_resident(page) {
+            let slot = self.dram.slot_mut(id);
+            slot.set_uv(slot.uv().incremented());
+        }
         self.stealth_cache.invalidate_page(page);
         self.stats.pages_freed += 1;
         Ok(())
     }
+}
+
+/// Why a block failed to unseal. `MissingTag` (data present, MAC absent)
+/// is reported without engaging the kill switch, matching the seed
+/// behavior; `BadTag` is tampering/replay and must kill.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum UnsealFail {
+    /// Ciphertext is resident but carries no MAC tag.
+    MissingTag,
+    /// The recomputed MAC does not match the stored tag.
+    BadTag,
+}
+
+/// Encrypts `plaintext` under the `(full version, address)` tweak, MACs
+/// the ciphertext, and stores both in the page slot.
+fn seal_line(
+    xts: &AesXts,
+    mac: &MacKey,
+    slot: &mut PageSlot,
+    line: usize,
+    base: u64,
+    fv: FullVersion,
+    plaintext: &Block,
+) {
+    let mut ct = *plaintext;
+    xts.encrypt(
+        Tweak {
+            version: fv.raw(),
+            address: base,
+        },
+        &mut ct,
+    );
+    let tag = mac.mac(fv.raw(), base, &ct);
+    slot.set_block(line, ct);
+    slot.set_tag(line, tag);
+}
+
+/// Verifies and decrypts the block at `line`; absent blocks read as zeros.
+fn unseal_line(
+    xts: &AesXts,
+    mac: &MacKey,
+    slot: &PageSlot,
+    line: usize,
+    base: u64,
+    fv: FullVersion,
+) -> std::result::Result<Block, UnsealFail> {
+    let ct = match slot.block(line) {
+        Some(c) => *c,
+        None => return Ok([0u8; CACHE_BLOCK_BYTES]),
+    };
+    let stored_tag = slot.tag(line).ok_or(UnsealFail::MissingTag)?;
+    let expect = mac.mac(fv.raw(), base, &ct);
+    if !expect.verify(&stored_tag) {
+        return Err(UnsealFail::BadTag);
+    }
+    let mut pt = ct;
+    xts.decrypt(
+        Tweak {
+            version: fv.raw(),
+            address: base,
+        },
+        &mut pt,
+    );
+    Ok(pt)
 }
 
 #[cfg(test)]
@@ -445,10 +439,30 @@ mod tests {
     }
 
     #[test]
+    fn try_new_reports_invalid_config() {
+        let mut cfg = ToleoConfig::small();
+        cfg.stealth_bits = 0; // fails validate()
+        match ProtectionEngine::try_new(cfg, [0u8; 48]) {
+            Err(ToleoError::InvalidConfig { detail }) => {
+                assert!(detail.contains("stealth_bits"), "detail: {detail}");
+            }
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "ProtectionEngine construction failed")]
+    fn new_panics_on_invalid_config() {
+        let mut cfg = ToleoConfig::small();
+        cfg.stealth_bits = 0;
+        let _ = ProtectionEngine::new(cfg, [0u8; 48]);
+    }
+
+    #[test]
     fn tampered_ciphertext_detected_and_kills() {
         let mut e = engine();
         e.write(0x40, &[7u8; 64]).unwrap();
-        e.adversary().corrupt_data(0x40, 0x01);
+        e.adversary().corrupt_data(0x40, 0, 0x01);
         assert!(matches!(
             e.read(0x40),
             Err(ToleoError::IntegrityViolation { .. })
@@ -531,6 +545,20 @@ mod tests {
                 "line {l}"
             );
         }
+    }
+
+    #[test]
+    fn free_of_untouched_page_allocates_no_dram() {
+        let mut e = engine();
+        e.free_page(3).unwrap();
+        assert!(
+            e.dram.slot_id(3).is_none(),
+            "freeing a never-written page must not materialize a slab"
+        );
+        assert_eq!(e.stats().pages_freed, 1);
+        // The page is still usable afterwards.
+        e.write(3 * 4096, &[1u8; 64]).unwrap();
+        assert_eq!(e.read(3 * 4096).unwrap(), [1u8; 64]);
     }
 
     #[test]

@@ -51,6 +51,7 @@
 #![warn(missing_docs)]
 
 pub mod analysis;
+pub mod arena;
 pub mod cache;
 pub mod config;
 pub mod device;

@@ -149,6 +149,42 @@ impl PageEntry {
         }
     }
 
+    /// Predicts the structural effect [`record_write`](Self::record_write)
+    /// would have, without mutating the entry. The device uses this to
+    /// check dynamic-region headroom before committing an update, instead
+    /// of cloning the entry and trial-running the write.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `line >= 64`.
+    pub fn predict_effect(&self, line: usize, cfg: &ToleoConfig) -> UpdateEffect {
+        assert!(line < LINES_PER_PAGE, "line index {line} out of page");
+        match &self.format {
+            PageRepr::Flat { written } => {
+                if *written & (1u64 << line) == 0 {
+                    UpdateEffect::None
+                } else {
+                    UpdateEffect::UpgradedToUneven
+                }
+            }
+            PageRepr::Uneven { offsets } => {
+                if (offsets[line] as u32) < cfg.max_uneven_offset {
+                    return UpdateEffect::None;
+                }
+                // Offset would overflow: renormalization absorbs it only if
+                // folding MIN into the base brings the new offset back in
+                // range (mirrors the record_write overflow arm).
+                let min = *offsets.iter().min().expect("non-empty") as u32;
+                if min > 0 && offsets[line] as u32 + 1 - min <= cfg.max_uneven_offset {
+                    UpdateEffect::None
+                } else {
+                    UpdateEffect::UpgradedToFull
+                }
+            }
+            PageRepr::Full { .. } => UpdateEffect::None,
+        }
+    }
+
     /// Records a write to `line`, incrementing its version and upgrading the
     /// representation if the page's version locality no longer fits.
     ///
@@ -456,6 +492,32 @@ mod tests {
     fn out_of_range_line_panics() {
         let cfg = cfg();
         flat(0).version_of(64, &cfg);
+    }
+
+    /// `predict_effect` must agree with the effect `record_write` actually
+    /// produces, across random write streams that visit all three formats.
+    #[test]
+    fn predicted_effect_matches_recorded_effect() {
+        use rand::{Rng, SeedableRng};
+        let cfg = cfg();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        for trial in 0..20 {
+            let mut p = flat(rng.gen_range(0..1u64 << 27));
+            for step in 0..2_000 {
+                let line = if rng.gen_bool(0.5) {
+                    rng.gen_range(0..3)
+                } else {
+                    rng.gen_range(0..LINES_PER_PAGE)
+                };
+                let predicted = p.predict_effect(line, &cfg);
+                let actual = p.record_write(line, &cfg);
+                assert_eq!(predicted, actual, "trial {trial} step {step} line {line}");
+                // Occasionally reset so flat is revisited.
+                if rng.gen_bool(0.001) {
+                    p.reset_to_flat(StealthVersion::new(rng.gen_range(0..1 << 27), 27));
+                }
+            }
+        }
     }
 
     /// Versions computed via any representation must agree with a naive

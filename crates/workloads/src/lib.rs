@@ -23,7 +23,9 @@
 #![warn(missing_docs)]
 
 pub mod gen;
+pub mod pattern;
 pub mod trace;
 
 pub use gen::{generate, Benchmark, GenConfig};
+pub use pattern::{engine_pattern, EnginePattern};
 pub use trace::{Op, Trace};

@@ -20,7 +20,7 @@ fn main() {
     println!("== Attack 1: ciphertext tampering (integrity) ==");
     let mut e = fresh_engine();
     e.write(0x40, &[7u8; 64]).unwrap();
-    e.adversary().corrupt_data(0x40, 0x80);
+    e.adversary().corrupt_data(0x40, 21, 0x80);
     println!(
         "   flip one ciphertext bit -> {:?}",
         e.read(0x40).unwrap_err()

@@ -76,6 +76,32 @@ proptest! {
         }
     }
 
+    /// The page-arena-backed engine remains a faithful memory when the
+    /// access stream spans many pages and aggressive stealth resets force
+    /// the slab re-encryption walk — the storage-refactor equivalence
+    /// check against a simple model map.
+    #[test]
+    fn engine_is_faithful_across_pages_and_resets(
+        ops in proptest::collection::vec((0u64..512, 0u8..=255, any::<bool>()), 1..300),
+    ) {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 4; // frequent resets
+        let mut e = ProtectionEngine::new(cfg, [7u8; 48]);
+        let mut model = std::collections::HashMap::new();
+        for (slot, val, is_write) in ops {
+            let addr = slot * 64; // spans 8 pages
+            if is_write {
+                e.write(addr, &[val; 64]).unwrap();
+                model.insert(addr, val);
+            } else {
+                let got = e.read(addr).unwrap();
+                let expect = model.get(&addr).map(|v| [*v; 64]).unwrap_or([0u8; 64]);
+                prop_assert_eq!(got, expect);
+            }
+        }
+        prop_assert!(!e.is_killed());
+    }
+
     /// Full versions (UV, stealth) never repeat per address, even with an
     /// aggressive reset policy.
     #[test]

@@ -91,8 +91,57 @@ fn cross_address_splice_detected() {
     let a_ct = *e.adversary().ciphertext(0x40).expect("resident");
     let _ = a;
     // Overwrite B's data with A's ciphertext, keep B's MAC.
-    e.adversary().corrupt_data(0x80, a_ct[0] ^ 0x55);
+    e.adversary().corrupt_data(0x80, 0, a_ct[0] ^ 0x55);
     assert!(e.read(0x80).is_err(), "spliced/corrupted block must fail");
+}
+
+#[test]
+fn corruption_at_any_byte_offset_detected() {
+    // The MAC covers the whole 64-byte ciphertext: flipping bits at any
+    // position — not just byte 0 — must be detected.
+    for offset in [1usize, 17, 31, 48, 63] {
+        let mut e = engine();
+        e.write(0x40, &[7u8; 64]).unwrap();
+        e.adversary().corrupt_data(0x40, offset, 0x01);
+        assert!(
+            matches!(e.read(0x40), Err(ToleoError::IntegrityViolation { .. })),
+            "corruption at byte {offset} must be detected"
+        );
+        assert!(e.is_killed(), "offset {offset} must engage the kill switch");
+    }
+}
+
+#[test]
+fn tamper_and_replay_still_kill_after_storage_refactor() {
+    // Regression for the page-arena storage layer: drive a page through
+    // uneven/full upgrades and stealth resets (slab re-encryption), then
+    // confirm a mid-page tamper and a stale-capsule replay each still kill.
+    let mut cfg = ToleoConfig::small();
+    cfg.reset_log2 = 5;
+    let mut tampered = ProtectionEngine::try_new(cfg.clone(), [8u8; 48]).unwrap();
+    for line in 0..16u64 {
+        tampered
+            .write(0x2000 + line * 64, &[line as u8; 64])
+            .unwrap();
+    }
+    for i in 0..300u64 {
+        tampered.write(0x2000 + 3 * 64, &[i as u8; 64]).unwrap();
+    }
+    assert!(tampered.stats().pages_reencrypted > 0, "resets must fire");
+    tampered.adversary().corrupt_data(0x2000 + 7 * 64, 42, 0x10);
+    assert!(tampered.read(0x2000 + 7 * 64).is_err());
+    assert!(tampered.is_killed());
+
+    let mut replayed = ProtectionEngine::try_new(cfg, [9u8; 48]).unwrap();
+    replayed.write(0x2000, &[1u8; 64]).unwrap();
+    let stale = replayed.adversary().capture(0x2000);
+    for i in 0..300u64 {
+        replayed.write(0x2000, &[i as u8; 64]).unwrap();
+    }
+    assert!(replayed.stats().pages_reencrypted > 0, "resets must fire");
+    replayed.adversary().replay(&stale);
+    assert!(replayed.read(0x2000).is_err());
+    assert!(replayed.is_killed());
 }
 
 #[test]
@@ -100,7 +149,7 @@ fn kill_switch_is_global_and_sticky() {
     let mut e = engine();
     e.write(0x40, &[1u8; 64]).unwrap();
     e.write(0x80, &[2u8; 64]).unwrap();
-    e.adversary().corrupt_data(0x40, 1);
+    e.adversary().corrupt_data(0x40, 0, 1);
     assert!(e.read(0x40).is_err());
     // Every subsequent operation on any address fails.
     assert!(e.read(0x80).is_err());

@@ -83,17 +83,28 @@ pub struct Bencher {
 impl Bencher {
     /// Measures `routine` repeatedly over the measurement window.
     pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
-        // Warm-up.
+        // Warm-up; also counts iterations to calibrate the batch size.
         let start = Instant::now();
+        let mut warm_iters = 0u64;
         while start.elapsed() < WARMUP_TIME {
             black_box(routine());
+            warm_iters += 1;
         }
-        // Measure.
+        // Batch iterations between clock reads so `Instant::now` overhead
+        // (tens of ns) does not swamp nanosecond-scale routines. Aim for
+        // ~512 clock reads over the measurement window.
+        let per_window = warm_iters * (MEASURE_TIME.as_nanos() / WARMUP_TIME.as_nanos()) as u64;
+        let batch = (per_window / 512).max(1);
         let start = Instant::now();
         let mut iters = 0u64;
-        while start.elapsed() < MEASURE_TIME {
-            black_box(routine());
-            iters += 1;
+        loop {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+            if start.elapsed() >= MEASURE_TIME {
+                break;
+            }
         }
         self.total = start.elapsed();
         self.iters = iters;
