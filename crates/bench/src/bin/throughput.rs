@@ -1,25 +1,47 @@
-//! End-to-end protection-engine throughput harness.
+//! End-to-end protection-engine throughput harness and perf-regression
+//! gate.
 //!
 //! Replays the [`EnginePattern`] workloads (sequential, random, hot-reset)
-//! through a functional [`ProtectionEngine`] and reports blocks/second,
-//! plus a micro-measurement of the AES-128 block primitive. Results are
-//! emitted as `BENCH_2.json` so every future PR can be gated against the
-//! recorded trajectory.
+//! through a functional [`ProtectionEngine`], micro-measures the AES-128
+//! block primitive, and sweeps worker threads ∈ {1, 2, 4, 8} over the
+//! page-sharded [`ShardedEngine`] to record a thread-scaling curve.
+//! Results are emitted as `BENCH_3.json` (schema
+//! `toleo-bench-throughput/v2`, a superset of the v1 fields so the
+//! trajectory stays comparable across PRs).
 //!
 //! ```sh
 //! cargo run --release -p toleo-bench --bin throughput -- \
-//!     --ops 200000 --out BENCH_2.json --check
+//!     --ops 400000 --out BENCH_3.json --check \
+//!     --compare BENCH_2.json --tolerance 0.85
 //! ```
 //!
 //! `--check` re-reads the emitted file and fails (non-zero exit) unless it
-//! is well-formed and carries every required key — the CI bit-rot gate.
+//! is well-formed and carries every required key. `--compare` is the CI
+//! perf gate: it fails the run if any single-thread workload's blocks/s
+//! drops below `tolerance` × the committed baseline's.
+//!
+//! ## How the scaling curve is measured
+//!
+//! The sharded engine's shards share no mutable state, so a T-worker
+//! replay is T independent instruction streams. The harness partitions
+//! each trace page-wise into the 8 shards' op queues, assigns shards to T
+//! worker groups round-robin, and measures each group's replay **in
+//! isolation**; the curve reports `blocks / max(group time)` — the
+//! critical path, which is what wall-clock converges to on a host with at
+//! least T idle cores. The real `std::thread::scope` execution is also
+//! run and recorded (`wall_*` fields) to validate the concurrent path;
+//! on this repo's 1-core CI box the wall numbers time-slice and stay
+//! flat, which is why the model and the measurement are reported side by
+//! side rather than conflated.
 
 use std::time::Instant;
 use toleo_core::config::ToleoConfig;
 use toleo_core::engine::ProtectionEngine;
+use toleo_core::sharded::ShardedEngine;
 use toleo_crypto::aes::Aes128;
+use toleo_workloads::concurrent::{multi_tenant, partition_by_page};
 use toleo_workloads::pattern::{engine_pattern, EnginePattern};
-use toleo_workloads::Op;
+use toleo_workloads::{Op, Trace};
 
 /// Engine blocks/sec measured on the seed (pre-T-table, pre-arena)
 /// implementation at 200k ops, recorded when this harness was introduced.
@@ -35,6 +57,13 @@ const SEED_AES_DECRYPT_NS: f64 = 318.9;
 const DEFAULT_OPS: u64 = 200_000;
 /// Footprint each pattern is confined to (1024 pages).
 const FOOTPRINT_BYTES: u64 = 4 << 20;
+/// Shard count for the sharded-engine sweep.
+const SHARDS: usize = 8;
+/// Worker-thread sweep for the scaling curve.
+const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Tenants in the multi-tenant workload (each runs its pattern in its own
+/// footprint window).
+const TENANTS: usize = 8;
 
 struct WorkloadResult {
     name: &'static str,
@@ -44,15 +73,39 @@ struct WorkloadResult {
     speedup_vs_seed: f64,
 }
 
-fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult {
+/// One thread count of a scaling curve.
+struct ScalePoint {
+    threads: usize,
+    blocks: u64,
+    /// Longest worker-group replay — the modeled wall-clock on >= threads
+    /// cores.
+    critical_path_seconds: f64,
+    /// `blocks / critical_path_seconds`.
+    blocks_per_sec: f64,
+    /// Real `std::thread::scope` execution on this host.
+    wall_seconds: f64,
+    wall_blocks_per_sec: f64,
+}
+
+struct ScalingCurve {
+    workload: String,
+    points: Vec<ScalePoint>,
+    speedup_4t_vs_1t: f64,
+}
+
+fn engine_cfg(pattern: Option<EnginePattern>) -> ToleoConfig {
     let mut cfg = ToleoConfig::small();
-    if pattern == EnginePattern::HotReset {
+    if pattern == Some(EnginePattern::HotReset) {
         // Make the probabilistic stealth reset fire roughly every 256 hot
         // writes so the page re-encryption slab walk dominates.
         cfg.reset_log2 = 8;
     }
+    cfg
+}
+
+fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult {
     let trace = engine_pattern(pattern, ops, FOOTPRINT_BYTES, 0xBE2C + idx as u64);
-    let mut engine = ProtectionEngine::new(cfg, [0x42u8; 48]);
+    let mut engine = ProtectionEngine::new(engine_cfg(Some(pattern)), [0x42u8; 48]);
     let start = Instant::now();
     let mut blocks = 0u64;
     let mut checksum = 0u64;
@@ -80,6 +133,118 @@ fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult 
         seconds,
         blocks_per_sec,
         speedup_vs_seed: blocks_per_sec / SEED_ENGINE_BLOCKS_PER_SEC[idx],
+    }
+}
+
+/// Replays a set of per-shard sub-traces through the sharded handle,
+/// returning the block count.
+fn replay_parts(engine: &ShardedEngine, parts: &[&Trace]) -> u64 {
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for part in parts {
+        for op in &part.ops {
+            match op {
+                Op::Write(addr) => {
+                    let fill = (addr >> 6) as u8;
+                    engine.write(*addr, &[fill; 64]).expect("protected write");
+                    blocks += 1;
+                }
+                Op::Read(addr) => {
+                    let block = engine.read(*addr).expect("protected read");
+                    checksum = checksum.wrapping_add(block[0] as u64);
+                    blocks += 1;
+                }
+                Op::Compute(_) => {}
+            }
+        }
+    }
+    std::hint::black_box(checksum);
+    blocks
+}
+
+/// Shards assigned to worker group `g` of `threads` (round-robin).
+fn group(parts: &[Trace], g: usize, threads: usize) -> Vec<&Trace> {
+    parts
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| s % threads == g)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+/// Measures one thread count of the scaling curve for a pre-partitioned
+/// trace: the per-group critical path (each group replayed in isolation on
+/// a fresh engine) plus the real scoped-thread execution.
+fn sweep_point(cfg: &ToleoConfig, parts: &[Trace], threads: usize) -> ScalePoint {
+    // Critical path: time each worker group's stream by itself. Groups
+    // touch disjoint shards, so their times compose as max() under true
+    // parallelism.
+    let engine = ShardedEngine::new(cfg.clone(), SHARDS, [0x42u8; 48]).expect("sharded engine");
+    let mut blocks = 0u64;
+    let mut critical = 0f64;
+    for g in 0..threads {
+        let members = group(parts, g, threads);
+        let start = Instant::now();
+        blocks += replay_parts(&engine, &members);
+        critical = critical.max(start.elapsed().as_secs_f64());
+    }
+
+    // Validation run: the same decomposition on real scoped threads (on a
+    // host with >= `threads` cores this is the headline number; on fewer
+    // cores the workers time-slice).
+    let engine = ShardedEngine::new(cfg.clone(), SHARDS, [0x42u8; 48]).expect("sharded engine");
+    let start = Instant::now();
+    let wall_blocks: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|g| {
+                let engine = &engine;
+                let members = group(parts, g, threads);
+                s.spawn(move || replay_parts(engine, &members))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(wall_blocks, blocks, "threaded replay lost ops");
+
+    ScalePoint {
+        threads,
+        blocks,
+        critical_path_seconds: critical,
+        blocks_per_sec: blocks as f64 / critical,
+        wall_seconds,
+        wall_blocks_per_sec: blocks as f64 / wall_seconds,
+    }
+}
+
+fn sweep_curve(name: &str, cfg: &ToleoConfig, trace: &Trace) -> ScalingCurve {
+    let parts = partition_by_page(trace, SHARDS);
+    let points: Vec<ScalePoint> = THREAD_SWEEP
+        .iter()
+        .map(|&t| sweep_point(cfg, &parts, t))
+        .collect();
+    let at = |points: &[ScalePoint], threads: usize| {
+        points
+            .iter()
+            .find(|p| p.threads == threads)
+            .expect("sweep point")
+            .blocks_per_sec
+    };
+    let one_thread = at(&points, 1);
+    for p in &points {
+        println!(
+            "sharded/{:<12} {} thread(s): {:>10.0} blocks/s critical-path ({:.2}x vs 1t), wall {:>10.0} blocks/s",
+            name,
+            p.threads,
+            p.blocks_per_sec,
+            p.blocks_per_sec / one_thread,
+            p.wall_blocks_per_sec,
+        );
+    }
+    ScalingCurve {
+        workload: name.to_string(),
+        speedup_4t_vs_1t: at(&points, 4) / one_thread,
+        points,
     }
 }
 
@@ -111,12 +276,22 @@ fn measure_aes_ns(f: impl Fn(&Aes128, &[u8; 16]) -> [u8; 16]) -> f64 {
     windows[windows.len() / 2]
 }
 
-fn emit_json(ops: u64, results: &[WorkloadResult], enc_ns: f64, dec_ns: f64) -> String {
+fn emit_json(
+    ops: u64,
+    results: &[WorkloadResult],
+    curves: &[ScalingCurve],
+    enc_ns: f64,
+    dec_ns: f64,
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"toleo-bench-throughput/v1\",\n");
-    out.push_str("  \"pr\": 2,\n");
+    out.push_str("  \"schema\": \"toleo-bench-throughput/v2\",\n");
+    out.push_str("  \"pr\": 3,\n");
     out.push_str(&format!("  \"ops_per_workload\": {ops},\n"));
+    out.push_str(&format!(
+        "  \"host_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
     out.push_str("  \"aes128\": {\n");
     out.push_str(&format!("    \"encrypt_ns_per_block\": {enc_ns:.1},\n"));
     out.push_str(&format!("    \"decrypt_ns_per_block\": {dec_ns:.1},\n"));
@@ -159,7 +334,50 @@ fn emit_json(ops: u64, results: &[WorkloadResult], enc_ns: f64, dec_ns: f64) -> 
             "    },\n"
         });
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded\": {\n");
+    out.push_str(&format!("    \"shards\": {SHARDS},\n"));
+    out.push_str(&format!(
+        "    \"thread_sweep\": [{}],\n",
+        THREAD_SWEEP.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(
+        "    \"scaling_model\": \"critical-path: each worker group's disjoint shard stream \
+         timed in isolation; blocks_per_sec = blocks / max(group seconds). Equals wall-clock \
+         on a host with >= threads idle cores; wall_* fields are the real scoped-thread run \
+         on this host.\",\n",
+    );
+    out.push_str("    \"curves\": [\n");
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"workload\": \"{}\",\n", curve.workload));
+        out.push_str(&format!(
+            "        \"speedup_4t_vs_1t\": {:.2},\n",
+            curve.speedup_4t_vs_1t
+        ));
+        out.push_str("        \"points\": [\n");
+        for (pi, p) in curve.points.iter().enumerate() {
+            out.push_str(&format!(
+                "          {{\"threads\": {}, \"blocks\": {}, \"critical_path_seconds\": {:.4}, \
+                 \"blocks_per_sec\": {:.0}, \"wall_seconds\": {:.4}, \"wall_blocks_per_sec\": {:.0}}}{}\n",
+                p.threads,
+                p.blocks,
+                p.critical_path_seconds,
+                p.blocks_per_sec,
+                p.wall_seconds,
+                p.wall_blocks_per_sec,
+                if pi + 1 == curve.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("        ]\n");
+        out.push_str(if ci + 1 == curves.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  }\n");
     out.push_str("}\n");
     out
 }
@@ -200,8 +418,13 @@ fn check_emitted(path: &str) -> Result<(), String> {
         "\"sequential\"",
         "\"random\"",
         "\"hot-reset\"",
+        "\"multi-tenant\"",
         "\"blocks_per_sec\"",
         "\"speedup_vs_seed\"",
+        "\"sharded\"",
+        "\"thread_sweep\"",
+        "\"critical_path_seconds\"",
+        "\"speedup_4t_vs_1t\"",
     ] {
         if !text.contains(key) {
             return Err(format!("{path}: missing key {key}"));
@@ -210,10 +433,67 @@ fn check_emitted(path: &str) -> Result<(), String> {
     Ok(())
 }
 
+/// Extracts `"blocks_per_sec"` for the named workload from an emitted
+/// BENCH json (v1 or v2): finds the workload tag, then the first
+/// `"blocks_per_sec"` after it — within the same object by construction
+/// of the emitted formats.
+fn baseline_blocks_per_sec(text: &str, workload: &str) -> Result<f64, String> {
+    let tag = format!("\"workload\": \"{workload}\"");
+    let at = text
+        .find(&tag)
+        .ok_or_else(|| format!("baseline has no workload {workload:?}"))?;
+    let rest = &text[at..];
+    let key = "\"blocks_per_sec\":";
+    let kat = rest
+        .find(key)
+        .ok_or_else(|| format!("baseline workload {workload:?} has no blocks_per_sec"))?;
+    let num: String = rest[kat + key.len()..]
+        .chars()
+        .skip_while(|c| c.is_whitespace())
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+        .collect();
+    num.parse::<f64>()
+        .map_err(|e| format!("baseline blocks_per_sec for {workload:?} unparsable: {e}"))
+}
+
+/// The CI perf gate: every single-thread workload must hold at least
+/// `tolerance` × the committed baseline's blocks/s.
+fn compare_against_baseline(
+    baseline_path: &str,
+    tolerance: f64,
+    results: &[WorkloadResult],
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read baseline {baseline_path}: {e}"))?;
+    let mut failures = Vec::new();
+    for r in results {
+        let base = baseline_blocks_per_sec(&text, r.name)?;
+        let floor = base * tolerance;
+        let ratio = r.blocks_per_sec / base;
+        println!(
+            "gate engine/{:<10} {:>10.0} blocks/s vs baseline {:>10.0} ({:>5.2}x, floor {:.2})",
+            r.name, r.blocks_per_sec, base, ratio, tolerance
+        );
+        if r.blocks_per_sec < floor {
+            failures.push(format!(
+                "{}: {:.0} blocks/s < {tolerance} x baseline {:.0}",
+                r.name, r.blocks_per_sec, base
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("perf regression: {}", failures.join("; ")))
+    }
+}
+
 fn main() {
     let mut ops = DEFAULT_OPS;
-    let mut out_path = String::from("BENCH_2.json");
+    let mut out_path = String::from("BENCH_3.json");
     let mut check = false;
+    let mut compare: Option<String> = None;
+    let mut tolerance = 0.85f64;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -225,9 +505,23 @@ fn main() {
             }
             "--out" => out_path = args.next().expect("--out needs a path"),
             "--check" => check = true,
+            "--compare" => compare = Some(args.next().expect("--compare needs a baseline path")),
+            "--tolerance" => {
+                tolerance = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    // Reject NaN/0/negative/super-unity explicitly: any of
+                    // them would make every floor comparison false and
+                    // silently disable the gate.
+                    .filter(|t: &f64| *t > 0.0 && *t <= 1.0)
+                    .expect("--tolerance needs a number in (0, 1]");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: throughput [--ops N] [--out PATH] [--check]");
+                eprintln!(
+                    "usage: throughput [--ops N] [--out PATH] [--check] \
+                     [--compare BASELINE.json] [--tolerance F]"
+                );
                 std::process::exit(2);
             }
         }
@@ -253,7 +547,34 @@ fn main() {
         );
     }
 
-    let json = emit_json(ops, &results, enc_ns, dec_ns);
+    let mut curves = Vec::new();
+    for pattern in [EnginePattern::Sequential, EnginePattern::Random] {
+        let trace = engine_pattern(pattern, ops, FOOTPRINT_BYTES, 0xBE2C);
+        curves.push(sweep_curve(
+            pattern.name(),
+            &engine_cfg(Some(pattern)),
+            &trace,
+        ));
+    }
+    {
+        let trace = engine_pattern(EnginePattern::HotReset, ops, FOOTPRINT_BYTES, 0xBE2E);
+        curves.push(sweep_curve(
+            EnginePattern::HotReset.name(),
+            &engine_cfg(Some(EnginePattern::HotReset)),
+            &trace,
+        ));
+    }
+    {
+        let trace = multi_tenant(
+            TENANTS,
+            ops / TENANTS as u64,
+            FOOTPRINT_BYTES / TENANTS as u64,
+            0xBE2F,
+        );
+        curves.push(sweep_curve("multi-tenant", &engine_cfg(None), &trace));
+    }
+
+    let json = emit_json(ops, &results, &curves, enc_ns, dec_ns);
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {out_path}");
 
@@ -263,5 +584,17 @@ fn main() {
             std::process::exit(1);
         }
         println!("check passed: {out_path} is well-formed");
+    }
+
+    if let Some(baseline) = compare {
+        match compare_against_baseline(&baseline, tolerance, &results) {
+            Ok(()) => println!(
+                "perf gate passed: all single-thread workloads within {tolerance} of {baseline}"
+            ),
+            Err(e) => {
+                eprintln!("perf gate FAILED: {e}");
+                std::process::exit(1);
+            }
+        }
     }
 }

@@ -30,6 +30,13 @@ pub struct CacheStats {
 }
 
 impl CacheStats {
+    /// Accumulates another cache's counters into this one (used to
+    /// aggregate per-shard caches in a sharded deployment).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+    }
+
     /// Hit rate in `[0, 1]`; 0 if never accessed.
     pub fn hit_rate(&self) -> f64 {
         let total = self.hits + self.misses;

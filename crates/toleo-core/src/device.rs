@@ -101,6 +101,20 @@ pub struct DeviceStats {
     pub rejected_full: u64,
 }
 
+impl DeviceStats {
+    /// Accumulates another device's counters into this one (used to
+    /// aggregate per-shard devices in a sharded deployment).
+    pub fn merge(&mut self, other: &DeviceStats) {
+        self.reads += other.reads;
+        self.updates += other.updates;
+        self.resets += other.resets;
+        self.stealth_resets += other.stealth_resets;
+        self.upgrades_to_uneven += other.upgrades_to_uneven;
+        self.upgrades_to_full += other.upgrades_to_full;
+        self.rejected_full += other.rejected_full;
+    }
+}
+
 /// The trusted Toleo smart-memory device.
 ///
 /// # Examples

@@ -22,7 +22,7 @@
 use crate::arena::{PageSlot, SlotId};
 use crate::cache::{CacheStats, MacCache, StealthCache};
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
-use crate::device::{ToleoDevice, UpdateResponse};
+use crate::device::{DeviceStats, ToleoDevice, UpdateResponse};
 use crate::error::{Result, ToleoError};
 use crate::layout;
 use crate::version::FullVersion;
@@ -48,6 +48,34 @@ pub struct EngineStats {
     pub pages_reencrypted: u64,
     /// Pages freed/downgraded at OS request.
     pub pages_freed: u64,
+}
+
+impl EngineStats {
+    /// Accumulates another engine's counters into this one (used by
+    /// [`ShardedEngine`](crate::sharded::ShardedEngine) to aggregate
+    /// per-shard statistics).
+    pub fn merge(&mut self, other: &EngineStats) {
+        self.writes += other.writes;
+        self.reads += other.reads;
+        self.device_updates += other.device_updates;
+        self.device_reads += other.device_reads;
+        self.mac_fetches += other.mac_fetches;
+        self.pages_reencrypted += other.pages_reencrypted;
+        self.pages_freed += other.pages_freed;
+    }
+}
+
+/// Snapshot of every observable counter at the instant the kill switch
+/// engaged. After a kill the engine is fully inert: operations fail
+/// without touching the device, the caches, or untrusted memory, and the
+/// stats getters report exactly this frozen state (the detecting access
+/// itself is included — it physically happened).
+#[derive(Debug, Clone, Copy)]
+struct KillSnapshot {
+    stats: EngineStats,
+    stealth_cache: CacheStats,
+    mac_cache: CacheStats,
+    device: DeviceStats,
 }
 
 /// The memory protection engine in the Toleo configuration (CIF:
@@ -76,7 +104,9 @@ pub struct ProtectionEngine {
     stealth_cache: StealthCache,
     mac_cache: MacCache,
     stats: EngineStats,
-    killed: bool,
+    /// `Some` once the kill switch has engaged; carries the frozen
+    /// statistics every getter serves from then on.
+    killed: Option<Box<KillSnapshot>>,
 }
 
 impl ProtectionEngine {
@@ -112,7 +142,7 @@ impl ProtectionEngine {
             stealth_cache: StealthCache::paper_default(),
             mac_cache: MacCache::paper_default(),
             stats: EngineStats::default(),
-            killed: false,
+            killed: None,
         })
     }
 
@@ -121,19 +151,38 @@ impl ProtectionEngine {
         &self.cfg
     }
 
-    /// Engine event counters.
+    /// Engine event counters. After a kill this is frozen at the state
+    /// observed when the kill switch engaged.
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        match &self.killed {
+            Some(snap) => snap.stats,
+            None => self.stats,
+        }
     }
 
-    /// Stealth-cache statistics (Fig. 7).
+    /// Stealth-cache statistics (Fig. 7); frozen after a kill.
     pub fn stealth_cache_stats(&self) -> CacheStats {
-        self.stealth_cache.stats()
+        match &self.killed {
+            Some(snap) => snap.stealth_cache,
+            None => self.stealth_cache.stats(),
+        }
     }
 
-    /// MAC-cache statistics (Fig. 7).
+    /// MAC-cache statistics (Fig. 7); frozen after a kill.
     pub fn mac_cache_stats(&self) -> CacheStats {
-        self.mac_cache.stats()
+        match &self.killed {
+            Some(snap) => snap.mac_cache,
+            None => self.mac_cache.stats(),
+        }
+    }
+
+    /// Device event counters; frozen after a kill (a dead platform stops
+    /// issuing requests, so its last observed device state is final).
+    pub fn device_stats(&self) -> DeviceStats {
+        match &self.killed {
+            Some(snap) => snap.device,
+            None => self.device.stats(),
+        }
     }
 
     /// The trusted device (for usage/format statistics).
@@ -149,11 +198,33 @@ impl ProtectionEngine {
 
     /// Whether the kill switch has engaged.
     pub fn is_killed(&self) -> bool {
-        self.killed
+        self.killed.is_some()
+    }
+
+    /// Engages the kill switch from outside the engine's own detection
+    /// paths — the platform-wide kill signal. A sharded deployment uses
+    /// this to halt every peer engine the moment any one shard detects
+    /// tampering; idempotent.
+    pub fn force_kill(&mut self) {
+        self.kill();
+    }
+
+    /// Engages the kill switch, freezing every observable counter at its
+    /// current value. All subsequent operations fail without mutating the
+    /// device, the caches, or untrusted memory.
+    fn kill(&mut self) {
+        if self.killed.is_none() {
+            self.killed = Some(Box::new(KillSnapshot {
+                stats: self.stats,
+                stealth_cache: self.stealth_cache.stats(),
+                mac_cache: self.mac_cache.stats(),
+                device: self.device.stats(),
+            }));
+        }
     }
 
     fn check_alive(&self, address: u64) -> Result<()> {
-        if self.killed {
+        if self.killed.is_some() {
             return Err(ToleoError::IntegrityViolation { address });
         }
         Ok(())
@@ -226,24 +297,33 @@ impl ProtectionEngine {
             let new_uv = uv.incremented();
             let new_fv = FullVersion::compose(new_uv, notice.new_base, stealth_bits);
             let page_base = page * PAGE_BYTES as u64;
-            let slot = self.dram.slot_mut(id);
-            for l in 0..LINES_PER_PAGE {
-                if l == line || !slot.has_block(l) {
-                    continue;
-                }
-                let lbase = page_base + (l * CACHE_BLOCK_BYTES) as u64;
-                let old_fv = FullVersion::compose(uv, notice.old_stealth[l], stealth_bits);
-                match unseal_line(&self.xts, &self.mac, slot, l, lbase, old_fv) {
-                    Ok(pt) => seal_line(&self.xts, &self.mac, slot, l, lbase, new_fv, &pt),
-                    Err(fail) => {
-                        if fail == UnsealFail::BadTag {
-                            self.killed = true;
+            let mut failure: Option<(u64, UnsealFail)> = None;
+            {
+                let slot = self.dram.slot_mut(id);
+                for l in 0..LINES_PER_PAGE {
+                    if l == line || !slot.has_block(l) {
+                        continue;
+                    }
+                    let lbase = page_base + (l * CACHE_BLOCK_BYTES) as u64;
+                    let old_fv = FullVersion::compose(uv, notice.old_stealth[l], stealth_bits);
+                    match unseal_line(&self.xts, &self.mac, slot, l, lbase, old_fv) {
+                        Ok(pt) => seal_line(&self.xts, &self.mac, slot, l, lbase, new_fv, &pt),
+                        Err(fail) => {
+                            failure = Some((lbase, fail));
+                            break;
                         }
-                        return Err(ToleoError::IntegrityViolation { address: lbase });
                     }
                 }
+                if failure.is_none() {
+                    slot.set_uv(new_uv);
+                }
             }
-            slot.set_uv(new_uv);
+            if let Some((lbase, fail)) = failure {
+                if fail == UnsealFail::BadTag {
+                    self.kill();
+                }
+                return Err(ToleoError::IntegrityViolation { address: lbase });
+            }
             self.stealth_cache.invalidate_page(page);
             self.stats.pages_reencrypted += 1;
             uv = new_uv;
@@ -300,7 +380,7 @@ impl ProtectionEngine {
             Ok(pt) => Ok(pt),
             Err(fail) => {
                 if fail == UnsealFail::BadTag {
-                    self.killed = true;
+                    self.kill();
                 }
                 Err(ToleoError::IntegrityViolation { address: addr })
             }
@@ -588,6 +668,54 @@ mod tests {
         assert_eq!(s.device_updates, 1);
         // Second read hits the stealth cache.
         assert!(e.stealth_cache_stats().hits >= 1);
+    }
+
+    #[test]
+    fn killed_engine_is_fully_inert() {
+        let mut e = engine();
+        for line in 0..4u64 {
+            e.write(0x1000 + line * 64, &[line as u8; 64]).unwrap();
+        }
+        e.read(0x1000).unwrap();
+        e.adversary().corrupt_data(0x1040, 5, 0xff);
+        assert!(e.read(0x1040).is_err());
+        assert!(e.is_killed());
+
+        // Snapshot every observable the instant after the kill...
+        let stats = e.stats();
+        let stealth = e.stealth_cache_stats();
+        let mac = e.mac_cache_stats();
+        let device = e.device_stats();
+        let resident = e.adversary().resident_blocks();
+
+        // ...then hammer the dead engine with every operation kind.
+        for i in 0..32u64 {
+            assert!(e.read(i * 64).is_err(), "read {i} must fail after kill");
+            assert!(e.write(i * 64, &[1u8; 64]).is_err());
+            assert!(e.free_page(i).is_err());
+        }
+
+        // Nothing moved: stats, cache probes, device traffic and untrusted
+        // memory are all frozen at the kill point.
+        assert_eq!(e.stats(), stats);
+        assert_eq!(e.stealth_cache_stats(), stealth);
+        assert_eq!(e.mac_cache_stats(), mac);
+        assert_eq!(e.device_stats(), device);
+        assert_eq!(e.adversary().resident_blocks(), resident);
+    }
+
+    #[test]
+    fn force_kill_is_sticky_and_freezes_stats() {
+        let mut e = engine();
+        e.write(0x40, &[1u8; 64]).unwrap();
+        let stats = e.stats();
+        e.force_kill();
+        assert!(e.is_killed());
+        assert!(e.read(0x40).is_err());
+        assert!(e.write(0x40, &[2u8; 64]).is_err());
+        assert_eq!(e.stats(), stats, "force_kill must freeze counters");
+        e.force_kill(); // idempotent
+        assert_eq!(e.stats(), stats);
     }
 
     #[test]

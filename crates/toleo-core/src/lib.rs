@@ -19,6 +19,10 @@
 //! * [`engine`] — the host-side protection engine: AES-XTS with a
 //!   `(version, address)` tweak, 56-bit MACs, UV management, page
 //!   re-encryption on reset, and the kill switch.
+//! * [`sharded`] — the concurrent scale-out layer: page-wise sharding
+//!   across N independent engines behind a thread-safe handle, with
+//!   batched reads/writes fanned out on scoped workers and a global kill
+//!   that halts every shard the moment one detects tampering.
 //! * [`cache`] — the L2-TLB stealth extension, the 28 KB overflow buffer,
 //!   and the per-core MAC cache.
 //! * [`layout`] — data / MAC+UV partitioning of conventional memory.
@@ -59,6 +63,7 @@ pub mod engine;
 pub mod error;
 pub mod layout;
 pub mod rowhammer;
+pub mod sharded;
 pub mod trip;
 pub mod version;
 
@@ -66,3 +71,4 @@ pub use config::ToleoConfig;
 pub use device::ToleoDevice;
 pub use engine::ProtectionEngine;
 pub use error::{Result, ToleoError};
+pub use sharded::ShardedEngine;

@@ -1,0 +1,675 @@
+//! Sharded concurrent protection engine.
+//!
+//! The paper pitches Toleo at tera-scale pools serving many hosts, which a
+//! single-threaded [`ProtectionEngine`] cannot saturate. This module
+//! partitions the physical address space page-wise across N independent
+//! shards. Each shard owns a complete `ProtectionEngine` — its own
+//! untrusted-memory arena, stealth/MAC caches, device slice and a key
+//! schedule derived per-shard from the root key material — so shards share
+//! **no** mutable state except the global kill flag. That makes the
+//! decomposition embarrassingly parallel: on a host with enough cores,
+//! throughput scales with the shard-worker count until memory bandwidth
+//! saturates.
+//!
+//! [`ShardedEngine`] is the thread-safe handle. Single operations route to
+//! the owning shard under its mutex; [`read_batch`](ShardedEngine::read_batch)
+//! and [`write_batch`](ShardedEngine::write_batch) split a batch into
+//! per-shard op queues and drain them with [`std::thread::scope`] workers,
+//! one per occupied shard.
+//!
+//! Security composes across shards: the moment any shard's engine detects
+//! tampering or replay, the *whole* sharded engine is killed — the global
+//! flag flips, in-flight batch workers abort, and every peer shard is
+//! force-killed so each is individually inert thereafter.
+
+use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, PAGE_BYTES};
+use crate::device::DeviceStats;
+use crate::engine::{Block, EngineStats, ProtectionEngine, UntrustedDram};
+use crate::error::{Result, ToleoError};
+use crate::layout;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+use toleo_crypto::aes::Aes128;
+
+// The shards are driven from scoped worker threads; this fails to compile
+// if `ProtectionEngine` ever grows a non-Send member.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ProtectionEngine>();
+};
+
+/// Upper bound on the shard count: one shard per page-interleave slot of
+/// the smallest supported pool would be absurd; 4096 comfortably covers
+/// any plausible worker fleet while keeping the routing modulus cheap.
+pub const MAX_SHARDS: usize = 4096;
+
+/// A sharded, thread-safe protection engine: N independent
+/// [`ProtectionEngine`] shards behind one handle, with page-granular
+/// address routing and a global kill switch.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_core::config::ToleoConfig;
+/// use toleo_core::sharded::ShardedEngine;
+///
+/// let engine = ShardedEngine::new(ToleoConfig::small(), 4, [7u8; 48]).unwrap();
+/// let writes: Vec<(u64, [u8; 64])> =
+///     (0..16u64).map(|i| (i * 4096, [i as u8; 64])).collect();
+/// engine.write_batch(&writes).unwrap();
+/// let addrs: Vec<u64> = writes.iter().map(|(a, _)| *a).collect();
+/// let blocks = engine.read_batch(&addrs).unwrap();
+/// for (i, block) in blocks.iter().enumerate() {
+///     assert_eq!(*block, [i as u8; 64]);
+/// }
+/// ```
+#[derive(Debug)]
+pub struct ShardedEngine {
+    shards: Box<[Mutex<ProtectionEngine>]>,
+    /// Set the instant any shard detects tamper; checked on every entry
+    /// and between batch ops so workers abort promptly.
+    killed: AtomicBool,
+    cfg: ToleoConfig,
+}
+
+impl ShardedEngine {
+    /// Creates an engine with `shards` independent shards. Each shard's
+    /// 48-byte key material is derived from `root_key` with AES-128 as a
+    /// PRF (so shards never share data/tweak/MAC keys), and each shard's
+    /// device draws from an independently seeded D-RaNGe stream.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::InvalidConfig`] if `shards` is 0 or exceeds
+    /// [`MAX_SHARDS`], or if `cfg` fails
+    /// [`ToleoConfig::validate`](crate::config::ToleoConfig::validate).
+    pub fn new(cfg: ToleoConfig, shards: usize, root_key: [u8; 48]) -> Result<Self> {
+        if shards == 0 || shards > MAX_SHARDS {
+            return Err(ToleoError::InvalidConfig {
+                detail: format!("shard count {shards} outside 1..={MAX_SHARDS}"),
+            });
+        }
+        let engines = (0..shards)
+            .map(|s| {
+                let mut shard_cfg = cfg.clone();
+                shard_cfg.rng_seed = derive_shard_seed(cfg.rng_seed, s as u64);
+                ProtectionEngine::try_new(shard_cfg, derive_shard_key(&root_key, s as u64))
+                    .map(Mutex::new)
+            })
+            .collect::<Result<Vec<_>>>()?;
+        Ok(ShardedEngine {
+            shards: engines.into_boxed_slice(),
+            killed: AtomicBool::new(false),
+            cfg,
+        })
+    }
+
+    /// The configuration shards were built from (per-shard configs differ
+    /// only in their derived RNG seed).
+    pub fn config(&self) -> &ToleoConfig {
+        &self.cfg
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard that owns `addr` (page-wise interleaving: consecutive
+    /// pages land on consecutive shards, so page-local version state —
+    /// Trip entries, UVs, reset walks — never crosses a shard boundary).
+    pub fn shard_of_addr(&self, addr: u64) -> usize {
+        self.shard_of_page(layout::page_of(addr))
+    }
+
+    /// The shard that owns `page`.
+    pub fn shard_of_page(&self, page: u64) -> usize {
+        (page % self.shards.len() as u64) as usize
+    }
+
+    /// Whether the global kill switch has engaged.
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+
+    fn lock_shard(&self, index: usize) -> MutexGuard<'_, ProtectionEngine> {
+        // A panic in an engine op must not wedge the handle: the engine's
+        // state is still sound (it never holds half-updated invariants
+        // across public calls), so recover the guard from the poison.
+        self.shards[index]
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn check_alive(&self, address: u64) -> Result<()> {
+        if self.is_killed() {
+            return Err(ToleoError::IntegrityViolation { address });
+        }
+        Ok(())
+    }
+
+    /// Engages the global kill: flips the flag and force-kills every shard
+    /// so each is individually inert. Must not be called while holding a
+    /// shard lock (it acquires all of them in turn).
+    fn trip_kill(&self) {
+        self.killed.store(true, Ordering::SeqCst);
+        for index in 0..self.shards.len() {
+            self.lock_shard(index).force_kill();
+        }
+    }
+
+    /// Runs `f` on the shard owning `address`, then propagates a shard
+    /// kill to the whole engine.
+    fn run_on_shard<R>(
+        &self,
+        address: u64,
+        f: impl FnOnce(&mut ProtectionEngine) -> Result<R>,
+    ) -> Result<R> {
+        self.check_alive(address)?;
+        let shard = self.shard_of_addr(address);
+        let (result, shard_killed) = {
+            let mut engine = self.lock_shard(shard);
+            let result = f(&mut engine);
+            (result, engine.is_killed())
+        };
+        if shard_killed {
+            self.trip_kill();
+        }
+        result
+    }
+
+    /// Writes a 64-byte block at `addr` through the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtectionEngine::write`]; additionally fails with
+    /// [`ToleoError::IntegrityViolation`] once any shard has been killed.
+    pub fn write(&self, addr: u64, plaintext: &Block) -> Result<()> {
+        self.run_on_shard(addr, |engine| engine.write(addr, plaintext))
+    }
+
+    /// Reads the 64-byte block at `addr` through the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtectionEngine::read`]; a tamper detection on this shard
+    /// kills the whole sharded engine.
+    pub fn read(&self, addr: u64) -> Result<Block> {
+        self.run_on_shard(addr, |engine| engine.read(addr))
+    }
+
+    /// OS page free / remap, routed to the owning shard.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtectionEngine::free_page`].
+    pub fn free_page(&self, page: u64) -> Result<()> {
+        self.run_on_shard(page * PAGE_BYTES as u64, |engine| engine.free_page(page))
+    }
+
+    /// Writes a batch of blocks, fanned out across shards with one scoped
+    /// worker thread per occupied shard. Within a shard, ops execute in
+    /// batch order (so a later write to the same address wins, exactly as
+    /// in a sequential replay); across shards there is no ordering, which
+    /// is safe because shards share no state.
+    ///
+    /// # Errors
+    ///
+    /// The failing op's error, smallest batch index first, except that an
+    /// [`ToleoError::IntegrityViolation`] anywhere in the batch always
+    /// wins over benign failures (a security event must not be masked by
+    /// a retryable error). If any shard detected tampering, the whole
+    /// engine is killed and remaining workers abort early.
+    pub fn write_batch(&self, ops: &[(u64, Block)]) -> Result<()> {
+        self.run_batch(
+            ops.len(),
+            (),
+            |i| ops[i].0,
+            |engine, i| engine.write(ops[i].0, &ops[i].1),
+        )
+        .map(|_: Vec<()>| ())
+    }
+
+    /// Reads a batch of blocks, fanned out across shards with one scoped
+    /// worker thread per occupied shard. Results are returned in batch
+    /// order.
+    ///
+    /// # Errors
+    ///
+    /// As [`write_batch`](Self::write_batch): smallest failing batch
+    /// index, with integrity violations preferred over benign errors; a
+    /// tamper detection on any shard kills the whole engine.
+    pub fn read_batch(&self, addrs: &[u64]) -> Result<Vec<Block>> {
+        self.run_batch(
+            addrs.len(),
+            [0u8; CACHE_BLOCK_BYTES],
+            |i| addrs[i],
+            |engine, i| engine.read(addrs[i]),
+        )
+    }
+
+    /// Shared batch executor: partitions op indices `0..len` into
+    /// per-shard queues by `addr_of`, drains each queue on a scoped worker
+    /// under the shard lock, and scatters per-op payloads back into batch
+    /// order (`fill` seeds the output vector). Returns the payload vector
+    /// (unit-cost for writes).
+    fn run_batch<T: Clone + Send>(
+        &self,
+        len: usize,
+        fill: T,
+        addr_of: impl Fn(usize) -> u64 + Sync,
+        op: impl Fn(&mut ProtectionEngine, usize) -> Result<T> + Sync,
+    ) -> Result<Vec<T>> {
+        if len == 0 {
+            return Ok(Vec::new());
+        }
+        self.check_alive(addr_of(0))?;
+        let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
+        for i in 0..len {
+            queues[self.shard_of_addr(addr_of(i))].push(i);
+        }
+
+        type ShardOutcome<T> = std::result::Result<Vec<(usize, T)>, (usize, ToleoError)>;
+        let outcomes: Vec<ShardOutcome<T>> = std::thread::scope(|s| {
+            let handles: Vec<_> = queues
+                .iter()
+                .enumerate()
+                .filter(|(_, queue)| !queue.is_empty())
+                .map(|(shard, queue)| {
+                    let addr_of = &addr_of;
+                    let op = &op;
+                    s.spawn(move || -> ShardOutcome<T> {
+                        let mut engine = self.lock_shard(shard);
+                        let mut done = Vec::with_capacity(queue.len());
+                        for &i in queue {
+                            // A peer shard may have tripped the kill while
+                            // this queue was draining: abort promptly.
+                            if self.killed.load(Ordering::SeqCst) {
+                                return Err((
+                                    i,
+                                    ToleoError::IntegrityViolation {
+                                        address: addr_of(i),
+                                    },
+                                ));
+                            }
+                            match op(&mut engine, i) {
+                                Ok(value) => done.push((i, value)),
+                                Err(e) => {
+                                    if engine.is_killed() {
+                                        // Only the flag here: trip_kill()
+                                        // locks every shard and we hold
+                                        // this one. The coordinator
+                                        // finishes the kill after join.
+                                        self.killed.store(true, Ordering::SeqCst);
+                                    }
+                                    return Err((i, e));
+                                }
+                            }
+                        }
+                        Ok(done)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        });
+
+        let mut out = vec![fill; len];
+        // Smallest-index failure, tracked separately per severity: a
+        // tamper detection must never be masked by a benign, retryable
+        // failure (e.g. `DeviceFull`) that happens to sit earlier in the
+        // batch — the caller has to learn the engine is dead.
+        let mut first_integrity: Option<(usize, ToleoError)> = None;
+        let mut first_other: Option<(usize, ToleoError)> = None;
+        for outcome in outcomes {
+            match outcome {
+                Ok(done) => {
+                    for (i, value) in done {
+                        out[i] = value;
+                    }
+                }
+                Err((i, e)) => {
+                    let slot = if matches!(e, ToleoError::IntegrityViolation { .. }) {
+                        &mut first_integrity
+                    } else {
+                        &mut first_other
+                    };
+                    if slot.as_ref().is_none_or(|(fi, _)| i < *fi) {
+                        *slot = Some((i, e));
+                    }
+                }
+            }
+        }
+        // No locks held now: finish propagating a worker-detected kill to
+        // every shard so each is individually inert.
+        if self.is_killed() {
+            self.trip_kill();
+        }
+        match first_integrity.or(first_other) {
+            Some((_, e)) => Err(e),
+            None => Ok(out),
+        }
+    }
+
+    /// Aggregated engine counters across all shards.
+    pub fn stats(&self) -> EngineStats {
+        let mut total = EngineStats::default();
+        for index in 0..self.shards.len() {
+            total.merge(&self.lock_shard(index).stats());
+        }
+        total
+    }
+
+    /// Per-shard engine counters, in shard order (load-balance telemetry
+    /// for the throughput harness).
+    pub fn per_shard_stats(&self) -> Vec<EngineStats> {
+        (0..self.shards.len())
+            .map(|index| self.lock_shard(index).stats())
+            .collect()
+    }
+
+    /// Aggregated stealth-cache statistics across all shards.
+    pub fn stealth_cache_stats(&self) -> crate::cache::CacheStats {
+        let mut total = crate::cache::CacheStats::default();
+        for index in 0..self.shards.len() {
+            total.merge(&self.lock_shard(index).stealth_cache_stats());
+        }
+        total
+    }
+
+    /// Aggregated MAC-cache statistics across all shards.
+    pub fn mac_cache_stats(&self) -> crate::cache::CacheStats {
+        let mut total = crate::cache::CacheStats::default();
+        for index in 0..self.shards.len() {
+            total.merge(&self.lock_shard(index).mac_cache_stats());
+        }
+        total
+    }
+
+    /// Aggregated device counters across all shards.
+    pub fn device_stats(&self) -> DeviceStats {
+        let mut total = DeviceStats::default();
+        for index in 0..self.shards.len() {
+            total.merge(&self.lock_shard(index).device_stats());
+        }
+        total
+    }
+
+    /// Adversary access to the untrusted memory of the shard owning
+    /// `addr`. Usable concurrently with victim traffic on other shards —
+    /// exactly the attack surface the concurrency security tests drive.
+    pub fn with_adversary<R>(&self, addr: u64, f: impl FnOnce(&mut UntrustedDram) -> R) -> R {
+        let shard = self.shard_of_addr(addr);
+        let mut engine = self.lock_shard(shard);
+        f(engine.adversary())
+    }
+
+    /// Exclusive access to one shard's engine (tests and tooling; `&mut
+    /// self` proves no worker is running).
+    pub fn shard_engine_mut(&mut self, index: usize) -> &mut ProtectionEngine {
+        self.shards[index]
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// Derives a shard's 48-byte key material from the root key: each 16-byte
+/// subkey (XTS data, XTS tweak, MAC) keys AES-128 as a PRF over a block
+/// encoding the shard index and the subkey's role, so no two shards — and
+/// no shard and the root — ever share a key.
+fn derive_shard_key(root: &[u8; 48], shard: u64) -> [u8; 48] {
+    let mut out = [0u8; 48];
+    for role in 0..3usize {
+        let subkey: [u8; 16] = root[role * 16..(role + 1) * 16]
+            .try_into()
+            .expect("16-byte subkey");
+        let mut block = [0u8; 16];
+        block[..8].copy_from_slice(&shard.to_le_bytes());
+        block[8] = role as u8;
+        block[9..15].copy_from_slice(b"shard/");
+        out[role * 16..(role + 1) * 16]
+            .copy_from_slice(&Aes128::new(&subkey).encrypt_block(&block));
+    }
+    out
+}
+
+/// Splitmix64-style derivation of a shard's device RNG seed: shards must
+/// draw independent stealth-base streams or identical pages on different
+/// shards would reveal correlated versions.
+fn derive_shard_seed(root_seed: u64, shard: u64) -> u64 {
+    let mut z = root_seed ^ (shard.wrapping_add(1)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::LINES_PER_PAGE;
+
+    fn sharded(shards: usize) -> ShardedEngine {
+        ShardedEngine::new(ToleoConfig::small(), shards, [0x5cu8; 48]).unwrap()
+    }
+
+    #[test]
+    fn rejects_zero_and_excessive_shard_counts() {
+        for shards in [0, MAX_SHARDS + 1] {
+            assert!(matches!(
+                ShardedEngine::new(ToleoConfig::small(), shards, [0u8; 48]),
+                Err(ToleoError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn single_ops_roundtrip_across_shards() {
+        let e = sharded(4);
+        for page in 0..16u64 {
+            let addr = page * PAGE_BYTES as u64;
+            e.write(addr, &[page as u8; 64]).unwrap();
+        }
+        for page in 0..16u64 {
+            let addr = page * PAGE_BYTES as u64;
+            assert_eq!(e.read(addr).unwrap(), [page as u8; 64]);
+        }
+        assert_eq!(e.stats().writes, 16);
+        assert_eq!(e.stats().reads, 16);
+    }
+
+    #[test]
+    fn pages_route_to_expected_shards() {
+        let e = sharded(4);
+        for page in 0..32u64 {
+            assert_eq!(e.shard_of_page(page), (page % 4) as usize);
+            // Every line of a page routes to the same shard.
+            for line in [0usize, 17, 63] {
+                let addr = page * PAGE_BYTES as u64 + (line * CACHE_BLOCK_BYTES) as u64;
+                assert_eq!(e.shard_of_addr(addr), (page % 4) as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip_and_unwritten_zeros() {
+        let e = sharded(3);
+        let writes: Vec<(u64, Block)> = (0..64u64).map(|i| (i * 4096, [i as u8; 64])).collect();
+        e.write_batch(&writes).unwrap();
+        // Interleave written and never-written addresses.
+        let addrs: Vec<u64> = (0..128u64).map(|i| i * 4096).collect();
+        let blocks = e.read_batch(&addrs).unwrap();
+        for (i, block) in blocks.iter().enumerate() {
+            let expect = if i < 64 { [i as u8; 64] } else { [0u8; 64] };
+            assert_eq!(*block, expect, "address {i}");
+        }
+    }
+
+    #[test]
+    fn duplicate_addresses_in_one_write_batch_keep_batch_order() {
+        let e = sharded(4);
+        let ops: Vec<(u64, Block)> = (0..10u8).map(|v| (0x3000, [v; 64])).collect();
+        e.write_batch(&ops).unwrap();
+        assert_eq!(e.read(0x3000).unwrap(), [9u8; 64]);
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let e = sharded(2);
+        e.write_batch(&[]).unwrap();
+        assert!(e.read_batch(&[]).unwrap().is_empty());
+        assert_eq!(e.stats(), EngineStats::default());
+    }
+
+    #[test]
+    fn tamper_on_one_shard_kills_every_shard() {
+        let mut e = sharded(4);
+        for page in 0..8u64 {
+            e.write(page * 4096, &[1u8; 64]).unwrap();
+        }
+        // Corrupt a block owned by shard 2 (page 2).
+        e.with_adversary(2 * 4096, |dram| dram.corrupt_data(2 * 4096, 13, 0xa5));
+        assert!(e.read(2 * 4096).is_err());
+        assert!(e.is_killed(), "detection must engage the global kill");
+        // Every shard — including untampered ones — now refuses service.
+        for page in 0..8u64 {
+            assert!(e.read(page * 4096).is_err(), "page {page}");
+            assert!(e.write(page * 4096, &[0u8; 64]).is_err());
+            assert!(e.free_page(page).is_err());
+        }
+        assert!(e.read_batch(&[0, 4096]).is_err());
+        assert!(e.write_batch(&[(0, [0u8; 64])]).is_err());
+        for shard in 0..4 {
+            assert!(e.shard_engine_mut(shard).is_killed(), "shard {shard}");
+        }
+    }
+
+    #[test]
+    fn batch_containing_tampered_block_fails_and_kills() {
+        let e = sharded(4);
+        let writes: Vec<(u64, Block)> = (0..16u64).map(|i| (i * 4096, [i as u8; 64])).collect();
+        e.write_batch(&writes).unwrap();
+        e.with_adversary(5 * 4096, |dram| dram.corrupt_data(5 * 4096, 0, 0x01));
+        let addrs: Vec<u64> = (0..16u64).map(|i| i * 4096).collect();
+        assert!(matches!(
+            e.read_batch(&addrs),
+            Err(ToleoError::IntegrityViolation { .. })
+        ));
+        assert!(e.is_killed());
+    }
+
+    #[test]
+    fn batch_reports_tamper_over_earlier_benign_error() {
+        // A batch whose lowest-index failure is benign (out-of-range) but
+        // which also trips a tamper on another shard must surface the
+        // integrity violation — the caller has to learn the engine died.
+        let e = sharded(2);
+        e.write(4096, &[7u8; 64]).unwrap(); // page 1 -> shard 1
+        e.with_adversary(4096, |dram| dram.corrupt_data(4096, 3, 0x40));
+        let out_of_range = e.config().protected_pages() * PAGE_BYTES as u64; // shard 0
+        assert!(matches!(
+            e.read_batch(&[out_of_range, 4096]),
+            Err(ToleoError::IntegrityViolation { .. })
+        ));
+        assert!(e.is_killed());
+    }
+
+    #[test]
+    fn device_full_propagates_without_killing() {
+        let mut cfg = ToleoConfig::small();
+        cfg.device_capacity_bytes = cfg.flat_array_bytes(); // zero dynamic blocks
+        let e = ShardedEngine::new(cfg, 2, [1u8; 48]).unwrap();
+        // Second hot write to one line forces a flat->uneven upgrade, which
+        // the zero-block dynamic region rejects.
+        e.write(0x40, &[1u8; 64]).unwrap();
+        assert!(matches!(
+            e.write(0x40, &[2u8; 64]),
+            Err(ToleoError::DeviceFull { .. })
+        ));
+        assert!(!e.is_killed(), "resource exhaustion is not tampering");
+        // The engine still serves.
+        assert_eq!(e.read(0x40).unwrap(), [1u8; 64]);
+    }
+
+    #[test]
+    fn shard_keys_and_seeds_are_pairwise_distinct() {
+        let root = [0x42u8; 48];
+        let keys: Vec<[u8; 48]> = (0..8).map(|s| derive_shard_key(&root, s)).collect();
+        for i in 0..keys.len() {
+            assert_ne!(keys[i], root, "shard {i} must not reuse the root key");
+            for j in i + 1..keys.len() {
+                assert_ne!(keys[i], keys[j], "shards {i}/{j} share key material");
+            }
+        }
+        let seeds: Vec<u64> = (0..8).map(|s| derive_shard_seed(7, s)).collect();
+        let unique: std::collections::HashSet<_> = seeds.iter().collect();
+        assert_eq!(unique.len(), seeds.len());
+    }
+
+    #[test]
+    fn aggregated_stats_sum_per_shard_stats() {
+        let e = sharded(3);
+        let writes: Vec<(u64, Block)> = (0..30u64).map(|i| (i * 4096, [1u8; 64])).collect();
+        e.write_batch(&writes).unwrap();
+        let per_shard = e.per_shard_stats();
+        assert_eq!(per_shard.len(), 3);
+        let total: u64 = per_shard.iter().map(|s| s.writes).sum();
+        assert_eq!(total, 30);
+        assert_eq!(e.stats().writes, 30);
+        assert_eq!(e.device_stats().updates, 30);
+        // 30 pages over 3 shards: balanced.
+        for (i, s) in per_shard.iter().enumerate() {
+            assert_eq!(s.writes, 10, "shard {i}");
+        }
+    }
+
+    #[test]
+    fn free_page_routes_and_scrambles() {
+        let e = sharded(4);
+        e.write(0x5000, &[3u8; 64]).unwrap();
+        e.free_page(0x5000 / PAGE_BYTES as u64).unwrap();
+        assert!(e.read(0x5000).is_err(), "freed page must be unreadable");
+    }
+
+    #[test]
+    fn within_page_lines_stay_on_one_shard_through_reset_walks() {
+        // Hot-line hammering with aggressive resets exercises the page
+        // re-encryption slab walk entirely inside one shard.
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = 4;
+        let e = ShardedEngine::new(cfg, 4, [9u8; 48]).unwrap();
+        for l in 0..8u64 {
+            e.write(0x2000 + l * 64, &[l as u8 + 1; 64]).unwrap();
+        }
+        for _ in 0..300 {
+            e.write(0x2000 + 9 * 64, &[0xee; 64]).unwrap();
+        }
+        assert!(e.stats().pages_reencrypted > 0, "resets must fire");
+        for l in 0..8u64 {
+            assert_eq!(e.read(0x2000 + l * 64).unwrap(), [l as u8 + 1; 64]);
+        }
+        let per_shard = e.per_shard_stats();
+        let active: Vec<usize> = (0..4).filter(|&s| per_shard[s].writes > 0).collect();
+        assert_eq!(active, vec![e.shard_of_addr(0x2000)]);
+    }
+
+    #[test]
+    fn handle_is_shareable_across_threads() {
+        let e = sharded(4);
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let e = &e;
+                s.spawn(move || {
+                    for i in 0..LINES_PER_PAGE as u64 {
+                        let addr = (t * 16 + i % 16) * PAGE_BYTES as u64 + (i / 16) * 64;
+                        e.write(addr, &[t as u8; 64]).unwrap();
+                        assert_eq!(e.read(addr).unwrap(), [t as u8; 64]);
+                    }
+                });
+            }
+        });
+        assert_eq!(e.stats().writes, 4 * LINES_PER_PAGE as u64);
+        assert!(!e.is_killed());
+    }
+}

@@ -22,10 +22,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod concurrent;
 pub mod gen;
 pub mod pattern;
 pub mod trace;
 
+pub use concurrent::{multi_tenant, partition_by_page, shard_ops};
 pub use gen::{generate, Benchmark, GenConfig};
 pub use pattern::{engine_pattern, EnginePattern};
 pub use trace::{Op, Trace};

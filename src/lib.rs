@@ -3,8 +3,8 @@
 //! Umbrella crate for the Toleo reproduction (*Toleo: Scaling Freshness
 //! to Tera-scale Memory using CXL and PIM*, ASPLOS 2024). It re-exports
 //! every workspace crate under one roof and hosts the cross-crate
-//! integration, property, and security tests in `tests/`, plus the
-//! runnable walkthroughs in `examples/`.
+//! integration, property, security, and concurrency tests in `tests/`,
+//! plus the runnable walkthroughs in `examples/`.
 //!
 //! The individual crates:
 //!
