@@ -4,6 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use toleo_crypto::aes::Aes128;
+use toleo_crypto::backend::available_backends;
 use toleo_crypto::ide::establish_session;
 use toleo_crypto::mac::MacKey;
 use toleo_crypto::modes::{AesCtr, AesXts, Tweak};
@@ -20,6 +21,27 @@ fn bench_aes_block(c: &mut Criterion) {
         b.iter(|| aes.decrypt_block(std::hint::black_box(&block)))
     });
     g.finish();
+}
+
+/// Single-block and pipelined 8-wide AES for every backend this host can
+/// construct (software T-table everywhere, AES-NI / ARMv8-CE where
+/// detected).
+fn bench_aes_backends(c: &mut Criterion) {
+    for kind in available_backends() {
+        let aes = Aes128::with_backend(b"0123456789abcdef", kind);
+        let block = [0x5au8; 16];
+        let mut lanes = [[0x5au8; 16]; 8];
+        let mut g = c.benchmark_group(format!("aes128/{}", kind.name()));
+        g.throughput(Throughput::Bytes(16));
+        g.bench_function("encrypt_block", |b| {
+            b.iter(|| aes.encrypt_block(std::hint::black_box(&block)))
+        });
+        g.throughput(Throughput::Bytes(128));
+        g.bench_function("encrypt_blocks8", |b| {
+            b.iter(|| aes.encrypt_blocks8(std::hint::black_box(&mut lanes)))
+        });
+        g.finish();
+    }
 }
 
 fn bench_xts_cache_block(c: &mut Criterion) {
@@ -81,6 +103,7 @@ fn bench_ide(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_aes_block,
+    bench_aes_backends,
     bench_xts_cache_block,
     bench_ctr_cache_block,
     bench_mac,

@@ -3,16 +3,21 @@
 //!
 //! Replays the [`EnginePattern`] workloads (sequential, random, hot-reset)
 //! through a functional [`ProtectionEngine`], micro-measures the AES-128
-//! block primitive, and sweeps worker threads ∈ {1, 2, 4, 8} over the
-//! page-sharded [`ShardedEngine`] to record a thread-scaling curve.
-//! Results are emitted as `BENCH_3.json` (schema
-//! `toleo-bench-throughput/v2`, a superset of the v1 fields so the
-//! trajectory stays comparable across PRs).
+//! block primitive **per enabled backend** (software T-table plus AES-NI /
+//! ARMv8-CE where the host offers them, single-block and 8-wide
+//! pipelined), re-runs every workload three ways — hardware-selected
+//! single ops, the engine's batched `read_batch`/`write_batch` path, and
+//! the forced software fallback — and sweeps worker threads ∈ {1, 2, 4, 8}
+//! over the page-sharded [`ShardedEngine`] to record a thread-scaling
+//! curve. Results are emitted as `BENCH_4.json` (schema
+//! `toleo-bench-throughput/v3`, a superset of the v2 fields so the
+//! trajectory stays comparable across PRs; the v2 `aes128`/`engine`
+//! fields carry the *selected-backend* numbers).
 //!
 //! ```sh
 //! cargo run --release -p toleo-bench --bin throughput -- \
-//!     --ops 400000 --out BENCH_3.json --check \
-//!     --compare BENCH_2.json --tolerance 0.85
+//!     --ops 400000 --out BENCH_4.json --check \
+//!     --compare BENCH_3.json --tolerance 0.85
 //! ```
 //!
 //! `--check` re-reads the emitted file and fails (non-zero exit) unless it
@@ -39,8 +44,11 @@ use toleo_core::config::ToleoConfig;
 use toleo_core::engine::ProtectionEngine;
 use toleo_core::sharded::ShardedEngine;
 use toleo_crypto::aes::Aes128;
+use toleo_crypto::backend::{
+    available_backends, default_backend, set_default_backend, BackendKind,
+};
 use toleo_workloads::concurrent::{multi_tenant, partition_by_page};
-use toleo_workloads::pattern::{engine_pattern, EnginePattern};
+use toleo_workloads::pattern::{engine_pattern, homogeneous_runs, EnginePattern};
 use toleo_workloads::{Op, Trace};
 
 /// Engine blocks/sec measured on the seed (pre-T-table, pre-arena)
@@ -71,6 +79,36 @@ struct WorkloadResult {
     seconds: f64,
     blocks_per_sec: f64,
     speedup_vs_seed: f64,
+    /// Same trace replayed through `read_batch`/`write_batch` in
+    /// homogeneous runs of up to [`BATCH_OPS`] ops (selected backend).
+    batch_blocks_per_sec: f64,
+    /// Same trace, single ops, engine forced onto the software AES
+    /// fallback — the portable floor every host is guaranteed.
+    software_blocks_per_sec: f64,
+}
+
+/// Per-backend AES-128 microbenchmark numbers.
+struct BackendAes {
+    kind: BackendKind,
+    encrypt_ns: f64,
+    decrypt_ns: f64,
+    /// ns/block through the 8-wide pipelined `encrypt_blocks8` API.
+    encrypt8_ns: f64,
+    decrypt8_ns: f64,
+}
+
+/// Max ops handed to one engine-batch call during batched replay.
+const BATCH_OPS: usize = 256;
+
+/// Runs `f` with the process-default AES backend pinned to `kind`,
+/// restoring the prior default afterwards (the harness is single-threaded,
+/// so this cannot race engine constructions).
+fn with_default_backend<T>(kind: BackendKind, f: impl FnOnce() -> T) -> T {
+    let prior = default_backend();
+    set_default_backend(Some(kind));
+    let out = f();
+    set_default_backend(Some(prior));
+    out
 }
 
 /// One thread count of a scaling curve.
@@ -103,9 +141,10 @@ fn engine_cfg(pattern: Option<EnginePattern>) -> ToleoConfig {
     cfg
 }
 
-fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult {
-    let trace = engine_pattern(pattern, ops, FOOTPRINT_BYTES, 0xBE2C + idx as u64);
-    let mut engine = ProtectionEngine::new(engine_cfg(Some(pattern)), [0x42u8; 48]);
+/// Replays `trace` op-at-a-time through a fresh engine; returns
+/// (blocks, seconds).
+fn replay_single(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
+    let mut engine = ProtectionEngine::new(cfg.clone(), [0x42u8; 48]);
     let start = Instant::now();
     let mut blocks = 0u64;
     let mut checksum = 0u64;
@@ -126,13 +165,60 @@ fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult 
     }
     let seconds = start.elapsed().as_secs_f64();
     std::hint::black_box(checksum);
+    (blocks, seconds)
+}
+
+/// Replays `trace` through the engine's batched entry points in
+/// homogeneous runs of up to [`BATCH_OPS`] ops; returns (blocks, seconds).
+fn replay_batched(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
+    let runs = homogeneous_runs(trace, BATCH_OPS);
+    let mut engine = ProtectionEngine::new(cfg.clone(), [0x42u8; 48]);
+    let mut write_buf: Vec<(u64, [u8; 64])> = Vec::with_capacity(BATCH_OPS);
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for (is_write, addrs) in &runs {
+        if *is_write {
+            write_buf.clear();
+            write_buf.extend(addrs.iter().map(|addr| {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                blocks += 1;
+                (*addr, [fill; 64])
+            }));
+            engine
+                .write_batch(&write_buf)
+                .expect("protected write batch");
+        } else {
+            let out = engine.read_batch(addrs).expect("protected read batch");
+            for block in &out {
+                checksum = checksum.wrapping_add(block[0] as u64);
+            }
+            blocks += addrs.len() as u64;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    (blocks, seconds)
+}
+
+fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult {
+    let trace = engine_pattern(pattern, ops, FOOTPRINT_BYTES, 0xBE2C + idx as u64);
+    let cfg = engine_cfg(Some(pattern));
+    let (blocks, seconds) = replay_single(&trace, &cfg);
     let blocks_per_sec = blocks as f64 / seconds;
+    let (batch_blocks, batch_seconds) = replay_batched(&trace, &cfg);
+    assert_eq!(batch_blocks, blocks, "batched replay lost ops");
+    let (soft_blocks, soft_seconds) =
+        with_default_backend(BackendKind::Software, || replay_single(&trace, &cfg));
+    assert_eq!(soft_blocks, blocks, "software replay lost ops");
     WorkloadResult {
         name: pattern.name(),
         blocks,
         seconds,
         blocks_per_sec,
         speedup_vs_seed: blocks_per_sec / SEED_ENGINE_BLOCKS_PER_SEC[idx],
+        batch_blocks_per_sec: batch_blocks as f64 / batch_seconds,
+        software_blocks_per_sec: soft_blocks as f64 / soft_seconds,
     }
 }
 
@@ -252,10 +338,9 @@ fn sweep_curve(name: &str, cfg: &ToleoConfig, trace: &Trace) -> ScalingCurve {
 /// Eight independent lanes are processed per iteration, mirroring how the
 /// engine's XTS mode feeds the cipher independent sectors, so the number
 /// reflects achievable throughput rather than serial-chain latency.
-fn measure_aes_ns(f: impl Fn(&Aes128, &[u8; 16]) -> [u8; 16]) -> f64 {
+fn measure_aes_ns(aes: &Aes128, f: impl Fn(&Aes128, &[u8; 16]) -> [u8; 16]) -> f64 {
     const LANES: usize = 8;
     const ITERS: u32 = 50_000;
-    let aes = Aes128::new(b"throughput-key!!");
     let mut lanes = [[0x5au8; 16]; LANES];
     for (i, lane) in lanes.iter_mut().enumerate() {
         lane[0] = i as u8;
@@ -265,7 +350,7 @@ fn measure_aes_ns(f: impl Fn(&Aes128, &[u8; 16]) -> [u8; 16]) -> f64 {
             let start = Instant::now();
             for _ in 0..ITERS {
                 for lane in lanes.iter_mut() {
-                    *lane = f(&aes, std::hint::black_box(lane));
+                    *lane = f(aes, std::hint::black_box(lane));
                 }
             }
             start.elapsed().as_secs_f64() * 1e9 / (ITERS as f64 * LANES as f64)
@@ -276,23 +361,91 @@ fn measure_aes_ns(f: impl Fn(&Aes128, &[u8; 16]) -> [u8; 16]) -> f64 {
     windows[windows.len() / 2]
 }
 
+/// Micro-measures the pipelined 8-wide multi-block API in ns/block
+/// (median of 5 windows): one `*_blocks8` call per iteration over eight
+/// independent lanes — the shape the XTS line path and the batched tweak
+/// precompute actually issue.
+fn measure_aes8_ns(aes: &Aes128, f: impl Fn(&Aes128, &mut [[u8; 16]; 8])) -> f64 {
+    const ITERS: u32 = 50_000;
+    let mut lanes = [[0x5au8; 16]; 8];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        lane[0] = i as u8;
+    }
+    let mut windows: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..ITERS {
+                f(aes, std::hint::black_box(&mut lanes));
+            }
+            start.elapsed().as_secs_f64() * 1e9 / (ITERS as f64 * 8.0)
+        })
+        .collect();
+    std::hint::black_box(lanes);
+    windows.sort_by(|a, b| a.total_cmp(b));
+    windows[windows.len() / 2]
+}
+
+/// Measures every backend this host can construct.
+fn measure_backends() -> Vec<BackendAes> {
+    available_backends()
+        .into_iter()
+        .map(|kind| {
+            let aes = Aes128::with_backend(b"throughput-key!!", kind);
+            BackendAes {
+                kind,
+                encrypt_ns: measure_aes_ns(&aes, |a, b| a.encrypt_block(b)),
+                decrypt_ns: measure_aes_ns(&aes, |a, b| a.decrypt_block(b)),
+                encrypt8_ns: measure_aes8_ns(&aes, |a, b| a.encrypt_blocks8(b)),
+                decrypt8_ns: measure_aes8_ns(&aes, |a, b| a.decrypt_blocks8(b)),
+            }
+        })
+        .collect()
+}
+
 fn emit_json(
     ops: u64,
     results: &[WorkloadResult],
     curves: &[ScalingCurve],
-    enc_ns: f64,
-    dec_ns: f64,
+    backends: &[BackendAes],
+    selected: BackendKind,
 ) -> String {
+    let sel = backends
+        .iter()
+        .find(|b| b.kind == selected)
+        .expect("selected backend was measured");
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"toleo-bench-throughput/v2\",\n");
-    out.push_str("  \"pr\": 3,\n");
+    out.push_str("  \"schema\": \"toleo-bench-throughput/v3\",\n");
+    out.push_str("  \"pr\": 4,\n");
     out.push_str(&format!("  \"ops_per_workload\": {ops},\n"));
     out.push_str(&format!(
         "  \"host_cores\": {},\n",
         std::thread::available_parallelism().map_or(1, usize::from)
     ));
+    out.push_str(&format!(
+        "  \"selected_backend\": \"{}\",\n",
+        selected.name()
+    ));
+    out.push_str("  \"aes_backends\": [\n");
+    for (i, b) in backends.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"selected\": {}, \"encrypt_ns_per_block\": {:.1}, \
+             \"decrypt_ns_per_block\": {:.1}, \"encrypt8_ns_per_block\": {:.1}, \
+             \"decrypt8_ns_per_block\": {:.1}}}{}\n",
+            b.kind.name(),
+            b.kind == selected,
+            b.encrypt_ns,
+            b.decrypt_ns,
+            b.encrypt8_ns,
+            b.decrypt8_ns,
+            if i + 1 == backends.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    // v2-compatible block: the selected backend's single-block numbers.
+    let (enc_ns, dec_ns) = (sel.encrypt_ns, sel.decrypt_ns);
     out.push_str("  \"aes128\": {\n");
+    out.push_str(&format!("    \"backend\": \"{}\",\n", selected.name()));
     out.push_str(&format!("    \"encrypt_ns_per_block\": {enc_ns:.1},\n"));
     out.push_str(&format!("    \"decrypt_ns_per_block\": {dec_ns:.1},\n"));
     out.push_str(&format!(
@@ -319,6 +472,14 @@ fn emit_json(
         out.push_str(&format!(
             "      \"blocks_per_sec\": {:.0},\n",
             r.blocks_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"batch_blocks_per_sec\": {:.0},\n",
+            r.batch_blocks_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"software_blocks_per_sec\": {:.0},\n",
+            r.software_blocks_per_sec
         ));
         out.push_str(&format!(
             "      \"seed_blocks_per_sec\": {:.0},\n",
@@ -412,9 +573,14 @@ fn check_emitted(path: &str) -> Result<(), String> {
     }
     for key in [
         "\"schema\"",
+        "\"selected_backend\"",
+        "\"aes_backends\"",
+        "\"encrypt8_ns_per_block\"",
         "\"aes128\"",
         "\"encrypt_speedup_vs_seed\"",
         "\"engine\"",
+        "\"batch_blocks_per_sec\"",
+        "\"software_blocks_per_sec\"",
         "\"sequential\"",
         "\"random\"",
         "\"hot-reset\"",
@@ -490,7 +656,7 @@ fn compare_against_baseline(
 
 fn main() {
     let mut ops = DEFAULT_OPS;
-    let mut out_path = String::from("BENCH_3.json");
+    let mut out_path = String::from("BENCH_4.json");
     let mut check = false;
     let mut compare: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -527,13 +693,23 @@ fn main() {
         }
     }
 
-    let enc_ns = measure_aes_ns(|aes, b| aes.encrypt_block(b));
-    let dec_ns = measure_aes_ns(|aes, b| aes.decrypt_block(b));
-    println!(
-        "aes128: encrypt {enc_ns:.1} ns/block ({:.2}x vs seed), decrypt {dec_ns:.1} ns/block ({:.2}x vs seed)",
-        SEED_AES_ENCRYPT_NS / enc_ns,
-        SEED_AES_DECRYPT_NS / dec_ns
-    );
+    let selected = default_backend();
+    let backends = measure_backends();
+    for b in &backends {
+        let marker = if b.kind == selected {
+            " [selected]"
+        } else {
+            ""
+        };
+        println!(
+            "aes128/{:<9} encrypt {:>5.1} ns/block (8-wide {:>4.1}), decrypt {:>5.1} ns/block (8-wide {:>4.1}){marker}",
+            b.kind.name(),
+            b.encrypt_ns,
+            b.encrypt8_ns,
+            b.decrypt_ns,
+            b.decrypt8_ns,
+        );
+    }
 
     let results: Vec<WorkloadResult> = EnginePattern::all()
         .iter()
@@ -542,8 +718,14 @@ fn main() {
         .collect();
     for r in &results {
         println!(
-            "engine/{:<10} {:>9} blocks in {:>7.3} s  ->  {:>10.0} blocks/s  ({:.2}x vs seed)",
-            r.name, r.blocks, r.seconds, r.blocks_per_sec, r.speedup_vs_seed
+            "engine/{:<10} {:>9} blocks in {:>7.3} s  ->  {:>10.0} blocks/s  ({:.2}x vs seed; batch {:>10.0}, software {:>10.0})",
+            r.name,
+            r.blocks,
+            r.seconds,
+            r.blocks_per_sec,
+            r.speedup_vs_seed,
+            r.batch_blocks_per_sec,
+            r.software_blocks_per_sec,
         );
     }
 
@@ -574,7 +756,7 @@ fn main() {
         curves.push(sweep_curve("multi-tenant", &engine_cfg(None), &trace));
     }
 
-    let json = emit_json(ops, &results, &curves, enc_ns, dec_ns);
+    let json = emit_json(ops, &results, &curves, &backends, selected);
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {out_path}");
 

@@ -4,16 +4,27 @@
 //! AES-XTS (data confidentiality, scalable-SGX style) and AES-CTR (client-SGX
 //! style). The *latency* of the hardware AES engine (40 cycles in the paper's
 //! Table 3) is modelled separately in `toleo-sim`; this implementation is
-//! about functional-engine wall-clock, so it uses the classic T-table
-//! formulation: SubBytes, ShiftRows and MixColumns are fused into four
-//! 256-entry u32 lookup tables per direction (built at compile time from the
-//! S-box), the state is held as four u32 column words, and the key schedule —
-//! including the InvMixColumns-transformed decryption round keys of the
-//! equivalent inverse cipher — is expanded once at construction.
+//! about functional-engine wall-clock.
+//!
+//! [`Aes128`] is a thin dispatcher over the pluggable [`crate::backend`]
+//! layer: at construction it selects the best [`BackendKind`] the host
+//! offers (x86_64 AES-NI, aarch64 crypto extensions, or the portable
+//! [`TtableAes`] software fallback) and every block operation — including
+//! the pipelined [`encrypt_blocks`](Aes128::encrypt_blocks) multi-block
+//! API — routes to that backend with a single enum match.
+//!
+//! [`TtableAes`] is the classic T-table formulation: SubBytes, ShiftRows
+//! and MixColumns are fused into four 256-entry u32 lookup tables per
+//! direction (built at compile time from the S-box), the state is held as
+//! four u32 column words, and the key schedule — including the
+//! InvMixColumns-transformed decryption round keys of the equivalent
+//! inverse cipher — is expanded once at construction. Table lookups are
+//! the classic AES cache-timing side channel, which is one more reason the
+//! hardware backends are preferred whenever the host supports them.
 //!
 //! The original byte-oriented implementation is retained under
-//! `#[cfg(test)]` as [`reference`] and the two are property-tested for
-//! equivalence over random keys and blocks.
+//! `#[cfg(test)]` as [`reference`] and every backend is property-tested
+//! for equivalence against it over random keys and blocks.
 //!
 //! # Examples
 //!
@@ -26,6 +37,8 @@
 //! let ct = aes.encrypt_block(&pt);
 //! assert_eq!(aes.decrypt_block(&ct), pt);
 //! ```
+
+use crate::backend::{Aes128Backend, BackendKind};
 
 /// Number of 32-bit words in an AES-128 key.
 const NK: usize = 4;
@@ -160,29 +173,31 @@ fn inv_mix_word(w: u32) -> u32 {
         ^ TD[3][SBOX[w as usize & 0xff] as usize]
 }
 
-/// An expanded AES-128 key ready for block encryption/decryption.
+/// The portable T-table software backend: an expanded AES-128 key ready
+/// for block encryption/decryption on any architecture.
 ///
-/// Construct with [`Aes128::new`]; both the 44 encryption round-key words
-/// and the InvMixColumns-transformed decryption round keys of the
-/// equivalent inverse cipher are precomputed.
+/// Construct with [`TtableAes::new`]; both the 44 encryption round-key
+/// words and the InvMixColumns-transformed decryption round keys of the
+/// equivalent inverse cipher are precomputed. Most callers should use
+/// [`Aes128`], which picks a hardware backend when one is available.
 #[derive(Clone)]
-pub struct Aes128 {
+pub struct TtableAes {
     /// Encryption round keys, one u32 per state column, big-endian packed.
     ek: [u32; 4 * (NR + 1)],
     /// Decryption round keys for the equivalent inverse cipher.
     dk: [u32; 4 * (NR + 1)],
 }
 
-impl std::fmt::Debug for Aes128 {
+impl std::fmt::Debug for TtableAes {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         // Never print key material.
-        f.debug_struct("Aes128")
+        f.debug_struct("TtableAes")
             .field("round_keys", &"<redacted>")
             .finish()
     }
 }
 
-impl Aes128 {
+impl TtableAes {
     /// Expands `key` into encryption and decryption round keys.
     pub fn new(key: &[u8; 16]) -> Self {
         let mut ek = [0u32; 4 * (NR + 1)];
@@ -214,7 +229,15 @@ impl Aes128 {
                 };
             }
         }
-        Aes128 { ek, dk }
+        TtableAes { ek, dk }
+    }
+
+    /// Raw big-endian (encryption, decryption) round-key words. The
+    /// aarch64 hardware backend reuses this scalar key schedule (ARMv8 has
+    /// no keygen-assist instruction).
+    #[cfg(target_arch = "aarch64")]
+    pub(crate) fn round_key_words(&self) -> (&[u32; 4 * (NR + 1)], &[u32; 4 * (NR + 1)]) {
+        (&self.ek, &self.dk)
     }
 
     /// Encrypts one 16-byte block.
@@ -301,6 +324,138 @@ impl Aes128 {
         let o2 = inv_sub_word_shifted(s2, s1, s0, s3) ^ rk[k + 2];
         let o3 = inv_sub_word_shifted(s3, s2, s1, s0) ^ rk[k + 3];
         pack_state(o0, o1, o2, o3)
+    }
+}
+
+impl Aes128Backend for TtableAes {
+    fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        TtableAes::encrypt_block(self, block)
+    }
+
+    fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        TtableAes::decrypt_block(self, block)
+    }
+}
+
+/// AES-128 with the backend chosen at construction.
+///
+/// [`Aes128::new`] consults [`crate::backend::default_backend`]: hardware
+/// AES (AES-NI / ARMv8-CE) when the host supports it, the T-table software
+/// cipher otherwise, overridable through the `TOLEO_AES_BACKEND`
+/// environment variable or [`crate::backend::set_default_backend`]. The
+/// choice is per-instance and immutable, so a protection engine built with
+/// one backend keeps it for life.
+#[derive(Clone)]
+pub struct Aes128 {
+    inner: Inner,
+}
+
+#[derive(Clone)]
+enum Inner {
+    Soft(TtableAes),
+    #[cfg(target_arch = "x86_64")]
+    AesNi(crate::backend::AesNiAes),
+    #[cfg(target_arch = "aarch64")]
+    ArmCe(crate::backend::ArmCeAes),
+}
+
+/// Dispatches `$body` to the selected backend with `$b` bound to it.
+macro_rules! dispatch {
+    ($self:expr, $b:ident => $body:expr) => {
+        match &$self.inner {
+            Inner::Soft($b) => $body,
+            #[cfg(target_arch = "x86_64")]
+            Inner::AesNi($b) => $body,
+            #[cfg(target_arch = "aarch64")]
+            Inner::ArmCe($b) => $body,
+        }
+    };
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Never print key material.
+        f.debug_struct("Aes128")
+            .field("backend", &self.backend().name())
+            .field("round_keys", &"<redacted>")
+            .finish()
+    }
+}
+
+impl Aes128 {
+    /// Expands `key` under the process-default backend.
+    pub fn new(key: &[u8; 16]) -> Self {
+        Self::with_backend(key, crate::backend::default_backend())
+    }
+
+    /// Expands `key` under an explicit backend. If `kind` is not available
+    /// on this host the portable software backend is used instead, so the
+    /// result is always functional (and always computes the same cipher).
+    pub fn with_backend(key: &[u8; 16], kind: BackendKind) -> Self {
+        let inner = match kind {
+            #[cfg(target_arch = "x86_64")]
+            BackendKind::AesNi => match crate::backend::AesNiAes::new(key) {
+                Some(hw) => Inner::AesNi(hw),
+                None => Inner::Soft(TtableAes::new(key)),
+            },
+            #[cfg(target_arch = "aarch64")]
+            BackendKind::ArmCe => match crate::backend::ArmCeAes::new(key) {
+                Some(hw) => Inner::ArmCe(hw),
+                None => Inner::Soft(TtableAes::new(key)),
+            },
+            _ => Inner::Soft(TtableAes::new(key)),
+        };
+        Aes128 { inner }
+    }
+
+    /// The backend this instance dispatches to.
+    pub fn backend(&self) -> BackendKind {
+        match &self.inner {
+            Inner::Soft(_) => BackendKind::Software,
+            #[cfg(target_arch = "x86_64")]
+            Inner::AesNi(_) => BackendKind::AesNi,
+            #[cfg(target_arch = "aarch64")]
+            Inner::ArmCe(_) => BackendKind::ArmCe,
+        }
+    }
+
+    /// Encrypts one 16-byte block.
+    #[inline]
+    pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        dispatch!(self, b => b.encrypt_block(block))
+    }
+
+    /// Decrypts one 16-byte block.
+    #[inline]
+    pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
+        dispatch!(self, b => b.decrypt_block(block))
+    }
+
+    /// Encrypts eight independent blocks in place, exploiting the
+    /// instruction-level parallelism of hardware AES.
+    #[inline]
+    pub fn encrypt_blocks8(&self, blocks: &mut [[u8; 16]; 8]) {
+        dispatch!(self, b => b.encrypt_blocks8(blocks))
+    }
+
+    /// Decrypts eight independent blocks in place.
+    #[inline]
+    pub fn decrypt_blocks8(&self, blocks: &mut [[u8; 16]; 8]) {
+        dispatch!(self, b => b.decrypt_blocks8(blocks))
+    }
+
+    /// Encrypts any number of independent blocks in place, pipelining in
+    /// groups of up to eight. The single enum dispatch is paid once per
+    /// call, not per block.
+    #[inline]
+    pub fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        dispatch!(self, b => b.encrypt_blocks(blocks))
+    }
+
+    /// Decrypts any number of independent blocks in place.
+    #[inline]
+    pub fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
+        dispatch!(self, b => b.decrypt_blocks(blocks))
     }
 }
 

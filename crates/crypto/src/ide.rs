@@ -110,14 +110,17 @@ pub fn establish_session(shared_secret: [u8; 32]) -> (IdeTx, IdeRx) {
     (tx, rx)
 }
 
+/// Applies the per-flit keystream (counter = seq ‖ block index), batched
+/// through the shared pipelined CTR core in [`crate::modes`].
 fn keystream_xor(cipher: &Aes128, seq: u64, data: &mut [u8]) {
-    let mut block = [0u8; 16];
-    block[..8].copy_from_slice(&seq.to_le_bytes());
-    for (i, chunk) in data.chunks_mut(16).enumerate() {
-        block[8..12].copy_from_slice(&(i as u32).to_le_bytes());
-        let ks = cipher.encrypt_block(&block);
-        crate::modes::xor_with(chunk, &ks);
-    }
+    let mut template = [0u8; 16];
+    template[..8].copy_from_slice(&seq.to_le_bytes());
+    crate::modes::ctr_keystream_xor(
+        cipher,
+        template,
+        |block, i| block[8..12].copy_from_slice(&i.to_le_bytes()),
+        data,
+    );
 }
 
 impl IdeTx {

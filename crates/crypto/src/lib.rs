@@ -4,7 +4,13 @@
 //! (*Toleo: Scaling Freshness to Tera-scale Memory using CXL and PIM*,
 //! ASPLOS 2024). Everything here is implemented from scratch:
 //!
-//! * [`aes`] — AES-128 block cipher (FIPS-197, test vectors included).
+//! * [`aes`] — AES-128 block cipher (FIPS-197, test vectors included),
+//!   dispatching at construction to the best [`backend`] the host offers.
+//! * [`backend`] — pluggable AES-128 backends: the portable T-table
+//!   software cipher plus hardware AES (x86_64 AES-NI / aarch64 crypto
+//!   extensions) selected by runtime feature detection, all exposing a
+//!   pipelined multi-block API so hardware instruction-level parallelism
+//!   is actually exploited.
 //! * [`modes`] — AES-CTR (client-SGX MEE style) and AES-XTS (scalable-SGX /
 //!   Toleo style, with a `(version, address)` tweak).
 //! * [`mac`] — 56-bit truncated SipHash-2-4 tags, as packed eight-per-block
@@ -37,10 +43,14 @@
 //! assert_eq!(block, [0u8; 64]);
 //! ```
 
-#![forbid(unsafe_code)]
+// `unsafe` is denied everywhere except the hardware AES backends, which
+// need `core::arch` intrinsics; `backend::hw` carries the only allow and
+// every unsafe block there documents its safety contract.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aes;
+pub mod backend;
 pub mod ide;
 pub mod mac;
 pub mod modes;

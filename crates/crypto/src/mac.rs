@@ -67,12 +67,18 @@ impl MacKey {
     }
 
     /// Computes the 56-bit tag over `(version, address, ciphertext)`.
+    ///
+    /// The `(version, address)` prefix is fed to SipHash as two
+    /// pre-packed 64-bit words, so no concatenation buffer is allocated —
+    /// this runs twice per protected memory operation (seal + verify) and
+    /// used to be the engine's only hot-path heap allocation.
     pub fn mac(&self, version: u64, address: u64, ciphertext: &[u8]) -> Tag56 {
-        let mut input = Vec::with_capacity(16 + ciphertext.len());
-        input.extend_from_slice(&version.to_le_bytes());
-        input.extend_from_slice(&address.to_le_bytes());
-        input.extend_from_slice(ciphertext);
-        Tag56::from_raw(siphash24(self.k0, self.k1, &input))
+        Tag56::from_raw(siphash24_prefixed(
+            self.k0,
+            self.k1,
+            [version, address],
+            ciphertext,
+        ))
     }
 }
 
@@ -94,31 +100,45 @@ fn sipround(v: &mut [u64; 4]) {
     v[2] = v[2].rotate_left(32);
 }
 
+/// One SipHash message-word compression (two c-rounds).
+#[inline]
+fn sip_compress(v: &mut [u64; 4], m: u64) {
+    v[3] ^= m;
+    sipround(v);
+    sipround(v);
+    v[0] ^= m;
+}
+
 /// SipHash-2-4 (Aumasson & Bernstein), from scratch.
 pub fn siphash24(k0: u64, k1: u64, data: &[u8]) -> u64 {
+    siphash24_prefixed(k0, k1, [], data)
+}
+
+/// SipHash-2-4 over the message `prefix words ‖ data`, hashing the prefix
+/// as pre-packed little-endian 64-bit words. Byte-identical to
+/// [`siphash24`] over the concatenated buffer, without materializing it.
+fn siphash24_prefixed<const N: usize>(k0: u64, k1: u64, prefix: [u64; N], data: &[u8]) -> u64 {
     let mut v = [
         k0 ^ 0x736f6d6570736575,
         k1 ^ 0x646f72616e646f6d,
         k0 ^ 0x6c7967656e657261,
         k1 ^ 0x7465646279746573,
     ];
+    for m in prefix {
+        sip_compress(&mut v, m);
+    }
     let mut chunks = data.chunks_exact(8);
     for chunk in &mut chunks {
         let m = u64::from_le_bytes(chunk.try_into().expect("8 bytes"));
-        v[3] ^= m;
-        sipround(&mut v);
-        sipround(&mut v);
-        v[0] ^= m;
+        sip_compress(&mut v, m);
     }
     let rem = chunks.remainder();
-    let mut last = (data.len() as u64 & 0xff) << 56;
+    let total_len = 8 * N + data.len();
+    let mut last = (total_len as u64 & 0xff) << 56;
     for (i, b) in rem.iter().enumerate() {
         last |= (*b as u64) << (8 * i);
     }
-    v[3] ^= last;
-    sipround(&mut v);
-    sipround(&mut v);
-    v[0] ^= last;
+    sip_compress(&mut v, last);
     v[2] ^= 0xff;
     for _ in 0..4 {
         sipround(&mut v);
@@ -147,6 +167,23 @@ mod tests {
         for i in 0..100u64 {
             let tag = key.mac(i, i * 64, &[0u8; 64]);
             assert!(tag.as_raw() < (1 << 56));
+        }
+    }
+
+    /// The prefixed (allocation-free) path is byte-identical to hashing
+    /// the concatenated `version ‖ address ‖ ciphertext` buffer, at every
+    /// tail length mod 8.
+    #[test]
+    fn mac_matches_concatenated_siphash() {
+        let key = MacKey::new([0x3cu8; 16]);
+        for len in 0..=67usize {
+            let ct: Vec<u8> = (0..len as u8).collect();
+            let mut buf = Vec::with_capacity(16 + len);
+            buf.extend_from_slice(&0xdead_beef_u64.to_le_bytes());
+            buf.extend_from_slice(&0x1040_u64.to_le_bytes());
+            buf.extend_from_slice(&ct);
+            let expect = Tag56::from_raw(siphash24(key.k0, key.k1, &buf));
+            assert_eq!(key.mac(0xdead_beef, 0x1040, &ct), expect, "len {len}");
         }
     }
 

@@ -56,17 +56,57 @@ impl AesCtr {
         }
     }
 
+    /// Creates a CTR cipher pinned to an explicit AES backend (testing and
+    /// benchmarking; falls back to software if `kind` is unavailable).
+    pub fn with_backend(key: &[u8; 16], kind: crate::backend::BackendKind) -> Self {
+        AesCtr {
+            cipher: Aes128::with_backend(key, kind),
+        }
+    }
+
     /// Encrypts or decrypts `data` in place with keystream derived from
     /// `(nonce, address, block_index)`. Same parameters -> same keystream,
     /// so calling twice round-trips.
+    ///
+    /// The keystream is generated up to eight counter blocks at a time
+    /// through the cipher's pipelined multi-block API — CTR blocks are
+    /// independent by construction, the ideal shape for hardware AES.
     pub fn apply(&self, nonce: u64, address: u64, data: &mut [u8]) {
-        let mut ctr_block = [0u8; 16];
-        ctr_block[..8].copy_from_slice(&nonce.to_le_bytes());
-        ctr_block[8..12].copy_from_slice(&((address >> 4) as u32).to_le_bytes());
-        for (i, chunk) in data.chunks_mut(16).enumerate() {
-            ctr_block[12..].copy_from_slice(&(i as u32).to_le_bytes());
-            let ks = self.cipher.encrypt_block(&ctr_block);
-            xor_with(chunk, &ks);
+        let mut template = [0u8; 16];
+        template[..8].copy_from_slice(&nonce.to_le_bytes());
+        template[8..12].copy_from_slice(&((address >> 4) as u32).to_le_bytes());
+        ctr_keystream_xor(
+            &self.cipher,
+            template,
+            |block, i| block[12..].copy_from_slice(&i.to_le_bytes()),
+            data,
+        );
+    }
+}
+
+/// Applies an AES-CTR keystream to `data` in place, generating up to
+/// eight counter blocks per pass through the pipelined multi-block API.
+/// `template` carries the fixed counter-block fields (nonce, address,
+/// sequence number — whatever the caller's layout is); `set_index`
+/// writes the running block index into its slot. Shared by [`AesCtr`]
+/// and the IDE link cipher, which differ only in that layout.
+pub(crate) fn ctr_keystream_xor(
+    cipher: &Aes128,
+    template: [u8; 16],
+    set_index: impl Fn(&mut [u8; 16], u32),
+    data: &mut [u8],
+) {
+    let mut ctr_block = template;
+    let mut ks = [[0u8; 16]; 8];
+    for (batch, chunks) in data.chunks_mut(8 * 16).enumerate() {
+        let lanes = chunks.len().div_ceil(16);
+        for (j, lane) in ks.iter_mut().take(lanes).enumerate() {
+            set_index(&mut ctr_block, (batch * 8 + j) as u32);
+            *lane = ctr_block;
+        }
+        cipher.encrypt_blocks(&mut ks[..lanes]);
+        for (chunk, lane) in chunks.chunks_mut(16).zip(ks.iter()) {
+            xor_with(chunk, lane);
         }
     }
 }
@@ -116,11 +156,51 @@ impl AesXts {
         }
     }
 
+    /// Creates an XTS cipher pinned to an explicit AES backend (testing
+    /// and benchmarking; falls back to software if `kind` is unavailable).
+    pub fn with_backend(
+        data_key: &[u8; 16],
+        tweak_key: &[u8; 16],
+        kind: crate::backend::BackendKind,
+    ) -> Self {
+        AesXts {
+            data_cipher: Aes128::with_backend(data_key, kind),
+            tweak_cipher: Aes128::with_backend(tweak_key, kind),
+        }
+    }
+
+    /// The backend the data cipher dispatches to.
+    pub fn backend(&self) -> crate::backend::BackendKind {
+        self.data_cipher.backend()
+    }
+
     /// Encrypts the data-unit tweak once; per-16-byte-unit tweaks are then
     /// derived by GF(2^128) doubling, so a 64-byte cache block costs one
     /// tweak encryption plus four data-block encryptions.
-    fn initial_tweak(&self, tweak: Tweak) -> [u8; 16] {
+    ///
+    /// The returned bundle can be precomputed (and batched via
+    /// [`tweak_blocks`](Self::tweak_blocks)) and replayed through
+    /// [`encrypt_with_tweak`](Self::encrypt_with_tweak) /
+    /// [`decrypt_with_tweak`](Self::decrypt_with_tweak), which is how the
+    /// protection engine amortizes tweak encryption across a page walk.
+    pub fn tweak_block(&self, tweak: Tweak) -> [u8; 16] {
         self.tweak_cipher.encrypt_block(&tweak.to_bytes())
+    }
+
+    /// Encrypts a whole run of data-unit tweaks through the pipelined
+    /// multi-block API (tweak encryptions are mutually independent, so
+    /// eight can be in flight at once). `out` receives one tweak bundle
+    /// per input at the same index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is shorter than `tweaks`.
+    pub fn tweak_blocks(&self, tweaks: &[Tweak], out: &mut [[u8; 16]]) {
+        assert!(out.len() >= tweaks.len(), "output bundle slice too short");
+        for (slot, tweak) in out.iter_mut().zip(tweaks.iter()) {
+            *slot = tweak.to_bytes();
+        }
+        self.tweak_cipher.encrypt_blocks(&mut out[..tweaks.len()]);
     }
 
     /// Encrypts `data` (length must be a multiple of 16) in place.
@@ -129,16 +209,7 @@ impl AesXts {
     ///
     /// Panics if `data.len() % 16 != 0`.
     pub fn encrypt(&self, tweak: Tweak, data: &mut [u8]) {
-        assert_eq!(data.len() % 16, 0, "XTS data must be whole sectors");
-        let mut t = self.initial_tweak(tweak);
-        for chunk in data.chunks_mut(16) {
-            let mut block: [u8; 16] = chunk.try_into().expect("16-byte sector");
-            xor16(&mut block, &t);
-            block = self.data_cipher.encrypt_block(&block);
-            xor16(&mut block, &t);
-            chunk.copy_from_slice(&block);
-            gf128_mul_alpha(&mut t);
-        }
+        self.encrypt_with_tweak(self.tweak_block(tweak), data);
     }
 
     /// Decrypts `data` (length must be a multiple of 16) in place.
@@ -147,15 +218,54 @@ impl AesXts {
     ///
     /// Panics if `data.len() % 16 != 0`.
     pub fn decrypt(&self, tweak: Tweak, data: &mut [u8]) {
+        self.decrypt_with_tweak(self.tweak_block(tweak), data);
+    }
+
+    /// Encrypts `data` in place under a precomputed
+    /// [`tweak_block`](Self::tweak_block) bundle, feeding consecutive
+    /// sectors through the cipher's multi-block pipeline (a 64-byte cache
+    /// block is one four-wide batch instead of four serial passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() % 16 != 0`.
+    pub fn encrypt_with_tweak(&self, tweak0: [u8; 16], data: &mut [u8]) {
+        self.apply_with_tweak(tweak0, data, true);
+    }
+
+    /// Decrypts `data` in place under a precomputed tweak bundle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() % 16 != 0`.
+    pub fn decrypt_with_tweak(&self, tweak0: [u8; 16], data: &mut [u8]) {
+        self.apply_with_tweak(tweak0, data, false);
+    }
+
+    /// Shared XEX core: xor the per-sector tweak in, push up to eight
+    /// sectors through the block cipher at once, xor the tweak back out.
+    fn apply_with_tweak(&self, tweak0: [u8; 16], data: &mut [u8], encrypt: bool) {
         assert_eq!(data.len() % 16, 0, "XTS data must be whole sectors");
-        let mut t = self.initial_tweak(tweak);
-        for chunk in data.chunks_mut(16) {
-            let mut block: [u8; 16] = chunk.try_into().expect("16-byte sector");
-            xor16(&mut block, &t);
-            block = self.data_cipher.decrypt_block(&block);
-            xor16(&mut block, &t);
-            chunk.copy_from_slice(&block);
-            gf128_mul_alpha(&mut t);
+        let mut t = tweak0;
+        let mut tweaks = [[0u8; 16]; 8];
+        let mut blocks = [[0u8; 16]; 8];
+        for chunks in data.chunks_mut(8 * 16) {
+            let lanes = chunks.len() / 16;
+            for (j, chunk) in chunks.chunks_exact(16).enumerate() {
+                tweaks[j] = t;
+                gf128_mul_alpha(&mut t);
+                blocks[j] = chunk.try_into().expect("16-byte sector");
+                xor16(&mut blocks[j], &tweaks[j]);
+            }
+            if encrypt {
+                self.data_cipher.encrypt_blocks(&mut blocks[..lanes]);
+            } else {
+                self.data_cipher.decrypt_blocks(&mut blocks[..lanes]);
+            }
+            for (j, chunk) in chunks.chunks_exact_mut(16).enumerate() {
+                xor16(&mut blocks[j], &tweaks[j]);
+                chunk.copy_from_slice(&blocks[j]);
+            }
         }
     }
 }
@@ -292,6 +402,72 @@ mod tests {
                 }
             }
             prop_assert_eq!(fast, slow);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Precomputing tweak bundles in a batch and replaying them via
+        /// the `_with_tweak` entry points is identical to the one-shot
+        /// API, for every backend this host enables.
+        #[test]
+        fn precomputed_tweaks_match_one_shot(
+            data_key in proptest::array::uniform16(any::<u8>()),
+            tweak_key in proptest::array::uniform16(any::<u8>()),
+            versions in proptest::collection::vec(any::<u64>(), 1..12),
+            address in any::<u64>(),
+            seed in any::<u8>(),
+        ) {
+            for kind in crate::backend::available_backends() {
+                let xts = AesXts::with_backend(&data_key, &tweak_key, kind);
+                let tweaks: Vec<Tweak> = versions
+                    .iter()
+                    .map(|&v| Tweak { version: v, address })
+                    .collect();
+                let mut bundles = vec![[0u8; 16]; tweaks.len()];
+                xts.tweak_blocks(&tweaks, &mut bundles);
+                for (tw, bundle) in tweaks.iter().zip(bundles.iter()) {
+                    prop_assert_eq!(*bundle, xts.tweak_block(*tw));
+                    let data: Vec<u8> = (0..64).map(|i| seed.wrapping_add(i)).collect();
+                    let mut one_shot = data.clone();
+                    xts.encrypt(*tw, &mut one_shot);
+                    let mut replayed = data.clone();
+                    xts.encrypt_with_tweak(*bundle, &mut replayed);
+                    prop_assert_eq!(&one_shot, &replayed);
+                    xts.decrypt_with_tweak(*bundle, &mut replayed);
+                    prop_assert_eq!(&replayed, &data);
+                }
+            }
+        }
+
+        /// XTS and CTR produce identical bytes on every enabled backend
+        /// (hardware and software are interchangeable bit-for-bit).
+        #[test]
+        fn modes_agree_across_backends(
+            key in proptest::array::uniform16(any::<u8>()),
+            key2 in proptest::array::uniform16(any::<u8>()),
+            version in any::<u64>(),
+            address in any::<u64>(),
+            sectors in 1usize..10,
+            seed in any::<u8>(),
+        ) {
+            let data: Vec<u8> = (0..sectors * 16).map(|i| seed.wrapping_add(i as u8)).collect();
+            let tweak = Tweak { version, address };
+            let mut reference: Option<(Vec<u8>, Vec<u8>)> = None;
+            for kind in crate::backend::available_backends() {
+                let mut xts_out = data.clone();
+                AesXts::with_backend(&key, &key2, kind).encrypt(tweak, &mut xts_out);
+                let mut ctr_out = data.clone();
+                AesCtr::with_backend(&key, kind).apply(version, address, &mut ctr_out);
+                match &reference {
+                    None => reference = Some((xts_out, ctr_out)),
+                    Some((x, c)) => {
+                        prop_assert_eq!(&xts_out, x);
+                        prop_assert_eq!(&ctr_out, c);
+                    }
+                }
+            }
         }
     }
 

@@ -4,10 +4,11 @@
 //! address (ciphertext, MACs) and page (UVs), so every engine operation
 //! paid 3–4 hash probes and the stealth-reset re-encryption loop hashed 64
 //! block addresses per page. This module replaces them with one slot per
-//! *page*: a single map probe (or none, via the engine's last-page cache)
-//! yields a contiguous [`PageSlot`] holding all 64 ciphertext blocks, their
-//! MAC tags and the page's shared UV, so per-line work is plain array
-//! indexing and the re-encryption loop walks a slab.
+//! *page*: a single probe of the flat open-addressed
+//! [`PageIndex`] (or none, via the engine's
+//! last-page cache) yields a contiguous [`PageSlot`] holding all 64
+//! ciphertext blocks, their MAC tags and the page's shared UV, so per-line
+//! work is plain array indexing and the re-encryption loop walks a slab.
 //!
 //! Slots live in a `Vec` and are addressed by stable [`SlotId`]s — pages
 //! are never deallocated (freeing a page scrambles its *versions*, not the
@@ -19,8 +20,8 @@
 
 use crate::config::{CACHE_BLOCK_BYTES, LINES_PER_PAGE};
 use crate::layout;
+use crate::pagetable::PageIndex;
 use crate::version::UpperVersion;
-use std::collections::HashMap;
 use toleo_crypto::mac::Tag56;
 
 /// A 64-byte cache block of plaintext or ciphertext.
@@ -148,7 +149,9 @@ impl PageSlot {
 /// exposes tampering entry points for security testing.
 #[derive(Debug, Default, Clone)]
 pub struct UntrustedDram {
-    index: HashMap<u64, SlotId>,
+    /// Flat open-addressed `page -> slot` map: one multiply-shift hash and
+    /// a short linear probe on the hot path instead of a `HashMap` lookup.
+    index: PageIndex,
     slots: Vec<PageSlot>,
 }
 
@@ -167,18 +170,18 @@ impl UntrustedDram {
     /// The slot id for `page`, if the page has ever been touched.
     #[inline]
     pub fn slot_id(&self, page: u64) -> Option<SlotId> {
-        self.index.get(&page).copied()
+        self.index.get(page).map(SlotId)
     }
 
     /// The slot id for `page`, materializing an empty slot on first touch.
     pub fn ensure_slot(&mut self, page: u64) -> SlotId {
-        if let Some(id) = self.index.get(&page) {
-            return *id;
+        if let Some(id) = self.index.get(page) {
+            return SlotId(id);
         }
-        let id = SlotId(u32::try_from(self.slots.len()).expect("arena slot count fits u32"));
+        let id = u32::try_from(self.slots.len()).expect("arena slot count fits u32");
         self.slots.push(PageSlot::new());
         self.index.insert(page, id);
-        id
+        SlotId(id)
     }
 
     /// Direct slot access. Ids are stable for the arena's lifetime.
@@ -275,6 +278,7 @@ impl UntrustedDram {
 mod tests {
     use super::*;
     use rand::{Rng, SeedableRng};
+    use std::collections::HashMap;
 
     /// The seed implementation's storage layout, as a model: three maps
     /// keyed by block address / page.

@@ -20,9 +20,9 @@
 
 use crate::config::{ToleoConfig, DYNAMIC_BLOCK_BYTES, FLAT_ENTRY_BYTES};
 use crate::error::{Result, ToleoError};
+use crate::pagetable::PageIndex;
 use crate::trip::{PageEntry, TripFormat, UpdateEffect};
 use crate::version::StealthVersion;
-use std::collections::HashMap;
 use toleo_crypto::range::DRange;
 
 /// Streamed to the host when a stealth reset fires: the page's pre-reset
@@ -131,10 +131,14 @@ impl DeviceStats {
 #[derive(Debug)]
 pub struct ToleoDevice {
     cfg: ToleoConfig,
-    /// Sparse backing for the flat-entry array: pages are materialized on
-    /// first touch with a random base (the full array is statically mapped
-    /// in hardware; sparseness here is a simulation artifact).
-    pages: HashMap<u64, PageEntry>,
+    /// Flat open-addressed `page -> entry` index over `entries`. Pages are
+    /// materialized on first touch with a random base (the full array is
+    /// statically mapped in hardware; sparseness here is a simulation
+    /// artifact), and the index probe is one multiply-shift hash plus a
+    /// short linear scan — this runs on every READ and UPDATE.
+    index: PageIndex,
+    /// Dense storage for materialized page entries.
+    entries: Vec<PageEntry>,
     /// Allocated dynamic blocks (56 B each).
     dynamic_blocks_used: u64,
     /// Capacity of the dynamic region in blocks.
@@ -157,7 +161,8 @@ impl ToleoDevice {
         let rng = DRange::from_seed(cfg.rng_seed);
         Ok(ToleoDevice {
             cfg,
-            pages: HashMap::new(),
+            index: PageIndex::new(),
+            entries: Vec::new(),
             dynamic_blocks_used: 0,
             dynamic_blocks_cap,
             rng,
@@ -178,14 +183,14 @@ impl ToleoDevice {
     /// Current space usage snapshot.
     pub fn usage(&self) -> DeviceUsage {
         let mut u = DeviceUsage::default();
-        for entry in self.pages.values() {
+        for entry in &self.entries {
             match entry.format() {
                 TripFormat::Flat => u.flat_pages += 1,
                 TripFormat::Uneven => u.uneven_pages += 1,
                 TripFormat::Full => u.full_pages += 1,
             }
         }
-        u.flat_bytes = self.pages.len() as u64 * FLAT_ENTRY_BYTES as u64;
+        u.flat_bytes = self.entries.len() as u64 * FLAT_ENTRY_BYTES as u64;
         u.dynamic_bytes = self.dynamic_blocks_used * DYNAMIC_BLOCK_BYTES as u64;
         u
     }
@@ -206,7 +211,13 @@ impl ToleoDevice {
 
     /// Materializes (first touch) and returns the entry for `page`.
     fn entry(&mut self, page: u64) -> &mut PageEntry {
-        materialize(&mut self.pages, &mut self.rng, self.cfg.stealth_bits, page)
+        materialize(
+            &mut self.index,
+            &mut self.entries,
+            &mut self.rng,
+            self.cfg.stealth_bits,
+            page,
+        )
     }
 
     /// READ: the stealth version of cache block `line` in `page`.
@@ -236,10 +247,47 @@ impl ToleoDevice {
         self.check_page(page)?;
         self.stats.reads += 1;
         let ToleoDevice {
-            cfg, pages, rng, ..
+            cfg,
+            index,
+            entries,
+            rng,
+            ..
         } = self;
-        let entry = materialize(pages, rng, cfg.stealth_bits, page);
+        let entry = materialize(index, entries, rng, cfg.stealth_bits, page);
         Ok((entry.version_of(line, cfg), entry.format()))
+    }
+
+    /// Serves a whole run of READs against one page from a *single*
+    /// flat-array probe: the engine's batched read path groups consecutive
+    /// same-page operations and fetches all their versions (plus the
+    /// page's Trip format) in one call, amortizing the index lookup that
+    /// [`read_versioned`](Self::read_versioned) pays per line. Counts one
+    /// READ per requested line, exactly as the per-op path would.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::PageOutOfRange`] for addresses beyond the protected
+    /// pool (in which case no READ is counted and `out` is left empty).
+    pub fn read_run(
+        &mut self,
+        page: u64,
+        lines: &[usize],
+        out: &mut Vec<(StealthVersion, TripFormat)>,
+    ) -> Result<()> {
+        out.clear();
+        self.check_page(page)?;
+        self.stats.reads += lines.len() as u64;
+        let ToleoDevice {
+            cfg,
+            index,
+            entries,
+            rng,
+            ..
+        } = self;
+        let entry = materialize(index, entries, rng, cfg.stealth_bits, page);
+        let format = entry.format();
+        out.extend(lines.iter().map(|&l| (entry.version_of(l, cfg), format)));
+        Ok(())
     }
 
     /// UPDATE: increment and return the stealth version of a cache block,
@@ -256,14 +304,15 @@ impl ToleoDevice {
         self.check_page(page)?;
         let ToleoDevice {
             cfg,
-            pages,
+            index,
+            entries,
             dynamic_blocks_used,
             dynamic_blocks_cap,
             rng,
             stats,
         } = self;
         let bits = cfg.stealth_bits;
-        let entry = materialize(pages, rng, bits, page);
+        let entry = materialize(index, entries, rng, bits, page);
         let format = entry.format();
         // Check allocation headroom against the predicted structural effect
         // before mutating anything (flat->uneven needs 1 block,
@@ -357,7 +406,9 @@ impl ToleoDevice {
     /// been touched. For analysis and tests; does not count as a READ and
     /// does not materialize the page.
     pub fn peek_base(&self, page: u64) -> Option<StealthVersion> {
-        self.pages.get(&page).map(|e| e.base())
+        self.index
+            .get(page)
+            .map(|i| self.entries[i as usize].base())
     }
 }
 
@@ -369,14 +420,22 @@ fn random_base(rng: &mut DRange, bits: u32) -> StealthVersion {
 /// request path. A free function over the split borrows so callers holding
 /// other `ToleoDevice` fields can still use it.
 fn materialize<'a>(
-    pages: &'a mut HashMap<u64, PageEntry>,
+    index: &mut PageIndex,
+    entries: &'a mut Vec<PageEntry>,
     rng: &mut DRange,
     bits: u32,
     page: u64,
 ) -> &'a mut PageEntry {
-    pages
-        .entry(page)
-        .or_insert_with(|| PageEntry::new_flat(random_base(rng, bits)))
+    let slot = match index.get(page) {
+        Some(i) => i as usize,
+        None => {
+            let i = u32::try_from(entries.len()).expect("device entry count fits u32");
+            entries.push(PageEntry::new_flat(random_base(rng, bits)));
+            index.insert(page, i);
+            i as usize
+        }
+    };
+    &mut entries[slot]
 }
 
 #[cfg(test)]

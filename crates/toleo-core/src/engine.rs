@@ -23,7 +23,7 @@ use crate::arena::{PageSlot, SlotId};
 use crate::cache::{CacheStats, MacCache, StealthCache};
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
 use crate::device::{DeviceStats, ToleoDevice, UpdateResponse};
-use crate::error::{Result, ToleoError};
+use crate::error::{BatchError, Result, ToleoError};
 use crate::layout;
 use crate::version::FullVersion;
 use toleo_crypto::mac::MacKey;
@@ -293,21 +293,50 @@ impl ProtectionEngine {
         if let Some(notice) = resp.reset {
             // UV_UPDATE: bump the shared UV and re-encrypt every resident
             // block of the page under the fresh stealth base — one slab
-            // walk over the page's slot, no per-line map probes.
+            // walk over the page's slot, no per-line map probes. All old
+            // and new XTS tweak bundles for the walk are encrypted up
+            // front through the pipelined multi-block API, so the tweak
+            // cost is amortized across the whole page instead of paid as
+            // 2 serial block encryptions per line.
             let new_uv = uv.incremented();
             let new_fv = FullVersion::compose(new_uv, notice.new_base, stealth_bits);
             let page_base = page * PAGE_BYTES as u64;
             let mut failure: Option<(u64, UnsealFail)> = None;
             {
                 let slot = self.dram.slot_mut(id);
+                let mut resident = [0usize; LINES_PER_PAGE];
+                let mut n = 0usize;
                 for l in 0..LINES_PER_PAGE {
-                    if l == line || !slot.has_block(l) {
-                        continue;
+                    if l != line && slot.has_block(l) {
+                        resident[n] = l;
+                        n += 1;
                     }
+                }
+                let mut tweaks = [Tweak {
+                    version: 0,
+                    address: 0,
+                }; LINES_PER_PAGE];
+                for (slot_idx, &l) in resident[..n].iter().enumerate() {
+                    tweaks[slot_idx] = Tweak {
+                        version: FullVersion::compose(uv, notice.old_stealth[l], stealth_bits)
+                            .raw(),
+                        address: page_base + (l * CACHE_BLOCK_BYTES) as u64,
+                    };
+                }
+                let mut old_t = [[0u8; 16]; LINES_PER_PAGE];
+                self.xts.tweak_blocks(&tweaks[..n], &mut old_t[..n]);
+                for tw in tweaks[..n].iter_mut() {
+                    tw.version = new_fv.raw();
+                }
+                let mut new_t = [[0u8; 16]; LINES_PER_PAGE];
+                self.xts.tweak_blocks(&tweaks[..n], &mut new_t[..n]);
+                for (k, &l) in resident[..n].iter().enumerate() {
                     let lbase = page_base + (l * CACHE_BLOCK_BYTES) as u64;
                     let old_fv = FullVersion::compose(uv, notice.old_stealth[l], stealth_bits);
-                    match unseal_line(&self.xts, &self.mac, slot, l, lbase, old_fv) {
-                        Ok(pt) => seal_line(&self.xts, &self.mac, slot, l, lbase, new_fv, &pt),
+                    match unseal_line_with(&self.xts, &self.mac, slot, l, lbase, old_fv, old_t[k]) {
+                        Ok(pt) => seal_line_with(
+                            &self.xts, &self.mac, slot, l, lbase, new_fv, new_t[k], &pt,
+                        ),
                         Err(fail) => {
                             failure = Some((lbase, fail));
                             break;
@@ -400,12 +429,188 @@ impl ProtectionEngine {
         // Bump the UV only when the page holds untrusted state: a
         // never-written page has no ciphertext to scramble, and
         // materializing a slot for it would waste a whole-page slab.
+        //
+        // `last_slot` coherence: `slot_id_if_resident` refreshes the
+        // one-entry cache to this page, and the mapping it caches stays
+        // valid forever — arena slots are never deallocated or moved
+        // (`SlotId`s are stable for the arena's lifetime), and every
+        // mutator of page state (`write`, `read_batch`, this function,
+        // the adversary entry points) goes through `slot_id` /
+        // `slot_id_if_resident` or touches slots by id, never by
+        // re-binding a page to a different slot. The regression test
+        // `free_write_read_interleaving_keeps_slot_cache_coherent` drives
+        // exactly the interleavings that would expose a stale cache.
         if let Some(id) = self.slot_id_if_resident(page) {
             let slot = self.dram.slot_mut(id);
             slot.set_uv(slot.uv().incremented());
         }
         self.stealth_cache.invalidate_page(page);
         self.stats.pages_freed += 1;
+        Ok(())
+    }
+
+    /// Reads a batch of block-aligned addresses, verifying integrity and
+    /// freshness, observation-equivalent to calling [`read`](Self::read)
+    /// per address but cheaper: consecutive same-page addresses form a
+    /// *run* whose stealth-version fetch ([`ToleoDevice::read_run`]), arena
+    /// slot lookup and XTS tweak encryptions (pipelined, up to eight in
+    /// flight) are amortized across the run. Per-op cache probes and
+    /// statistics are preserved exactly, so counters match the op-at-a-time
+    /// loop on any untampered stream.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] carrying the eligible failing index and the error the
+    /// per-op loop would have raised there. Ops past the failure are not
+    /// attempted. One deliberate stats divergence on the *failure* path:
+    /// a mid-run MAC failure freezes counters after the whole run's fetch
+    /// and probe phase, so device READs, engine reads and stealth/MAC
+    /// cache probe counts include every op of the offending run — those
+    /// fetches physically happened before verification could fail (the
+    /// per-op loop would have stopped at the failing op). Success-path
+    /// statistics are exactly the loop's.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any processed address is not 64-byte aligned.
+    pub fn read_batch(&mut self, addrs: &[u64]) -> std::result::Result<Vec<Block>, BatchError> {
+        let mut out = Vec::with_capacity(addrs.len());
+        let mut lines: Vec<usize> = Vec::new();
+        let mut versions: Vec<(crate::version::StealthVersion, crate::trip::TripFormat)> =
+            Vec::new();
+        let mut tweaks: Vec<Tweak> = Vec::new();
+        let mut bundles: Vec<[u8; 16]> = Vec::new();
+        let bits = self.cfg.stealth_bits;
+        let mut i = 0usize;
+        while i < addrs.len() {
+            self.check_alive(addrs[i])
+                .map_err(|error| BatchError { index: i, error })?;
+            let page = layout::page_of(addrs[i]);
+            let mut j = i;
+            lines.clear();
+            while j < addrs.len() && layout::page_of(addrs[j]) == page {
+                assert_eq!(
+                    addrs[j] % CACHE_BLOCK_BYTES as u64,
+                    0,
+                    "unaligned block read"
+                );
+                lines.push(layout::line_of(addrs[j]));
+                j += 1;
+            }
+            if j == i + 1 {
+                // Singleton run (page-hopping stream): the plain per-op
+                // path is cheaper than run bookkeeping and by definition
+                // observation-identical.
+                match self.read(addrs[i]) {
+                    Ok(block) => out.push(block),
+                    Err(error) => return Err(BatchError { index: i, error }),
+                }
+                i = j;
+                continue;
+            }
+            // One device probe for the whole run. On failure, account the
+            // engine-level READ the per-op loop would have counted for the
+            // (first) failing op before erroring out.
+            if let Err(error) = self.device.read_run(page, &lines, &mut versions) {
+                self.stats.reads += 1;
+                return Err(BatchError { index: i, error });
+            }
+            self.stats.reads += (j - i) as u64;
+            for (k, &(_, fmt)) in versions.iter().enumerate() {
+                if !self.stealth_cache.access(page, fmt) {
+                    self.stats.device_reads += 1;
+                }
+                if !self.mac_cache.access(addrs[i + k]) {
+                    self.stats.mac_fetches += 1;
+                }
+            }
+            let Some(id) = self.slot_id_if_resident(page) else {
+                // Never-written page: zero-filled, no MACs to check.
+                out.resize(out.len() + (j - i), [0u8; CACHE_BLOCK_BYTES]);
+                i = j;
+                continue;
+            };
+            let mut failure: Option<(usize, UnsealFail)> = None;
+            {
+                let slot = self.dram.slot(id);
+                let uv = slot.uv();
+                // Precompute the XTS tweak bundles of every resident line
+                // in the run in one pipelined pass.
+                tweaks.clear();
+                for (k, &line) in lines.iter().enumerate() {
+                    if slot.has_block(line) {
+                        tweaks.push(Tweak {
+                            version: FullVersion::compose(uv, versions[k].0, bits).raw(),
+                            address: addrs[i + k],
+                        });
+                    }
+                }
+                bundles.resize(tweaks.len(), [0u8; 16]);
+                self.xts.tweak_blocks(&tweaks, &mut bundles);
+                let mut resident = 0usize;
+                for (k, &line) in lines.iter().enumerate() {
+                    if !slot.has_block(line) {
+                        out.push([0u8; CACHE_BLOCK_BYTES]);
+                        continue;
+                    }
+                    let fv = FullVersion::compose(uv, versions[k].0, bits);
+                    match unseal_line_with(
+                        &self.xts,
+                        &self.mac,
+                        slot,
+                        line,
+                        addrs[i + k],
+                        fv,
+                        bundles[resident],
+                    ) {
+                        Ok(pt) => {
+                            out.push(pt);
+                            resident += 1;
+                        }
+                        Err(fail) => {
+                            failure = Some((i + k, fail));
+                            break;
+                        }
+                    }
+                }
+            }
+            if let Some((index, fail)) = failure {
+                if fail == UnsealFail::BadTag {
+                    self.kill();
+                }
+                return Err(BatchError {
+                    index,
+                    error: ToleoError::IntegrityViolation {
+                        address: addrs[index],
+                    },
+                });
+            }
+            i = j;
+        }
+        Ok(out)
+    }
+
+    /// Writes a batch of `(address, plaintext)` pairs, observation-
+    /// equivalent to calling [`write`](Self::write) per pair and stopping
+    /// at the first error. Every write must still issue its own device
+    /// UPDATE (each advances a distinct stealth version), so the per-run
+    /// amortization here is the last-page slot cache plus the batched
+    /// crypto inside each op (four-wide XTS sectors, pipelined reset
+    /// walks).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] carrying the failing index and the underlying error;
+    /// earlier ops have fully landed, later ops were not attempted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any processed address is not 64-byte aligned.
+    pub fn write_batch(&mut self, ops: &[(u64, Block)]) -> std::result::Result<(), BatchError> {
+        for (index, (addr, plaintext)) in ops.iter().enumerate() {
+            self.write(*addr, plaintext)
+                .map_err(|error| BatchError { index, error })?;
+        }
         Ok(())
     }
 }
@@ -432,14 +637,29 @@ fn seal_line(
     fv: FullVersion,
     plaintext: &Block,
 ) {
+    let tweak0 = xts.tweak_block(Tweak {
+        version: fv.raw(),
+        address: base,
+    });
+    seal_line_with(xts, mac, slot, line, base, fv, tweak0, plaintext);
+}
+
+/// [`seal_line`] with the encrypted XTS tweak bundle already in hand —
+/// the batched paths (reset walk, `read_batch`) precompute bundles for a
+/// whole run of lines through the pipelined multi-block API.
+#[allow(clippy::too_many_arguments)]
+fn seal_line_with(
+    xts: &AesXts,
+    mac: &MacKey,
+    slot: &mut PageSlot,
+    line: usize,
+    base: u64,
+    fv: FullVersion,
+    tweak0: [u8; 16],
+    plaintext: &Block,
+) {
     let mut ct = *plaintext;
-    xts.encrypt(
-        Tweak {
-            version: fv.raw(),
-            address: base,
-        },
-        &mut ct,
-    );
+    xts.encrypt_with_tweak(tweak0, &mut ct);
     let tag = mac.mac(fv.raw(), base, &ct);
     slot.set_block(line, ct);
     slot.set_tag(line, tag);
@@ -454,6 +674,28 @@ fn unseal_line(
     base: u64,
     fv: FullVersion,
 ) -> std::result::Result<Block, UnsealFail> {
+    if slot.block(line).is_none() {
+        return Ok([0u8; CACHE_BLOCK_BYTES]);
+    }
+    let tweak0 = xts.tweak_block(Tweak {
+        version: fv.raw(),
+        address: base,
+    });
+    unseal_line_with(xts, mac, slot, line, base, fv, tweak0)
+}
+
+/// [`unseal_line`] with the encrypted XTS tweak bundle already in hand.
+/// MAC verification still gates decryption: the bundle is only used after
+/// the stored tag checks out.
+fn unseal_line_with(
+    xts: &AesXts,
+    mac: &MacKey,
+    slot: &PageSlot,
+    line: usize,
+    base: u64,
+    fv: FullVersion,
+    tweak0: [u8; 16],
+) -> std::result::Result<Block, UnsealFail> {
     let ct = match slot.block(line) {
         Some(c) => *c,
         None => return Ok([0u8; CACHE_BLOCK_BYTES]),
@@ -464,13 +706,7 @@ fn unseal_line(
         return Err(UnsealFail::BadTag);
     }
     let mut pt = ct;
-    xts.decrypt(
-        Tweak {
-            version: fv.raw(),
-            address: base,
-        },
-        &mut pt,
-    );
+    xts.decrypt_with_tweak(tweak0, &mut pt);
     Ok(pt)
 }
 
@@ -716,6 +952,79 @@ mod tests {
         assert_eq!(e.stats(), stats, "force_kill must freeze counters");
         e.force_kill(); // idempotent
         assert_eq!(e.stats(), stats);
+    }
+
+    /// Regression test for the `last_slot` one-entry cache: interleave
+    /// free/write/read on the same page (and on competing pages that
+    /// repopulate the cache in between) so every operation runs both with
+    /// the cache hot on the target page and hot on a different page. A
+    /// stale or wrongly-refreshed cache would read another page's slot —
+    /// surfacing as wrong data or a spurious MAC failure.
+    #[test]
+    fn free_write_read_interleaving_keeps_slot_cache_coherent() {
+        let mut e = engine();
+        let page_a = 3u64;
+        let page_b = 9u64;
+        let addr_a = page_a * PAGE_BYTES as u64;
+        let addr_b = page_b * PAGE_BYTES as u64;
+        for round in 0..20u8 {
+            // Hot on A, then free A through the cached slot. (Reading a
+            // freed page before rewriting would be a freshness violation
+            // by design, so the next access must be the write.)
+            e.write(addr_a, &[round; 64]).unwrap();
+            assert_eq!(e.read(addr_a).unwrap(), [round; 64]);
+            e.free_page(page_a).unwrap();
+            // Repopulate the cache with B, then come back to A cold.
+            e.write(addr_b, &[0xB0 ^ round; 64]).unwrap();
+            e.write(addr_a, &[round ^ 0xFF; 64]).unwrap();
+            assert_eq!(e.read(addr_a).unwrap(), [round ^ 0xFF; 64], "round {round}");
+            assert_eq!(e.read(addr_b).unwrap(), [0xB0 ^ round; 64]);
+            // Free B while the cache points at B, then immediately write
+            // through the still-cached slot.
+            e.free_page(page_b).unwrap();
+            e.write(addr_b, &[round; 64]).unwrap();
+            assert_eq!(e.read(addr_b).unwrap(), [round; 64]);
+            assert!(!e.is_killed(), "round {round} must not kill");
+        }
+        assert_eq!(e.stats().pages_freed, 40);
+    }
+
+    #[test]
+    fn batch_read_write_roundtrip_and_zeros() {
+        let mut e = engine();
+        let ops: Vec<(u64, Block)> = (0..200u64)
+            .map(|i| ((i % 50) * 64 + (i / 50) * PAGE_BYTES as u64, [i as u8; 64]))
+            .collect();
+        e.write_batch(&ops).unwrap();
+        let addrs: Vec<u64> = ops.iter().map(|(a, _)| *a).collect();
+        let blocks = e.read_batch(&addrs).unwrap();
+        for (k, block) in blocks.iter().enumerate() {
+            assert_eq!(*block, [k as u8; 64], "op {k}");
+        }
+        // Unwritten pages read as zeros through the batch path too.
+        let far = vec![100 * PAGE_BYTES as u64, 100 * PAGE_BYTES as u64 + 64];
+        assert_eq!(e.read_batch(&far).unwrap(), vec![[0u8; 64]; 2]);
+    }
+
+    #[test]
+    fn batch_read_reports_failing_index_and_kills_on_tamper() {
+        let mut e = engine();
+        for i in 0..8u64 {
+            e.write(i * 64, &[i as u8 + 1; 64]).unwrap();
+        }
+        e.adversary().corrupt_data(5 * 64, 9, 0x80);
+        let addrs: Vec<u64> = (0..8u64).map(|i| i * 64).collect();
+        let err = e.read_batch(&addrs).unwrap_err();
+        assert_eq!(err.index, 5);
+        assert!(matches!(
+            err.error,
+            ToleoError::IntegrityViolation { address } if address == 5 * 64
+        ));
+        assert!(e.is_killed());
+        // Dead engine: batches fail at index 0 without touching state.
+        let err = e.read_batch(&addrs).unwrap_err();
+        assert_eq!(err.index, 0);
+        assert_eq!(e.write_batch(&[(0, [0u8; 64])]).unwrap_err().index, 0);
     }
 
     #[test]

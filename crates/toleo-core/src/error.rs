@@ -68,6 +68,39 @@ impl std::error::Error for ToleoError {}
 /// Convenience alias for fallible Toleo operations.
 pub type Result<T> = std::result::Result<T, ToleoError>;
 
+/// Failure of one operation inside an engine-level batch
+/// ([`read_batch`](crate::engine::ProtectionEngine::read_batch) /
+/// [`write_batch`](crate::engine::ProtectionEngine::write_batch)): the
+/// underlying error plus the batch index of the operation that raised it.
+/// Operations before `index` completed; operations after it were not
+/// attempted — exactly the semantics of an op-at-a-time loop that stops at
+/// the first error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BatchError {
+    /// Zero-based index of the failing operation within the batch.
+    pub index: usize,
+    /// What that operation failed with.
+    pub error: ToleoError,
+}
+
+impl std::fmt::Display for BatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "batch op {}: {}", self.index, self.error)
+    }
+}
+
+impl std::error::Error for BatchError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.error)
+    }
+}
+
+impl From<BatchError> for ToleoError {
+    fn from(e: BatchError) -> Self {
+        e.error
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

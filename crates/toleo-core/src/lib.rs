@@ -26,6 +26,10 @@
 //! * [`cache`] — the L2-TLB stealth extension, the 28 KB overflow buffer,
 //!   and the per-core MAC cache.
 //! * [`layout`] — data / MAC+UV partitioning of conventional memory.
+//! * [`pagetable`] — the open-addressed flat page index backing the
+//!   device's Trip-entry array and the arena's page->slot map (one
+//!   multiply-shift hash + linear probe instead of a `HashMap` probe on
+//!   every memory operation).
 //! * [`analysis`] — closed-form and Monte-Carlo §6.2 security margins.
 //! * [`rowhammer`] — the §2.1 write-frequency rate limiter the Toleo
 //!   controller runs against Rowhammer-style abuse.
@@ -62,6 +66,7 @@ pub mod device;
 pub mod engine;
 pub mod error;
 pub mod layout;
+pub mod pagetable;
 pub mod rowhammer;
 pub mod sharded;
 pub mod trip;

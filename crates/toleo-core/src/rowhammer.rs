@@ -6,8 +6,18 @@
 //! BlockHammer-style [Yağlıkçı et al., HPCA'21] frequency tracker for
 //! free: count per-page update rates in a sliding window and throttle
 //! pages that exceed the safe activation budget.
-
-use std::collections::HashMap;
+//!
+//! The tracker is a fixed-size direct-indexed array (`page & mask`), not a
+//! map: the controller consults it on *every* UPDATE, so the lookup must
+//! be one masked index into a flat slot — no hashing, no allocation, and
+//! memory is bounded at construction exactly as a hardware counter table
+//! would be. Pages that alias to one slot **share its counter** (the
+//! counting-bloom direction BlockHammer takes): aliasing can only
+//! *over*-count and throttle a benign page early, never let a hammering
+//! pattern under-count its way past the budget — an attacker alternating
+//! two aliasing pages accrues their combined rate and throttles sooner,
+//! not later. The slot remembers the most recent page for `suspects`
+//! reporting only.
 
 /// Decision for one tracked update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -47,21 +57,53 @@ pub struct RateLimiter {
     window_ns: u64,
     /// Delay inserted per over-budget update.
     delay_ns: u64,
-    /// Per-page (window_start_ns, count).
-    counters: HashMap<u64, (u64, u32)>,
+    /// Direct-indexed counter table; slot = `page & mask`.
+    slots: Box<[RowSlot]>,
+    /// `slots.len() - 1` (slot count is a power of two).
+    mask: u64,
     /// Total throttles issued.
     throttles: u64,
 }
 
+/// One direct-indexed tracker slot. `page == u64::MAX` marks an empty
+/// slot (no real page can use it: it would sit beyond any protected pool).
+#[derive(Debug, Clone, Copy)]
+struct RowSlot {
+    page: u64,
+    window_start_ns: u64,
+    count: u32,
+}
+
+const EMPTY_SLOT: RowSlot = RowSlot {
+    page: u64::MAX,
+    window_start_ns: 0,
+    count: 0,
+};
+
+/// Tracker slots used by [`RateLimiter::new`]; pick explicitly with
+/// [`RateLimiter::with_slots`] to match the deployment's working set.
+pub const DEFAULT_TRACKER_SLOTS: usize = 4096;
+
 impl RateLimiter {
     /// Creates a limiter: at most `budget` updates per page per
-    /// `window_ns`, punishing excess with `delay_ns` stalls.
+    /// `window_ns`, punishing excess with `delay_ns` stalls, tracking
+    /// [`DEFAULT_TRACKER_SLOTS`] pages.
     pub fn new(budget: u32, window_ns: u64, delay_ns: u64) -> Self {
+        Self::with_slots(budget, window_ns, delay_ns, DEFAULT_TRACKER_SLOTS)
+    }
+
+    /// Creates a limiter with an explicit counter-table size (rounded up
+    /// to a power of two, minimum 1). The table is allocated once here —
+    /// `record` never allocates, exactly like the hardware counter array
+    /// this models.
+    pub fn with_slots(budget: u32, window_ns: u64, delay_ns: u64, slots: usize) -> Self {
+        let slots = slots.max(1).next_power_of_two();
         RateLimiter {
             budget,
             window_ns,
             delay_ns,
-            counters: HashMap::new(),
+            slots: vec![EMPTY_SLOT; slots].into_boxed_slice(),
+            mask: slots as u64 - 1,
             throttles: 0,
         }
     }
@@ -73,14 +115,24 @@ impl RateLimiter {
     }
 
     /// Records an update to `page` at time `now_ns` and decides whether to
-    /// throttle it.
+    /// throttle it. One masked array index; pages colliding on a slot
+    /// share its counter (over-counting is the fail-safe direction — a
+    /// shared budget can only throttle earlier, never let a hammer
+    /// through), and the slot's page label tracks the latest writer for
+    /// `suspects` reporting.
     pub fn record(&mut self, page: u64, now_ns: u64) -> RateDecision {
-        let entry = self.counters.entry(page).or_insert((now_ns, 0));
-        if now_ns.saturating_sub(entry.0) >= self.window_ns {
-            *entry = (now_ns, 0);
+        let slot = &mut self.slots[(page & self.mask) as usize];
+        if slot.page == u64::MAX || now_ns.saturating_sub(slot.window_start_ns) >= self.window_ns {
+            *slot = RowSlot {
+                page,
+                window_start_ns: now_ns,
+                count: 0,
+            };
+        } else {
+            slot.page = page;
         }
-        entry.1 += 1;
-        if entry.1 > self.budget {
+        slot.count += 1;
+        if slot.count > self.budget {
             self.throttles += 1;
             RateDecision::Throttle {
                 delay_ns: self.delay_ns,
@@ -93,10 +145,10 @@ impl RateLimiter {
     /// Pages currently over half their budget — the "suspects" a platform
     /// monitor would surface.
     pub fn suspects(&self) -> Vec<u64> {
-        self.counters
+        self.slots
             .iter()
-            .filter(|(_, (_, n))| *n * 2 > self.budget)
-            .map(|(p, _)| *p)
+            .filter(|s| s.page != u64::MAX && s.count * 2 > self.budget)
+            .map(|s| s.page)
             .collect()
     }
 
@@ -105,12 +157,16 @@ impl RateLimiter {
         self.throttles
     }
 
-    /// Drops expired windows to bound tracker memory (the hardware uses a
-    /// counting-bloom-style structure; the model just garbage-collects).
+    /// Clears expired windows (the table is fixed-size, so this bounds
+    /// *staleness*, not memory: it stops `suspects` from reporting pages
+    /// whose window has long lapsed).
     pub fn expire(&mut self, now_ns: u64) {
         let window = self.window_ns;
-        self.counters
-            .retain(|_, (start, _)| now_ns.saturating_sub(*start) < window);
+        for slot in self.slots.iter_mut() {
+            if slot.page != u64::MAX && now_ns.saturating_sub(slot.window_start_ns) >= window {
+                *slot = EMPTY_SLOT;
+            }
+        }
     }
 }
 
@@ -177,5 +233,69 @@ mod tests {
         rl.expire(1000);
         assert!(rl.suspects().is_empty());
         assert_eq!(rl.record(0, 1000), RateDecision::Allow);
+    }
+
+    #[test]
+    fn slot_count_rounds_to_power_of_two_and_never_allocates_per_record() {
+        let mut rl = RateLimiter::with_slots(2, 1000, 50, 5); // -> 8 slots
+        for p in 0..10_000u64 {
+            rl.record(p, 0);
+        }
+        // Only up to 8 distinct pages can ever be tracked at once.
+        assert!(rl.suspects().len() <= 8);
+    }
+
+    #[test]
+    fn colliding_pages_share_a_counter_and_overcount() {
+        // 4 slots: pages 1 and 5 share slot 1. Their combined rate counts
+        // against one budget — the fail-safe direction.
+        let mut rl = RateLimiter::with_slots(2, 1000, 50, 4);
+        rl.record(1, 0);
+        assert_eq!(rl.record(5, 1), RateDecision::Allow, "shared count = 2");
+        assert_ne!(
+            rl.record(1, 2),
+            RateDecision::Allow,
+            "combined alias traffic exceeds the shared budget"
+        );
+        // The slot reports the most recent writer as the suspect.
+        assert!(rl.suspects().contains(&1));
+    }
+
+    #[test]
+    fn alternating_aliases_cannot_bypass_the_limiter() {
+        // Regression: with evict-on-collision semantics, alternating two
+        // pages that deterministically share a slot reset each other's
+        // count and 200k hammering updates produced zero throttles. The
+        // shared counter closes that bypass.
+        let slots = 4096u64;
+        let mut rl = RateLimiter::with_slots(10, 1_000_000, 50, slots as usize);
+        let mut throttles = 0u64;
+        for t in 0..10_000u64 {
+            let page = 7 + (t % 2) * slots; // 7 and 7+4096 share slot 7
+            if rl.record(page, t) != RateDecision::Allow {
+                throttles += 1;
+            }
+        }
+        assert!(
+            throttles > 9_900,
+            "alias alternation must stay throttled: {throttles}"
+        );
+    }
+
+    #[test]
+    fn hot_page_still_throttled_despite_cold_noise() {
+        // The hammering pattern the tracker exists for: one hot page with
+        // cold noise on *other* slots stays throttled, and the cold pages
+        // (one touch per window each) are never throttled.
+        let mut rl = RateLimiter::with_slots(10, 1_000_000, 50, 16);
+        let mut throttled = 0u64;
+        for t in 0..1_000u64 {
+            if rl.record(7, t) != RateDecision::Allow {
+                throttled += 1;
+            }
+        }
+        assert!(throttled > 900, "hot page must stay throttled: {throttled}");
+        assert_eq!(rl.throttles(), throttled);
+        assert!(rl.suspects().contains(&7));
     }
 }

@@ -43,6 +43,13 @@ const _: fn() = || {
 /// any plausible worker fleet while keeping the routing modulus cheap.
 pub const MAX_SHARDS: usize = 4096;
 
+/// Ops a batch worker hands to the engine's batched entry points between
+/// global-kill polls. Large enough that run-grouping and pipelined tweak
+/// precompute inside [`ProtectionEngine::read_batch`] pay off; small
+/// enough that a peer shard's tamper detection still aborts this worker
+/// promptly.
+const KILL_POLL_OPS: usize = 64;
+
 /// A sharded, thread-safe protection engine: N independent
 /// [`ProtectionEngine`] shards behind one handle, with page-granular
 /// address routing and a global kill switch.
@@ -208,10 +215,13 @@ impl ShardedEngine {
     }
 
     /// Writes a batch of blocks, fanned out across shards with one scoped
-    /// worker thread per occupied shard. Within a shard, ops execute in
-    /// batch order (so a later write to the same address wins, exactly as
-    /// in a sequential replay); across shards there is no ordering, which
-    /// is safe because shards share no state.
+    /// worker thread per occupied shard. Each worker drains its queue
+    /// through [`ProtectionEngine::write_batch`] in `KILL_POLL_OPS`-op
+    /// chunks (checking the global kill flag between chunks), replacing
+    /// the old one-call-per-op loop. Within a shard, ops execute in batch
+    /// order (so a later write to the same address wins, exactly as in a
+    /// sequential replay); across shards there is no ordering, which is
+    /// safe because shards share no state.
     ///
     /// # Errors
     ///
@@ -221,18 +231,28 @@ impl ShardedEngine {
     /// a retryable error). If any shard detected tampering, the whole
     /// engine is killed and remaining workers abort early.
     pub fn write_batch(&self, ops: &[(u64, Block)]) -> Result<()> {
+        let mut scratch: Vec<(u64, Block)> = Vec::new();
         self.run_batch(
             ops.len(),
             (),
             |i| ops[i].0,
-            |engine, i| engine.write(ops[i].0, &ops[i].1),
+            move |engine, chunk| {
+                scratch.clear();
+                scratch.extend(chunk.iter().map(|&i| ops[i]));
+                engine
+                    .write_batch(&scratch)
+                    .map(|()| vec![(); chunk.len()])
+                    .map_err(|e| (e.index, e.error))
+            },
         )
         .map(|_: Vec<()>| ())
     }
 
     /// Reads a batch of blocks, fanned out across shards with one scoped
-    /// worker thread per occupied shard. Results are returned in batch
-    /// order.
+    /// worker thread per occupied shard, each draining its queue through
+    /// [`ProtectionEngine::read_batch`] (run-grouped version fetches and
+    /// pipelined tweak precompute) in kill-polled chunks. Results are
+    /// returned in batch order.
     ///
     /// # Errors
     ///
@@ -240,25 +260,38 @@ impl ShardedEngine {
     /// index, with integrity violations preferred over benign errors; a
     /// tamper detection on any shard kills the whole engine.
     pub fn read_batch(&self, addrs: &[u64]) -> Result<Vec<Block>> {
+        let mut scratch: Vec<u64> = Vec::new();
         self.run_batch(
             addrs.len(),
             [0u8; CACHE_BLOCK_BYTES],
             |i| addrs[i],
-            |engine, i| engine.read(addrs[i]),
+            move |engine, chunk| {
+                scratch.clear();
+                scratch.extend(chunk.iter().map(|&i| addrs[i]));
+                engine.read_batch(&scratch).map_err(|e| (e.index, e.error))
+            },
         )
     }
 
     /// Shared batch executor: partitions op indices `0..len` into
     /// per-shard queues by `addr_of`, drains each queue on a scoped worker
-    /// under the shard lock, and scatters per-op payloads back into batch
-    /// order (`fill` seeds the output vector). Returns the payload vector
-    /// (unit-cost for writes).
+    /// under the shard lock via `exec_chunk` (which maps a chunk of op
+    /// indices through the engine's batched entry points and reports a
+    /// failure as its chunk-local index), and scatters per-op payloads
+    /// back into batch order (`fill` seeds the output vector). Returns the
+    /// payload vector (unit-cost for writes).
     fn run_batch<T: Clone + Send>(
         &self,
         len: usize,
         fill: T,
         addr_of: impl Fn(usize) -> u64 + Sync,
-        op: impl Fn(&mut ProtectionEngine, usize) -> Result<T> + Sync,
+        exec_chunk: impl FnMut(
+                &mut ProtectionEngine,
+                &[usize],
+            ) -> std::result::Result<Vec<T>, (usize, ToleoError)>
+            + Clone
+            + Send
+            + Sync,
     ) -> Result<Vec<T>> {
         if len == 0 {
             return Ok(Vec::new());
@@ -277,24 +310,26 @@ impl ShardedEngine {
                 .filter(|(_, queue)| !queue.is_empty())
                 .map(|(shard, queue)| {
                     let addr_of = &addr_of;
-                    let op = &op;
+                    let mut exec_chunk = exec_chunk.clone();
                     s.spawn(move || -> ShardOutcome<T> {
                         let mut engine = self.lock_shard(shard);
                         let mut done = Vec::with_capacity(queue.len());
-                        for &i in queue {
+                        for chunk in queue.chunks(KILL_POLL_OPS) {
                             // A peer shard may have tripped the kill while
                             // this queue was draining: abort promptly.
                             if self.killed.load(Ordering::SeqCst) {
                                 return Err((
-                                    i,
+                                    chunk[0],
                                     ToleoError::IntegrityViolation {
-                                        address: addr_of(i),
+                                        address: addr_of(chunk[0]),
                                     },
                                 ));
                             }
-                            match op(&mut engine, i) {
-                                Ok(value) => done.push((i, value)),
-                                Err(e) => {
+                            match exec_chunk(&mut engine, chunk) {
+                                Ok(values) => {
+                                    done.extend(chunk.iter().copied().zip(values));
+                                }
+                                Err((local, e)) => {
                                     if engine.is_killed() {
                                         // Only the flag here: trip_kill()
                                         // locks every shard and we hold
@@ -302,7 +337,7 @@ impl ShardedEngine {
                                         // finishes the kill after join.
                                         self.killed.store(true, Ordering::SeqCst);
                                     }
-                                    return Err((i, e));
+                                    return Err((chunk[local], e));
                                 }
                             }
                         }

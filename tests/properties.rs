@@ -175,4 +175,52 @@ proptest! {
             prop_assert_eq!(dev.read(page, line).unwrap(), resp.stealth);
         }
     }
+
+    /// Engine `read_batch`/`write_batch` are observation-equivalent to the
+    /// op-at-a-time loop on untampered streams — results *and* every
+    /// statistics counter (engine, both caches, device), with stealth
+    /// resets firing identically in both worlds (same seed, same update
+    /// sequence). This pins the batched fast path (run-grouped version
+    /// fetches, pipelined tweak precompute, hoisted slot lookups) to the
+    /// semantics of the simple loop.
+    #[test]
+    fn engine_batches_match_op_at_a_time_loop(
+        ops in proptest::collection::vec((0u64..256, 0u8..=255, any::<bool>()), 1..300),
+        reset_log2 in 4u32..8,
+    ) {
+        let mut cfg = ToleoConfig::small();
+        cfg.reset_log2 = reset_log2; // make reset walks common in-test
+        let mut batched = ProtectionEngine::new(cfg.clone(), [0x17u8; 48]);
+        let mut looped = ProtectionEngine::new(cfg, [0x17u8; 48]);
+        let mut i = 0usize;
+        while i < ops.len() {
+            let is_write = ops[i].2;
+            let mut j = i;
+            while j < ops.len() && ops[j].2 == is_write {
+                j += 1;
+            }
+            if is_write {
+                let batch: Vec<(u64, [u8; 64])> = ops[i..j]
+                    .iter()
+                    .map(|&(block, val, _)| (block * 64, [val; 64]))
+                    .collect();
+                batched.write_batch(&batch).unwrap();
+                for (addr, data) in &batch {
+                    looped.write(*addr, data).unwrap();
+                }
+            } else {
+                let addrs: Vec<u64> =
+                    ops[i..j].iter().map(|&(block, _, _)| block * 64).collect();
+                let got = batched.read_batch(&addrs).unwrap();
+                for (k, addr) in addrs.iter().enumerate() {
+                    prop_assert_eq!(got[k], looped.read(*addr).unwrap());
+                }
+            }
+            i = j;
+        }
+        prop_assert_eq!(batched.stats(), looped.stats());
+        prop_assert_eq!(batched.stealth_cache_stats(), looped.stealth_cache_stats());
+        prop_assert_eq!(batched.mac_cache_stats(), looped.mac_cache_stats());
+        prop_assert_eq!(batched.device_stats(), looped.device_stats());
+    }
 }
