@@ -11,8 +11,18 @@
 //!   rows for every compared design (Client/Scalable SGX, VAULT,
 //!   MorphCtr-128, InvisiMem, Toleo).
 //! * [`vault`] — VAULT's variable-arity tree with small-counter overflow
-//!   resets.
-//! * [`morph`] — Morphable Counters' uniform/skewed leaf encodings.
+//!   resets, plus the functional [`VaultEngine`].
+//! * [`morph`] — Morphable Counters' uniform/skewed leaf encodings, plus
+//!   the functional [`MorphEngine`].
+//! * [`store`] — the shared sealed-block storage (AES-CTR + MAC + the
+//!   corrupt/capture/replay adversary surface) the baseline engines wrap
+//!   their version stores around.
+//!
+//! Every engine implements
+//! [`ProtectedMemory`](toleo_core::protected::ProtectedMemory), so the
+//! throughput harness and the security suite drive Toleo and the
+//! baselines through one interface — same workloads, same batch entry
+//! points, same tamper/replay corpus.
 //!
 //! The timing-level comparison (CI and InvisiMem configurations) lives in
 //! `toleo-sim`, which models them as protection modes of the same node.
@@ -34,9 +44,12 @@
 pub mod morph;
 pub mod schemes;
 pub mod sgx;
+pub mod store;
 pub mod tree;
 pub mod vault;
 
+pub use morph::MorphEngine;
 pub use schemes::{Guarantees, Level, Scheme, VersionScheme};
 pub use sgx::SgxEngine;
 pub use tree::CounterTree;
+pub use vault::VaultEngine;

@@ -1,0 +1,187 @@
+//! Shared sealed-block storage for the baseline engines.
+//!
+//! Every compared scheme stores the same thing in untrusted memory — an
+//! AES-CTR ciphertext (version as nonce) plus a MAC binding
+//! `(version, address, ciphertext)` — and differs only in where the
+//! version comes from (SGX counter tree, VAULT variable-arity leaves,
+//! Morphable Counters). [`SealedStore`] factors that common layer so the
+//! engines stay thin wrappers around their version stores, and so the
+//! adversary surface (corrupt / capture / replay) is byte-identical
+//! across baselines.
+
+use std::collections::HashMap;
+use toleo_crypto::mac::{MacKey, Tag56};
+use toleo_crypto::modes::AesCtr;
+
+/// A 64-byte cache block.
+pub type Block = [u8; 64];
+
+/// What the adversary can copy out of the store for one block: the
+/// ciphertext and its MAC (either may be absent).
+pub type BlockCapsule = (Option<Block>, Option<Tag56>);
+
+/// Untrusted (ciphertext, MAC) storage with version-bound sealing.
+#[derive(Debug)]
+pub struct SealedStore {
+    ctr: AesCtr,
+    mac: MacKey,
+    data: HashMap<u64, Block>,
+    macs: HashMap<u64, Tag56>,
+}
+
+impl SealedStore {
+    /// Creates a store sealing under the given data/MAC keys.
+    pub fn new(data_key: &[u8; 16], mac_key: [u8; 16]) -> Self {
+        SealedStore {
+            ctr: AesCtr::new(data_key),
+            mac: MacKey::new(mac_key),
+            data: HashMap::new(),
+            macs: HashMap::new(),
+        }
+    }
+
+    /// Encrypts `plaintext` under `(version, addr)` and stores ciphertext
+    /// + MAC.
+    pub fn seal(&mut self, version: u64, addr: u64, plaintext: &Block) {
+        let mut ct = *plaintext;
+        self.ctr.apply(version, addr, &mut ct);
+        let tag = self.mac.mac(version, addr, &ct);
+        self.data.insert(addr, ct);
+        self.macs.insert(addr, tag);
+    }
+
+    /// Verifies the MAC under `(version, addr)` and decrypts. Absent
+    /// blocks read as zeros (the OS scrubs pages at allocation).
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` on MAC mismatch — tampering or replay; the caller maps
+    /// it to its scheme's integrity-violation error.
+    #[allow(clippy::result_unit_err)]
+    pub fn unseal(&self, version: u64, addr: u64) -> Result<Block, ()> {
+        let ct = match self.data.get(&addr) {
+            Some(c) => *c,
+            None => return Ok([0u8; 64]),
+        };
+        let tag = self.macs.get(&addr).copied().unwrap_or_default();
+        if !self.mac.mac(version, addr, &ct).verify(&tag) {
+            return Err(());
+        }
+        let mut pt = ct;
+        self.ctr.apply(version, addr, &mut pt);
+        Ok(pt)
+    }
+
+    /// Re-encrypts a resident block from `old_version` to `new_version`
+    /// (version-store reset walks: VAULT group resets, Morphable leaf
+    /// re-bases). Absent blocks are skipped.
+    ///
+    /// # Errors
+    ///
+    /// `Err(())` if the resident block fails its MAC under `old_version`
+    /// — an active tamper/replay caught *during* the reset walk.
+    #[allow(clippy::result_unit_err)]
+    pub fn reseal(&mut self, old_version: u64, new_version: u64, addr: u64) -> Result<(), ()> {
+        if !self.data.contains_key(&addr) {
+            return Ok(());
+        }
+        let pt = self.unseal(old_version, addr)?;
+        self.seal(new_version, addr, &pt);
+        Ok(())
+    }
+
+    /// Whether ciphertext is resident at `addr`.
+    pub fn resident(&self, addr: u64) -> bool {
+        self.data.contains_key(&addr)
+    }
+
+    /// Adversary hook: XOR `xor` into ciphertext byte `offset`. Returns
+    /// `false` if nothing is resident.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset >= 64`.
+    pub fn corrupt(&mut self, addr: u64, offset: usize, xor: u8) -> bool {
+        match self.data.get_mut(&addr) {
+            Some(ct) => {
+                ct[offset] ^= xor;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Adversary hook: capture the (ciphertext, MAC) pair at `addr`.
+    pub fn capture(&self, addr: u64) -> BlockCapsule {
+        (self.data.get(&addr).copied(), self.macs.get(&addr).copied())
+    }
+
+    /// Adversary hook: restore a previously captured pair — the classic
+    /// replay attack. Absent components clear the stored state.
+    pub fn replay(&mut self, addr: u64, capsule: &BlockCapsule) {
+        match capsule.0 {
+            Some(d) => {
+                self.data.insert(addr, d);
+            }
+            None => {
+                self.data.remove(&addr);
+            }
+        }
+        match capsule.1 {
+            Some(t) => {
+                self.macs.insert(addr, t);
+            }
+            None => {
+                self.macs.remove(&addr);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store() -> SealedStore {
+        SealedStore::new(b"store-data-key!!", *b"store-mac-key!!!")
+    }
+
+    #[test]
+    fn seal_unseal_roundtrip_and_zero_fill() {
+        let mut s = store();
+        s.seal(7, 0x40, &[9u8; 64]);
+        assert_eq!(s.unseal(7, 0x40).unwrap(), [9u8; 64]);
+        assert_eq!(s.unseal(1, 0x80).unwrap(), [0u8; 64]);
+    }
+
+    #[test]
+    fn wrong_version_fails() {
+        let mut s = store();
+        s.seal(7, 0x40, &[9u8; 64]);
+        assert!(s.unseal(8, 0x40).is_err());
+    }
+
+    #[test]
+    fn reseal_moves_versions_and_detects_tamper() {
+        let mut s = store();
+        s.seal(1, 0x40, &[5u8; 64]);
+        s.reseal(1, 2, 0x40).unwrap();
+        assert_eq!(s.unseal(2, 0x40).unwrap(), [5u8; 64]);
+        assert!(s.unseal(1, 0x40).is_err(), "old version must die");
+        s.reseal(2, 3, 0x9000).unwrap(); // absent: no-op
+        assert!(!s.resident(0x9000));
+        assert!(s.corrupt(0x40, 13, 0x20));
+        assert!(s.reseal(2, 3, 0x40).is_err(), "tamper caught mid-walk");
+    }
+
+    #[test]
+    fn capture_replay_restores_stale_state() {
+        let mut s = store();
+        s.seal(1, 0x40, &[1u8; 64]);
+        let stale = s.capture(0x40);
+        s.seal(2, 0x40, &[2u8; 64]);
+        s.replay(0x40, &stale);
+        assert!(s.unseal(2, 0x40).is_err(), "stale MAC under new version");
+        assert_eq!(s.unseal(1, 0x40).unwrap(), [1u8; 64]);
+    }
+}

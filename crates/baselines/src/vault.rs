@@ -7,6 +7,13 @@
 //! overflow quickly; an overflow forces a *node reset*: all sibling
 //! counters re-base and every covered block must be re-MACed (modelled
 //! here as a re-encryption count).
+//!
+//! [`VaultEngine`] wraps the tree in a functional protection engine
+//! (AES-CTR + MAC over a [`SealedStore`]) so
+//! VAULT competes in the same evaluation arena as Toleo: leaf counters
+//! supply the versions, and a counter overflow *actually re-encrypts*
+//! the covered group under a bumped group epoch — the cost (and the
+//! replay-detection window) the paper's Table 4 row abstracts away.
 
 /// Per-level geometry: how many counters one 64-byte node packs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -127,6 +134,208 @@ impl VaultTree {
     pub fn counter(&self, block: u64) -> u64 {
         self.leaf_counters[block as usize]
     }
+
+    /// Children per leaf node — the group that re-bases together on a
+    /// counter overflow.
+    pub fn leaf_arity(&self) -> usize {
+        self.levels.last().expect("non-empty").arity
+    }
+
+    /// Width of a leaf counter in bits.
+    pub fn leaf_counter_bits(&self) -> u32 {
+        self.levels.last().expect("non-empty").counter_bits
+    }
+
+    /// Number of protected blocks.
+    pub fn blocks(&self) -> u64 {
+        self.blocks
+    }
+}
+
+use crate::store::{BlockCapsule, SealedStore};
+use toleo_core::protected::{Capsule, MemoryError, MemoryStats, ProtectedMemory};
+
+/// A functional VAULT-style protection engine: data blocks sealed under
+/// `(epoch || leaf counter, address)` with the small-counter overflow
+/// semantics the scheme is known for — one hot block forces the whole
+/// covered group through re-encryption every `2^counter_bits - 1` writes.
+///
+/// The wrapper keeps a per-group epoch that bumps on every overflow
+/// reset, so `(epoch, counter)` pairs never repeat and stale capsules
+/// from before a reset stay detectable. The tree's internal MAC chain is
+/// modelled by [`CounterTree`](crate::tree::CounterTree) in the SGX
+/// engine; here the version store itself is treated as authenticated and
+/// the evaluation focuses on VAULT's distinguishing cost: overflow
+/// resets.
+///
+/// # Examples
+///
+/// ```
+/// use toleo_baselines::vault::VaultEngine;
+///
+/// let mut v = VaultEngine::new(1 << 20); // 1 MB protected
+/// v.write(0x40, &[9u8; 64]).unwrap();
+/// assert_eq!(v.read(0x40).unwrap(), [9u8; 64]);
+/// ```
+#[derive(Debug)]
+pub struct VaultEngine {
+    tree: VaultTree,
+    /// Per-leaf-group epochs; `version = epoch << counter_bits | counter`.
+    epochs: Vec<u64>,
+    store: SealedStore,
+    bytes: u64,
+    reads: u64,
+    writes: u64,
+    version_fetches: u64,
+}
+
+impl VaultEngine {
+    /// Creates an engine protecting `bytes` of memory with the paper's
+    /// VAULT geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes < 64`.
+    pub fn new(bytes: u64) -> Self {
+        let blocks = bytes / 64;
+        let tree = VaultTree::new(VaultTree::paper_geometry(), blocks);
+        let groups = (blocks as usize).div_ceil(tree.leaf_arity());
+        VaultEngine {
+            epochs: vec![0; groups],
+            tree,
+            store: SealedStore::new(b"vault-data-key16", *b"vault-mac-key16!"),
+            bytes,
+            reads: 0,
+            writes: 0,
+            version_fetches: 0,
+        }
+    }
+
+    /// Overflow resets performed so far (each re-encrypted a whole leaf
+    /// group).
+    pub fn overflow_resets(&self) -> u64 {
+        self.tree.overflow_resets
+    }
+
+    fn check(&self, addr: u64) -> Result<u64, MemoryError> {
+        assert_eq!(addr % 64, 0, "unaligned block access");
+        if addr >= self.bytes {
+            return Err(MemoryError::OutOfRange { address: addr });
+        }
+        Ok(addr / 64)
+    }
+
+    fn version(&self, block: u64) -> u64 {
+        let group = block as usize / self.tree.leaf_arity();
+        (self.epochs[group] << self.tree.leaf_counter_bits()) | self.tree.counter(block)
+    }
+
+    /// Writes a block: bump the leaf counter, seal under the new version,
+    /// and on a counter overflow re-encrypt the whole covered group under
+    /// a fresh epoch.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::OutOfRange`] beyond the protected size;
+    /// [`MemoryError::IntegrityViolation`] if a tampered/replayed sibling
+    /// is caught by the overflow re-encryption walk.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned addresses.
+    pub fn write(&mut self, addr: u64, plaintext: &[u8; 64]) -> Result<(), MemoryError> {
+        let block = self.check(addr)?;
+        let arity = self.tree.leaf_arity();
+        let bits = self.tree.leaf_counter_bits();
+        let group = block as usize / arity;
+        // Snapshot the group's pre-update versions: an overflow re-bases
+        // every sibling counter, and the reset walk must unseal each
+        // resident sibling under the version it was sealed with.
+        let group_start = (group * arity) as u64;
+        let group_end = (group_start + arity as u64).min(self.tree.blocks());
+        let old_versions: Vec<u64> = (group_start..group_end).map(|b| self.version(b)).collect();
+        let reencrypted = self.tree.update(block);
+        self.version_fetches += 1;
+        self.writes += 1;
+        if reencrypted > 0 {
+            // Counter overflow: new epoch, re-encrypt every resident
+            // covered block (except the one about to be overwritten).
+            self.epochs[group] += 1;
+            debug_assert!(self.epochs[group] << bits >> bits == self.epochs[group]);
+            for b in group_start..group_end {
+                if b == block {
+                    continue;
+                }
+                let a = b * 64;
+                self.store
+                    .reseal(old_versions[(b - group_start) as usize], self.version(b), a)
+                    .map_err(|()| MemoryError::IntegrityViolation { address: a })?;
+            }
+        }
+        self.store.seal(self.version(block), addr, plaintext);
+        Ok(())
+    }
+
+    /// Reads a block, verifying the MAC under the current
+    /// `(epoch, counter)` version.
+    ///
+    /// # Errors
+    ///
+    /// [`MemoryError::IntegrityViolation`] on tamper/replay;
+    /// [`MemoryError::OutOfRange`] beyond the protected size.
+    ///
+    /// # Panics
+    ///
+    /// Panics on unaligned addresses.
+    pub fn read(&mut self, addr: u64) -> Result<[u8; 64], MemoryError> {
+        let block = self.check(addr)?;
+        self.version_fetches += 1;
+        self.reads += 1;
+        self.store
+            .unseal(self.version(block), addr)
+            .map_err(|()| MemoryError::IntegrityViolation { address: addr })
+    }
+}
+
+impl ProtectedMemory for VaultEngine {
+    fn scheme(&self) -> &'static str {
+        "vault"
+    }
+
+    fn read(&mut self, addr: u64) -> Result<[u8; 64], MemoryError> {
+        VaultEngine::read(self, addr)
+    }
+
+    fn write(&mut self, addr: u64, data: &[u8; 64]) -> Result<(), MemoryError> {
+        VaultEngine::write(self, addr, data)
+    }
+
+    fn stats(&self) -> MemoryStats {
+        MemoryStats {
+            reads: self.reads,
+            writes: self.writes,
+            version_fetches: self.version_fetches,
+            reencryption_events: self.tree.overflow_resets,
+        }
+    }
+
+    fn corrupt(&mut self, addr: u64, offset: usize, xor: u8) -> bool {
+        self.store.corrupt(addr, offset, xor)
+    }
+
+    fn capture(&mut self, addr: u64) -> Capsule {
+        Capsule::new(addr, self.store.capture(addr))
+    }
+
+    fn replay(&mut self, capsule: &Capsule) -> bool {
+        match capsule.state::<BlockCapsule>() {
+            Some(c) => {
+                self.store.replay(capsule.address(), c);
+                true
+            }
+            None => false,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -192,5 +401,98 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn out_of_range_panics() {
         vault(16).update(16);
+    }
+
+    fn engine() -> VaultEngine {
+        VaultEngine::new(1 << 16)
+    }
+
+    #[test]
+    fn engine_roundtrip_and_versioning() {
+        let mut e = engine();
+        e.write(0, &[1u8; 64]).unwrap();
+        e.write(0, &[2u8; 64]).unwrap();
+        assert_eq!(e.read(0).unwrap(), [2u8; 64]);
+        assert_eq!(e.read(0x8000).unwrap(), [0u8; 64], "unwritten reads zero");
+        assert!(matches!(
+            e.write(1 << 16, &[0u8; 64]),
+            Err(MemoryError::OutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_survives_overflow_resets_and_preserves_siblings() {
+        let mut e = engine();
+        // Residents across the hot block's 64-block group.
+        for b in [1u64, 7, 33, 63] {
+            e.write(b * 64, &[b as u8; 64]).unwrap();
+        }
+        // 200 writes to block 0: 6-bit counters overflow at 63, so the
+        // group resets multiple times and re-encrypts the residents.
+        for i in 0..200u64 {
+            e.write(0, &[i as u8; 64]).unwrap();
+        }
+        assert!(e.overflow_resets() >= 3, "resets: {}", e.overflow_resets());
+        assert_eq!(e.read(0).unwrap(), [199u8; 64]);
+        for b in [1u64, 7, 33, 63] {
+            assert_eq!(e.read(b * 64).unwrap(), [b as u8; 64], "sibling {b}");
+        }
+    }
+
+    #[test]
+    fn overflow_reset_detects_active_replay() {
+        // The satellite scenario: the adversary replays a sibling's stale
+        // capsule while the hot block drives the group into a counter
+        // overflow. The reset walk unseals every resident sibling — the
+        // stale capsule fails its MAC *during the reset*, before the
+        // group could be re-based over the forgery.
+        let mut e = engine();
+        e.write(64, &[0xAAu8; 64]).unwrap(); // sibling, block 1
+        e.write(64, &[0xABu8; 64]).unwrap();
+        let stale = ProtectedMemory::capture(&mut e, 64);
+        e.write(64, &[0xACu8; 64]).unwrap(); // version moves past capture
+        assert!(ProtectedMemory::replay(&mut e, &stale));
+        // Hammer block 0 to force the group overflow; the walk must trip.
+        let mut caught = None;
+        for i in 0..100u64 {
+            if let Err(err) = e.write(0, &[i as u8; 64]) {
+                caught = Some(err);
+                break;
+            }
+        }
+        assert!(
+            matches!(
+                caught,
+                Some(MemoryError::IntegrityViolation { address: 64 })
+            ),
+            "reset walk must catch the replayed sibling, got {caught:?}"
+        );
+        assert!(e.overflow_resets() >= 1);
+    }
+
+    #[test]
+    fn engine_replay_detected_on_read_before_any_reset() {
+        let mut e = engine();
+        e.write(0x40, &[1u8; 64]).unwrap();
+        let stale = ProtectedMemory::capture(&mut e, 0x40);
+        e.write(0x40, &[2u8; 64]).unwrap();
+        assert!(ProtectedMemory::replay(&mut e, &stale));
+        assert!(matches!(
+            e.read(0x40),
+            Err(MemoryError::IntegrityViolation { address: 0x40 })
+        ));
+    }
+
+    #[test]
+    fn epoch_keeps_versions_unique_across_resets() {
+        // (epoch, counter) must never repeat for a block: collect the
+        // write-time versions of the hot block across several overflows.
+        let mut e = engine();
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..300u64 {
+            e.write(0, &[0u8; 64]).unwrap();
+            assert!(seen.insert(e.version(0)), "version repeated");
+        }
+        assert!(e.overflow_resets() >= 4);
     }
 }

@@ -45,7 +45,7 @@ fn bench_engine(c: &mut Criterion) {
         }
         // One long-lived engine per pattern: version state and caches stay
         // warm across iterations, as they would in a real run.
-        let mut engine = ProtectionEngine::new(cfg, [0x42u8; 48]);
+        let mut engine = ProtectionEngine::try_new(cfg, [0x42u8; 48]).unwrap();
         g.bench_function(pattern.name(), |b| {
             b.iter(|| replay(&mut engine, std::hint::black_box(&trace)))
         });

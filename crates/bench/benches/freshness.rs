@@ -45,7 +45,7 @@ fn bench_version_update(c: &mut Criterion) {
 fn bench_engine_roundtrip(c: &mut Criterion) {
     let mut g = c.benchmark_group("freshness/engine_roundtrip");
     g.bench_function("toleo_engine", |b| {
-        let mut e = ProtectionEngine::new(ToleoConfig::small(), [9u8; 48]);
+        let mut e = ProtectionEngine::try_new(ToleoConfig::small(), [9u8; 48]).unwrap();
         let data = [0x42u8; 64];
         let mut addr = 0u64;
         b.iter(|| {

@@ -25,6 +25,12 @@ fn main() {
     for (i, b) in Benchmark::all().iter().enumerate() {
         let (f, u, fl) = toleo[i].trip_pages;
         let tot = (f + u + fl).max(1) as f64;
+        // Typed-error overhead math: degenerate (zero-cycle) runs abort
+        // with a message instead of printing NaN rows.
+        let overhead = |run: &toleo_sim::system::RunStats, base: &toleo_sim::system::RunStats| {
+            run.overhead_vs(base)
+                .unwrap_or_else(|e| panic!("calibrate {}: {e}", b.name()))
+        };
         println!(
             "{:<12}{:>7.2}{:>8.2}{:>8.1}%{:>7.1}%{:>8.1}%{:>7.1}%{:>7.1}%{:>6.1}%{:>6.1}%{:>6.2}%",
             b.name(),
@@ -32,9 +38,9 @@ fn main() {
             b.paper_mpki(),
             toleo[i].stealth_hit_rate * 100.0,
             toleo[i].mac_hit_rate * 100.0,
-            (ci[i].cycles / base[i].cycles - 1.0) * 100.0,
-            (toleo[i].cycles / base[i].cycles - 1.0) * 100.0,
-            (toleo[i].cycles / ci[i].cycles - 1.0) * 100.0,
+            overhead(&ci[i], &base[i]) * 100.0,
+            overhead(&toleo[i], &base[i]) * 100.0,
+            overhead(&toleo[i], &ci[i]) * 100.0,
             f as f64 / tot * 100.0,
             u as f64 / tot * 100.0,
             fl as f64 / tot * 100.0

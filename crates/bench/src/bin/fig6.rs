@@ -19,9 +19,15 @@ fn main() {
     let mut toleo_all = Vec::new();
     let mut inv_all = Vec::new();
     for i in 0..base.len() {
-        let c = ci[i].cycles / base[i].cycles - 1.0;
-        let t = toleo[i].cycles / base[i].cycles - 1.0;
-        let v = invisimem[i].cycles / base[i].cycles - 1.0;
+        // overhead_vs reports zero-cycle/empty-trace runs as typed errors
+        // instead of letting NaN/inf poison the table averages.
+        let overhead = |run: &toleo_sim::system::RunStats| {
+            run.overhead_vs(&base[i])
+                .unwrap_or_else(|e| panic!("fig6 {}: {e}", base[i].name))
+        };
+        let c = overhead(&ci[i]);
+        let t = overhead(&toleo[i]);
+        let v = overhead(&invisimem[i]);
         ci_all.push(c);
         toleo_all.push(t);
         inv_all.push(v);

@@ -1,5 +1,5 @@
-//! End-to-end protection-engine throughput harness and perf-regression
-//! gate.
+//! End-to-end protection-scheme throughput harness and perf-regression
+//! gate — the paper's head-to-head evaluation arena.
 //!
 //! Replays the [`EnginePattern`] workloads (sequential, random, hot-reset)
 //! through a functional [`ProtectionEngine`], micro-measures the AES-128
@@ -9,21 +9,29 @@
 //! single ops, the engine's batched `read_batch`/`write_batch` path, and
 //! the forced software fallback — and sweeps worker threads ∈ {1, 2, 4, 8}
 //! over the page-sharded [`ShardedEngine`] to record a thread-scaling
-//! curve. Results are emitted as `BENCH_4.json` (schema
-//! `toleo-bench-throughput/v3`, a superset of the v2 fields so the
-//! trajectory stays comparable across PRs; the v2 `aes128`/`engine`
-//! fields carry the *selected-backend* numbers).
+//! curve.
+//!
+//! New in v4: the **scheme sweep**. Every [`ProtectedMemory`] scheme —
+//! Toleo, 8-shard Toleo, the SGX-style counter-tree engine, VAULT and
+//! Morphable Counters — replays the same four workload patterns
+//! (sequential / random / hot-reset / multi-tenant) through the same
+//! trait, single-op and batched, producing the side-by-side curves the
+//! paper's comparative claim rests on. Results are emitted as
+//! `BENCH_5.json` (schema `toleo-bench-throughput/v4`, a superset of the
+//! v3 fields so the trajectory stays comparable across PRs).
 //!
 //! ```sh
 //! cargo run --release -p toleo-bench --bin throughput -- \
-//!     --ops 400000 --out BENCH_4.json --check \
-//!     --compare BENCH_3.json --tolerance 0.85
+//!     --ops 400000 --out BENCH_5.json --check \
+//!     --compare BENCH_4.json --tolerance 0.85
 //! ```
 //!
 //! `--check` re-reads the emitted file and fails (non-zero exit) unless it
 //! is well-formed and carries every required key. `--compare` is the CI
 //! perf gate: it fails the run if any single-thread workload's blocks/s
-//! drops below `tolerance` × the committed baseline's.
+//! drops below `tolerance` × the committed baseline's, with the baseline
+//! parsed structurally and keyed by workload name
+//! ([`toleo_bench::gate`]).
 //!
 //! ## How the scaling curve is measured
 //!
@@ -40,8 +48,11 @@
 //! side rather than conflated.
 
 use std::time::Instant;
+use toleo_baselines::{MorphEngine, SgxEngine, VaultEngine};
+use toleo_bench::gate;
 use toleo_core::config::ToleoConfig;
 use toleo_core::engine::ProtectionEngine;
+use toleo_core::protected::ProtectedMemory;
 use toleo_core::sharded::ShardedEngine;
 use toleo_crypto::aes::Aes128;
 use toleo_crypto::backend::{
@@ -131,6 +142,168 @@ struct ScalingCurve {
     speedup_4t_vs_1t: f64,
 }
 
+/// Every scheme in the head-to-head arena, in reporting order. Names are
+/// the [`ProtectedMemory::scheme`] identifiers.
+const SCHEMES: [&str; 5] = ["toleo", "toleo-sharded", "sgx-tree", "vault", "morph"];
+
+/// One scheme × workload cell of the head-to-head table.
+struct SchemeWorkload {
+    workload: &'static str,
+    blocks: u64,
+    /// Single-op replay through the `ProtectedMemory` trait.
+    blocks_per_sec: f64,
+    /// Same trace through the trait's batch entry points in homogeneous
+    /// runs of up to [`BATCH_OPS`] ops.
+    batch_blocks_per_sec: f64,
+    /// Version-store traffic reported by the scheme for the single-op
+    /// replay (device READ/UPDATEs for Toleo; uncached tree-node fetches
+    /// for the Merkle schemes).
+    version_fetches: u64,
+    /// Bulk re-encryption events (stealth resets / overflow resets /
+    /// leaf re-bases) during the single-op replay.
+    reencryption_events: u64,
+}
+
+/// One scheme's full row of the head-to-head table.
+struct SchemeResult {
+    scheme: &'static str,
+    workloads: Vec<SchemeWorkload>,
+}
+
+/// Constructs a fresh engine for `scheme`. Toleo engines take the
+/// workload-tuned config; the baseline engines protect the same
+/// footprint the traces are confined to.
+fn build_scheme(scheme: &'static str, cfg: &ToleoConfig) -> Box<dyn ProtectedMemory> {
+    match scheme {
+        "toleo" => {
+            Box::new(ProtectionEngine::try_new(cfg.clone(), [0x42u8; 48]).expect("valid config"))
+        }
+        "toleo-sharded" => {
+            Box::new(ShardedEngine::new(cfg.clone(), SHARDS, [0x42u8; 48]).expect("valid config"))
+        }
+        "sgx-tree" => Box::new(SgxEngine::new(FOOTPRINT_BYTES)),
+        "vault" => Box::new(VaultEngine::new(FOOTPRINT_BYTES)),
+        "morph" => Box::new(MorphEngine::new(FOOTPRINT_BYTES)),
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+/// Replays `trace` op-at-a-time through any scheme; returns
+/// (blocks, seconds).
+fn replay_single_dyn(trace: &Trace, mem: &mut dyn ProtectedMemory) -> (u64, f64) {
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for op in &trace.ops {
+        match op {
+            Op::Write(addr) => {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                mem.write(*addr, &[fill; 64]).expect("protected write");
+                blocks += 1;
+            }
+            Op::Read(addr) => {
+                let block = mem.read(*addr).expect("protected read");
+                checksum = checksum.wrapping_add(block[0] as u64);
+                blocks += 1;
+            }
+            Op::Compute(_) => {}
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    (blocks, seconds)
+}
+
+/// Replays `trace` through any scheme's batch entry points in homogeneous
+/// runs of up to [`BATCH_OPS`] ops; returns (blocks, seconds).
+fn replay_batched_dyn(trace: &Trace, mem: &mut dyn ProtectedMemory) -> (u64, f64) {
+    let runs = homogeneous_runs(trace, BATCH_OPS);
+    let mut write_buf: Vec<(u64, [u8; 64])> = Vec::with_capacity(BATCH_OPS);
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for (is_write, addrs) in &runs {
+        if *is_write {
+            write_buf.clear();
+            write_buf.extend(addrs.iter().map(|addr| {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                blocks += 1;
+                (*addr, [fill; 64])
+            }));
+            mem.write_batch(&write_buf).expect("protected write batch");
+        } else {
+            let out = mem.read_batch(addrs).expect("protected read batch");
+            for block in &out {
+                checksum = checksum.wrapping_add(block[0] as u64);
+            }
+            blocks += addrs.len() as u64;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    (blocks, seconds)
+}
+
+/// The head-to-head sweep: every scheme replays the same four traces
+/// (same seeds, same footprint) through the shared trait, single-op and
+/// batched.
+fn run_scheme_sweep(ops: u64) -> Vec<SchemeResult> {
+    // (name, trace, toleo config) — baselines ignore the config.
+    let mut workloads: Vec<(&'static str, Trace, ToleoConfig)> = EnginePattern::all()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                p.name(),
+                engine_pattern(*p, ops, FOOTPRINT_BYTES, 0xBE2C + i as u64),
+                engine_cfg(Some(*p)),
+            )
+        })
+        .collect();
+    workloads.push((
+        "multi-tenant",
+        multi_tenant(
+            TENANTS,
+            ops / TENANTS as u64,
+            FOOTPRINT_BYTES / TENANTS as u64,
+            0xBE2F,
+        ),
+        engine_cfg(None),
+    ));
+
+    SCHEMES
+        .iter()
+        .map(|&scheme| {
+            let rows = workloads
+                .iter()
+                .map(|(name, trace, cfg)| {
+                    let mut single = build_scheme(scheme, cfg);
+                    let (blocks, seconds) = replay_single_dyn(trace, single.as_mut());
+                    let stats = single.stats();
+                    let mut batched = build_scheme(scheme, cfg);
+                    let (batch_blocks, batch_seconds) = replay_batched_dyn(trace, batched.as_mut());
+                    assert_eq!(
+                        batch_blocks, blocks,
+                        "{scheme}/{name}: batched replay lost ops"
+                    );
+                    SchemeWorkload {
+                        workload: name,
+                        blocks,
+                        blocks_per_sec: blocks as f64 / seconds,
+                        batch_blocks_per_sec: batch_blocks as f64 / batch_seconds,
+                        version_fetches: stats.version_fetches,
+                        reencryption_events: stats.reencryption_events,
+                    }
+                })
+                .collect();
+            SchemeResult {
+                scheme,
+                workloads: rows,
+            }
+        })
+        .collect()
+}
+
 fn engine_cfg(pattern: Option<EnginePattern>) -> ToleoConfig {
     let mut cfg = ToleoConfig::small();
     if pattern == Some(EnginePattern::HotReset) {
@@ -144,7 +317,7 @@ fn engine_cfg(pattern: Option<EnginePattern>) -> ToleoConfig {
 /// Replays `trace` op-at-a-time through a fresh engine; returns
 /// (blocks, seconds).
 fn replay_single(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
-    let mut engine = ProtectionEngine::new(cfg.clone(), [0x42u8; 48]);
+    let mut engine = ProtectionEngine::try_new(cfg.clone(), [0x42u8; 48]).unwrap();
     let start = Instant::now();
     let mut blocks = 0u64;
     let mut checksum = 0u64;
@@ -172,7 +345,7 @@ fn replay_single(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
 /// homogeneous runs of up to [`BATCH_OPS`] ops; returns (blocks, seconds).
 fn replay_batched(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
     let runs = homogeneous_runs(trace, BATCH_OPS);
-    let mut engine = ProtectionEngine::new(cfg.clone(), [0x42u8; 48]);
+    let mut engine = ProtectionEngine::try_new(cfg.clone(), [0x42u8; 48]).unwrap();
     let mut write_buf: Vec<(u64, [u8; 64])> = Vec::with_capacity(BATCH_OPS);
     let start = Instant::now();
     let mut blocks = 0u64;
@@ -408,6 +581,7 @@ fn emit_json(
     curves: &[ScalingCurve],
     backends: &[BackendAes],
     selected: BackendKind,
+    schemes: &[SchemeResult],
 ) -> String {
     let sel = backends
         .iter()
@@ -415,8 +589,8 @@ fn emit_json(
         .expect("selected backend was measured");
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"toleo-bench-throughput/v3\",\n");
-    out.push_str("  \"pr\": 4,\n");
+    out.push_str("  \"schema\": \"toleo-bench-throughput/v4\",\n");
+    out.push_str("  \"pr\": 5,\n");
     out.push_str(&format!("  \"ops_per_workload\": {ops},\n"));
     out.push_str(&format!(
         "  \"host_cores\": {},\n",
@@ -538,92 +712,106 @@ fn emit_json(
         });
     }
     out.push_str("    ]\n");
-    out.push_str("  }\n");
+    out.push_str("  },\n");
+    // v4: the head-to-head scheme arena — every ProtectedMemory scheme
+    // over every workload pattern, single-op and batched.
+    out.push_str("  \"schemes\": [\n");
+    for (si, s) in schemes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scheme\": \"{}\",\n", s.scheme));
+        out.push_str("      \"workloads\": [\n");
+        for (wi, w) in s.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"workload\": \"{}\", \"blocks\": {}, \"blocks_per_sec\": {:.0}, \
+                 \"batch_blocks_per_sec\": {:.0}, \"version_fetches\": {}, \
+                 \"reencryption_events\": {}}}{}\n",
+                w.workload,
+                w.blocks,
+                w.blocks_per_sec,
+                w.batch_blocks_per_sec,
+                w.version_fetches,
+                w.reencryption_events,
+                if wi + 1 == s.workloads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 == schemes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
     out.push_str("}\n");
     out
 }
 
-/// Minimal well-formedness check: balanced braces/brackets outside strings
-/// and presence of every key the perf-trajectory tooling reads.
+/// Well-formedness check: the emitted file must parse as JSON (with the
+/// same reader the perf gate uses) and carry every section and key the
+/// perf-trajectory tooling reads, including one scheme × workload row
+/// per arena cell.
 fn check_emitted(path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
-    let mut depth = 0i64;
-    let mut in_string = false;
-    let mut prev = '\0';
-    for c in text.chars() {
-        if in_string {
-            if c == '"' && prev != '\\' {
-                in_string = false;
-            }
-        } else {
-            match c {
-                '"' => in_string = true,
-                '{' | '[' => depth += 1,
-                '}' | ']' => depth -= 1,
-                _ => {}
-            }
-            if depth < 0 {
-                return Err(format!("{path}: unbalanced braces"));
-            }
+    let root = toleo_bench::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    for key in [
+        "schema",
+        "selected_backend",
+        "aes_backends",
+        "aes128",
+        "engine",
+        "sharded",
+        "schemes",
+    ] {
+        if root.get(key).is_none() {
+            return Err(format!("{path}: missing key {key:?}"));
         }
-        prev = c;
-    }
-    if depth != 0 || in_string {
-        return Err(format!("{path}: truncated JSON"));
     }
     for key in [
-        "\"schema\"",
-        "\"selected_backend\"",
-        "\"aes_backends\"",
         "\"encrypt8_ns_per_block\"",
-        "\"aes128\"",
         "\"encrypt_speedup_vs_seed\"",
-        "\"engine\"",
         "\"batch_blocks_per_sec\"",
         "\"software_blocks_per_sec\"",
-        "\"sequential\"",
-        "\"random\"",
-        "\"hot-reset\"",
-        "\"multi-tenant\"",
         "\"blocks_per_sec\"",
         "\"speedup_vs_seed\"",
-        "\"sharded\"",
         "\"thread_sweep\"",
         "\"critical_path_seconds\"",
         "\"speedup_4t_vs_1t\"",
+        "\"version_fetches\"",
+        "\"reencryption_events\"",
     ] {
         if !text.contains(key) {
             return Err(format!("{path}: missing key {key}"));
         }
     }
+    let schemes = root
+        .get("schemes")
+        .and_then(toleo_bench::json::Value::as_array)
+        .ok_or_else(|| format!("{path}: schemes is not an array"))?;
+    for scheme in SCHEMES {
+        let entry = schemes
+            .iter()
+            .find(|s| s.get("scheme").and_then(toleo_bench::json::Value::as_str) == Some(scheme))
+            .ok_or_else(|| format!("{path}: schemes missing {scheme:?}"))?;
+        let rows = entry
+            .get("workloads")
+            .and_then(toleo_bench::json::Value::as_array)
+            .ok_or_else(|| format!("{path}: {scheme} has no workloads array"))?;
+        for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
+            if !rows.iter().any(|r| {
+                r.get("workload").and_then(toleo_bench::json::Value::as_str) == Some(workload)
+            }) {
+                return Err(format!("{path}: {scheme} missing workload {workload:?}"));
+            }
+        }
+    }
     Ok(())
 }
 
-/// Extracts `"blocks_per_sec"` for the named workload from an emitted
-/// BENCH json (v1 or v2): finds the workload tag, then the first
-/// `"blocks_per_sec"` after it — within the same object by construction
-/// of the emitted formats.
-fn baseline_blocks_per_sec(text: &str, workload: &str) -> Result<f64, String> {
-    let tag = format!("\"workload\": \"{workload}\"");
-    let at = text
-        .find(&tag)
-        .ok_or_else(|| format!("baseline has no workload {workload:?}"))?;
-    let rest = &text[at..];
-    let key = "\"blocks_per_sec\":";
-    let kat = rest
-        .find(key)
-        .ok_or_else(|| format!("baseline workload {workload:?} has no blocks_per_sec"))?;
-    let num: String = rest[kat + key.len()..]
-        .chars()
-        .skip_while(|c| c.is_whitespace())
-        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
-        .collect();
-    num.parse::<f64>()
-        .map_err(|e| format!("baseline blocks_per_sec for {workload:?} unparsable: {e}"))
-}
-
 /// The CI perf gate: every single-thread workload must hold at least
-/// `tolerance` × the committed baseline's blocks/s.
+/// `tolerance` × the committed baseline's blocks/s. The baseline is
+/// parsed structurally and paired by workload *name*
+/// ([`gate::compare`]), so baseline row order and adjacent
+/// `batch_`/`wall_blocks_per_sec` keys cannot mis-pair a floor.
 fn compare_against_baseline(
     baseline_path: &str,
     tolerance: f64,
@@ -631,19 +819,19 @@ fn compare_against_baseline(
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("read baseline {baseline_path}: {e}"))?;
+    let measured: Vec<(&str, f64)> = results.iter().map(|r| (r.name, r.blocks_per_sec)).collect();
+    let rows = gate::compare(&text, tolerance, &measured)
+        .map_err(|e| format!("baseline {baseline_path}: {e}"))?;
     let mut failures = Vec::new();
-    for r in results {
-        let base = baseline_blocks_per_sec(&text, r.name)?;
-        let floor = base * tolerance;
-        let ratio = r.blocks_per_sec / base;
+    for row in &rows {
         println!(
             "gate engine/{:<10} {:>10.0} blocks/s vs baseline {:>10.0} ({:>5.2}x, floor {:.2})",
-            r.name, r.blocks_per_sec, base, ratio, tolerance
+            row.workload, row.measured, row.baseline, row.ratio, tolerance
         );
-        if r.blocks_per_sec < floor {
+        if !row.pass {
             failures.push(format!(
                 "{}: {:.0} blocks/s < {tolerance} x baseline {:.0}",
-                r.name, r.blocks_per_sec, base
+                row.workload, row.measured, row.baseline
             ));
         }
     }
@@ -656,7 +844,7 @@ fn compare_against_baseline(
 
 fn main() {
     let mut ops = DEFAULT_OPS;
-    let mut out_path = String::from("BENCH_4.json");
+    let mut out_path = String::from("BENCH_5.json");
     let mut check = false;
     let mut compare: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -756,7 +944,24 @@ fn main() {
         curves.push(sweep_curve("multi-tenant", &engine_cfg(None), &trace));
     }
 
-    let json = emit_json(ops, &results, &curves, &backends, selected);
+    // The head-to-head arena: every scheme, every pattern, one trait.
+    let schemes = run_scheme_sweep(ops);
+    for s in &schemes {
+        for w in &s.workloads {
+            println!(
+                "scheme/{:<13} {:<12} {:>10.0} blocks/s single, {:>10.0} batch  \
+                 (version fetches {:>8}, re-enc events {:>6})",
+                s.scheme,
+                w.workload,
+                w.blocks_per_sec,
+                w.batch_blocks_per_sec,
+                w.version_fetches,
+                w.reencryption_events,
+            );
+        }
+    }
+
+    let json = emit_json(ops, &results, &curves, &backends, selected, &schemes);
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {out_path}");
 

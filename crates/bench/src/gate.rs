@@ -1,0 +1,177 @@
+//! The CI perf gate: structural comparison of measured throughput
+//! against a committed `BENCH_*.json` baseline.
+//!
+//! Earlier revisions text-scanned the baseline for the first
+//! `"blocks_per_sec"` substring after each workload tag, which could
+//! match `batch_blocks_per_sec` / `wall_blocks_per_sec` decoys or
+//! mis-pair rows if the baseline's workload order ever changed. The gate
+//! now parses the baseline with [`json`] and keys the
+//! `engine` array by workload *name*, so row order and adjacent keys are
+//! irrelevant.
+
+use crate::json::{self, Value};
+
+/// Looks up the single-op `blocks_per_sec` of `workload` in a parsed
+/// baseline document (any schema from v1 on: the `engine` array of
+/// per-workload objects has been stable across schema versions).
+///
+/// # Errors
+///
+/// A description of what is missing or malformed.
+pub fn engine_blocks_per_sec(baseline: &Value, workload: &str) -> Result<f64, String> {
+    let engine = baseline
+        .get("engine")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "baseline has no engine array".to_string())?;
+    let entry = engine
+        .iter()
+        .find(|e| e.get("workload").and_then(Value::as_str) == Some(workload))
+        .ok_or_else(|| format!("baseline has no workload {workload:?}"))?;
+    entry
+        .get("blocks_per_sec")
+        .and_then(Value::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("baseline workload {workload:?} has no usable blocks_per_sec"))
+}
+
+/// One gate verdict: a workload's measured throughput against its
+/// baseline floor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GateRow {
+    /// Workload name.
+    pub workload: String,
+    /// Measured single-op blocks/s.
+    pub measured: f64,
+    /// Baseline single-op blocks/s.
+    pub baseline: f64,
+    /// `measured / baseline`.
+    pub ratio: f64,
+    /// Whether the row clears `tolerance * baseline`.
+    pub pass: bool,
+}
+
+/// Runs the gate: every `(workload, measured blocks/s)` pair must hold at
+/// least `tolerance` × its baseline throughput, with pairing done by
+/// workload name. Returns one row per input pair, in input order.
+///
+/// # Errors
+///
+/// A parse/lookup failure on the baseline text (a gate that cannot read
+/// its baseline must fail loudly, not pass vacuously).
+pub fn compare(
+    baseline_text: &str,
+    tolerance: f64,
+    measured: &[(&str, f64)],
+) -> Result<Vec<GateRow>, String> {
+    let baseline = json::parse(baseline_text).map_err(|e| format!("baseline JSON: {e}"))?;
+    measured
+        .iter()
+        .map(|(workload, value)| {
+            let base = engine_blocks_per_sec(&baseline, workload)?;
+            Ok(GateRow {
+                workload: (*workload).to_string(),
+                measured: *value,
+                baseline: base,
+                ratio: value / base,
+                pass: *value >= base * tolerance,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A baseline deliberately hostile to text-scanning: workloads in a
+    /// different order than the harness emits (random before sequential),
+    /// and every decoy key (`batch_`, `wall_`, `software_`,
+    /// `seed_blocks_per_sec`) placed BEFORE the real `blocks_per_sec` in
+    /// each object.
+    const REORDERED_BASELINE: &str = r#"
+    {
+      "schema": "toleo-bench-throughput/v3",
+      "engine": [
+        {
+          "workload": "random",
+          "batch_blocks_per_sec": 111111,
+          "wall_blocks_per_sec": 222222,
+          "software_blocks_per_sec": 333333,
+          "seed_blocks_per_sec": 444444,
+          "blocks_per_sec": 2000000
+        },
+        {
+          "workload": "sequential",
+          "batch_blocks_per_sec": 555555,
+          "blocks_per_sec": 1000000
+        }
+      ],
+      "sharded": {
+        "curves": [
+          {"workload": "sequential", "points": [{"threads": 1, "blocks_per_sec": 999}]}
+        ]
+      }
+    }"#;
+
+    #[test]
+    fn pairs_rows_by_name_not_order() {
+        let base = json::parse(REORDERED_BASELINE).unwrap();
+        assert_eq!(
+            engine_blocks_per_sec(&base, "sequential").unwrap(),
+            1_000_000.0
+        );
+        assert_eq!(engine_blocks_per_sec(&base, "random").unwrap(), 2_000_000.0);
+        assert!(engine_blocks_per_sec(&base, "hot-reset")
+            .unwrap_err()
+            .contains("no workload"));
+    }
+
+    #[test]
+    fn gate_passes_and_fails_per_row() {
+        let rows = compare(
+            REORDERED_BASELINE,
+            0.85,
+            &[("sequential", 900_000.0), ("random", 1_500_000.0)],
+        )
+        .unwrap();
+        assert!(rows[0].pass, "sequential 0.9x clears the 0.85 floor");
+        assert!(!rows[1].pass, "random 0.75x misses the floor");
+        assert!((rows[1].ratio - 0.75).abs() < 1e-9);
+        assert_eq!(rows[1].baseline, 2_000_000.0);
+    }
+
+    #[test]
+    fn decoy_keys_cannot_feed_the_gate() {
+        // The regression the structural parser fixes: a text scan from the
+        // "random" tag would have found batch_blocks_per_sec's 111111
+        // first and set a floor ~18x too low.
+        let base = json::parse(REORDERED_BASELINE).unwrap();
+        let v = engine_blocks_per_sec(&base, "random").unwrap();
+        assert_ne!(v, 111_111.0);
+        assert_ne!(v, 222_222.0);
+        assert_ne!(v, 444_444.0);
+    }
+
+    #[test]
+    fn unreadable_baseline_fails_loudly() {
+        assert!(compare("{ not json", 0.85, &[("sequential", 1.0)]).is_err());
+        let no_engine = r#"{"schema": "x"}"#;
+        assert!(compare(no_engine, 0.85, &[("sequential", 1.0)])
+            .unwrap_err()
+            .contains("no engine array"));
+    }
+
+    #[test]
+    fn committed_baselines_satisfy_the_gate_reader() {
+        for name in ["BENCH_2.json", "BENCH_3.json", "BENCH_4.json"] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+            let base = json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for workload in ["sequential", "random", "hot-reset"] {
+                let v = engine_blocks_per_sec(&base, workload)
+                    .unwrap_or_else(|e| panic!("{name}/{workload}: {e}"));
+                assert!(v > 0.0, "{name}/{workload}");
+            }
+        }
+    }
+}

@@ -8,9 +8,19 @@
 //! The [`harness`] module provides the shared machinery: generate all 12
 //! workload traces once, run them under any protection configuration (in
 //! parallel across workloads), and format aligned text tables.
+//!
+//! The [`json`] module is a minimal JSON reader (the workspace vendors no
+//! `serde_json`), and [`gate`] builds the CI perf gate on top of it: the
+//! committed `BENCH_*.json` baseline is parsed *structurally* and keyed
+//! by workload name, so reordered workloads or adjacent
+//! `batch_blocks_per_sec`/`wall_blocks_per_sec` keys can never mis-pair
+//! a floor with the wrong measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+
+pub mod gate;
+pub mod json;
 
 pub mod harness {
     //! Shared run-everything machinery for the per-figure binaries.
@@ -20,9 +30,20 @@ pub mod harness {
     use toleo_workloads::{generate, Benchmark, GenConfig};
 
     /// Standard generation config for the figures (bigger than unit-test
-    /// traces, still seconds to run).
+    /// traces, still seconds to run). The `TOLEO_BENCH_OPS` environment
+    /// variable overrides the per-trace op count — the CI smoke job uses
+    /// it to drive every fig/table binary end-to-end in seconds, so the
+    /// binaries cannot bit-rot without a paper-scale run.
     pub fn gen_config() -> GenConfig {
-        GenConfig::default()
+        let mut cfg = GenConfig::default();
+        if let Some(ops) = std::env::var("TOLEO_BENCH_OPS")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+        {
+            assert!(ops > 0, "TOLEO_BENCH_OPS must be positive");
+            cfg.mem_ops = ops;
+        }
+        cfg
     }
 
     /// Generates all 12 traces.

@@ -20,8 +20,11 @@
 //! let trace = generate(Benchmark::Llama2Gen, &GenConfig::tiny());
 //! let base = System::new(SimConfig::scaled(Protection::NoProtect)).run(&trace);
 //! let toleo = System::new(SimConfig::scaled(Protection::Toleo)).run(&trace);
-//! let overhead = toleo.cycles / base.cycles - 1.0;
+//! // overhead_vs guards the ratio against zero-cycle/empty-trace runs
+//! // (a bare `toleo.cycles / base.cycles - 1.0` silently yields NaN/inf).
+//! let overhead = toleo.overhead_vs(&base)?;
 //! println!("llama2-gen freshness overhead: {:.1}%", overhead * 100.0);
+//! # Ok::<(), toleo_sim::system::OverheadError>(())
 //! ```
 
 #![forbid(unsafe_code)]
@@ -34,4 +37,4 @@ pub mod link;
 pub mod system;
 
 pub use config::{Protection, SimConfig};
-pub use system::{Rack, RunStats, System};
+pub use system::{OverheadError, Rack, RunStats, System};

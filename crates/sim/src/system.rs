@@ -82,10 +82,72 @@ pub struct RunStats {
     pub rss_bytes: u64,
 }
 
+/// Typed failure of an overhead computation over degenerate runs.
+///
+/// `toleo.cycles / base.cycles - 1.0` silently produces NaN (0/0 on two
+/// empty traces) or ±inf (zero-cycle baseline) — values that propagate
+/// into averages and tables as garbage instead of failing loudly. The
+/// fig/table binaries and the docs go through
+/// [`RunStats::overhead_vs`], which reports these cases as errors.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OverheadError {
+    /// The baseline run has zero or non-finite cycles (empty trace, or a
+    /// run that never executed) — the ratio is undefined.
+    DegenerateBaseline {
+        /// The baseline's cycle count.
+        cycles: f64,
+    },
+    /// The protected run's cycle count is non-finite.
+    DegenerateRun {
+        /// The protected run's cycle count.
+        cycles: f64,
+    },
+}
+
+impl std::fmt::Display for OverheadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverheadError::DegenerateBaseline { cycles } => write!(
+                f,
+                "baseline run has {cycles} cycles: overhead undefined (empty trace?)"
+            ),
+            OverheadError::DegenerateRun { cycles } => {
+                write!(f, "protected run has non-finite cycles ({cycles})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for OverheadError {}
+
 impl RunStats {
     /// Average read latency over all components, ns.
     pub fn avg_read_latency_ns(&self) -> f64 {
         self.avg_dram_ns + self.avg_aes_ns + self.avg_mac_ns + self.avg_fresh_ns
+    }
+
+    /// Execution-time overhead of this run relative to `base`:
+    /// `self.cycles / base.cycles - 1.0`, guarded against the
+    /// zero-cycle/empty-trace runs that would silently produce NaN or
+    /// ±inf.
+    ///
+    /// # Errors
+    ///
+    /// [`OverheadError::DegenerateBaseline`] if `base` has zero or
+    /// non-finite cycles; [`OverheadError::DegenerateRun`] if this run's
+    /// cycles are non-finite.
+    pub fn overhead_vs(&self, base: &RunStats) -> Result<f64, OverheadError> {
+        if !base.cycles.is_finite() || base.cycles <= 0.0 {
+            return Err(OverheadError::DegenerateBaseline {
+                cycles: base.cycles,
+            });
+        }
+        if !self.cycles.is_finite() {
+            return Err(OverheadError::DegenerateRun {
+                cycles: self.cycles,
+            });
+        }
+        Ok(self.cycles / base.cycles - 1.0)
     }
 
     /// Total metadata + data bytes per instruction (Fig. 8 metric).
@@ -569,6 +631,51 @@ mod tests {
     }
 
     #[test]
+    fn overhead_vs_guards_degenerate_runs() {
+        let mut base = RunStats::default();
+        let mut run = RunStats {
+            cycles: 100.0,
+            ..RunStats::default()
+        };
+        // Zero-cycle baseline (empty trace): typed error, not NaN/inf.
+        assert_eq!(
+            run.overhead_vs(&base),
+            Err(OverheadError::DegenerateBaseline { cycles: 0.0 })
+        );
+        base.cycles = f64::NAN;
+        assert!(matches!(
+            run.overhead_vs(&base),
+            Err(OverheadError::DegenerateBaseline { .. })
+        ));
+        base.cycles = 80.0;
+        run.cycles = f64::INFINITY;
+        assert!(matches!(
+            run.overhead_vs(&base),
+            Err(OverheadError::DegenerateRun { .. })
+        ));
+        // The healthy path matches the raw ratio.
+        run.cycles = 100.0;
+        let ovh = run.overhead_vs(&base).unwrap();
+        assert!((ovh - 0.25).abs() < 1e-12);
+        assert!(OverheadError::DegenerateBaseline { cycles: 0.0 }
+            .to_string()
+            .contains("undefined"));
+    }
+
+    #[test]
+    fn empty_trace_run_reports_degenerate_overhead() {
+        // An actually-empty trace through the full system must route into
+        // the typed error rather than a NaN overhead.
+        let empty = Trace::new("empty");
+        let base = System::new(SimConfig::scaled(Protection::NoProtect)).run(&empty);
+        let toleo = System::new(SimConfig::scaled(Protection::Toleo)).run(&empty);
+        assert!(matches!(
+            toleo.overhead_vs(&base),
+            Err(OverheadError::DegenerateBaseline { .. })
+        ));
+    }
+
+    #[test]
     fn noprotect_runs_and_counts() {
         let s = run_bench(Benchmark::Chain, Protection::NoProtect);
         assert!(s.instructions > 100_000);
@@ -593,7 +700,7 @@ mod tests {
             "InvisiMem is the most expensive"
         );
         // Toleo's freshness addition over CI is small (paper: 1-2%).
-        let toleo_over_ci = toleo.cycles / ci.cycles - 1.0;
+        let toleo_over_ci = toleo.overhead_vs(&ci).expect("both runs executed");
         assert!(
             toleo_over_ci < 0.15,
             "Toleo adds {:.1}% over CI",

@@ -87,7 +87,7 @@ struct KillSnapshot {
 /// use toleo_core::engine::ProtectionEngine;
 /// use toleo_core::config::ToleoConfig;
 ///
-/// let mut engine = ProtectionEngine::new(ToleoConfig::small(), [7u8; 48]);
+/// let mut engine = ProtectionEngine::try_new(ToleoConfig::small(), [7u8; 48]).unwrap();
 /// engine.write(0x1000, &[42u8; 64]).unwrap();
 /// assert_eq!(engine.read(0x1000).unwrap(), [42u8; 64]);
 /// ```
@@ -115,7 +115,11 @@ impl ProtectionEngine {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` is invalid (see [`ToleoConfig::validate`]).
+    /// Panics if `cfg` is invalid (see [`ToleoConfig::validate`]) — which
+    /// is why this path is deprecated: a malformed host configuration is
+    /// an operational error, not a programming bug, and must surface as
+    /// [`ToleoError::InvalidConfig`] instead of tearing the process down.
+    #[deprecated(note = "use try_new: a bad ToleoConfig is a recoverable error, not a panic")]
     pub fn new(cfg: ToleoConfig, key_material: [u8; 48]) -> Self {
         Self::try_new(cfg, key_material)
             .unwrap_or_else(|e| panic!("ProtectionEngine construction failed: {e}"))
@@ -715,7 +719,7 @@ mod tests {
     use super::*;
 
     fn engine() -> ProtectionEngine {
-        ProtectionEngine::new(ToleoConfig::small(), [0x5cu8; 48])
+        ProtectionEngine::try_new(ToleoConfig::small(), [0x5cu8; 48]).unwrap()
     }
 
     #[test]
@@ -771,7 +775,64 @@ mod tests {
     fn new_panics_on_invalid_config() {
         let mut cfg = ToleoConfig::small();
         cfg.stealth_bits = 0;
+        #[allow(deprecated)]
         let _ = ProtectionEngine::new(cfg, [0u8; 48]);
+    }
+
+    /// Regression test for the de-panicked construction path: every
+    /// non-deprecated constructor — engine and sharded — must report a
+    /// bad configuration as `InvalidConfig`, never panic. Each mutation
+    /// here fails `ToleoConfig::validate` a different way.
+    #[test]
+    fn no_constructor_panics_on_bad_config() {
+        let bad_configs: Vec<ToleoConfig> = vec![
+            {
+                let mut c = ToleoConfig::small();
+                c.stealth_bits = 0;
+                c
+            },
+            {
+                let mut c = ToleoConfig::small();
+                c.stealth_bits = 64;
+                c
+            },
+            {
+                let mut c = ToleoConfig::small();
+                c.uv_bits = 64; // stealth_bits + uv_bits > 64
+                c
+            },
+            {
+                let mut c = ToleoConfig::small();
+                c.device_capacity_bytes = 0; // smaller than the flat array
+                c
+            },
+            {
+                let mut c = ToleoConfig::small();
+                c.reset_log2 = c.stealth_bits + 8; // rarer than wraparound
+                c
+            },
+            {
+                let mut c = ToleoConfig::small();
+                c.max_uneven_offset = 0; // must fit a non-zero 7-bit field
+                c
+            },
+        ];
+        for (i, cfg) in bad_configs.into_iter().enumerate() {
+            assert!(
+                matches!(
+                    ProtectionEngine::try_new(cfg.clone(), [1u8; 48]),
+                    Err(ToleoError::InvalidConfig { .. })
+                ),
+                "config {i} must be rejected as InvalidConfig"
+            );
+            assert!(
+                matches!(
+                    crate::sharded::ShardedEngine::new(cfg, 4, [1u8; 48]),
+                    Err(ToleoError::InvalidConfig { .. })
+                ),
+                "sharded config {i} must be rejected as InvalidConfig"
+            );
+        }
     }
 
     #[test]
@@ -830,7 +891,7 @@ mod tests {
     fn survives_stealth_resets() {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 4; // force frequent resets
-        let mut e = ProtectionEngine::new(cfg, [1u8; 48]);
+        let mut e = ProtectionEngine::try_new(cfg, [1u8; 48]).unwrap();
         // Hot-line writes so every update advances the leading version.
         for i in 0..500u64 {
             let val = [(i % 251) as u8; 64];
@@ -844,7 +905,7 @@ mod tests {
     fn reset_reencryption_preserves_other_lines() {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 4;
-        let mut e = ProtectionEngine::new(cfg, [2u8; 48]);
+        let mut e = ProtectionEngine::try_new(cfg, [2u8; 48]).unwrap();
         // Populate several lines of page 1.
         for l in 0..8u64 {
             e.write(0x1000 + l * 64, &[l as u8 + 1; 64]).unwrap();
@@ -1031,7 +1092,7 @@ mod tests {
     fn uv_advances_on_reset_never_repeats_full_version() {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 3;
-        let mut e = ProtectionEngine::new(cfg.clone(), [3u8; 48]);
+        let mut e = ProtectionEngine::try_new(cfg.clone(), [3u8; 48]).unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..400u64 {
             e.write(0x7000, &[i as u8; 64]).unwrap();

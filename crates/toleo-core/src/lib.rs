@@ -30,6 +30,10 @@
 //!   device's Trip-entry array and the arena's page->slot map (one
 //!   multiply-shift hash + linear probe instead of a `HashMap` probe on
 //!   every memory operation).
+//! * [`protected`] — the scheme-agnostic [`ProtectedMemory`] evaluation
+//!   interface (single + batch ops, stats, tamper/replay adversary hooks)
+//!   that `toleo-baselines` also implements, so every scheme runs the same
+//!   harness and the same attack corpus.
 //! * [`analysis`] — closed-form and Monte-Carlo §6.2 security margins.
 //! * [`rowhammer`] — the §2.1 write-frequency rate limiter the Toleo
 //!   controller runs against Rowhammer-style abuse.
@@ -40,7 +44,7 @@
 //! use toleo_core::config::ToleoConfig;
 //! use toleo_core::engine::ProtectionEngine;
 //!
-//! let mut engine = ProtectionEngine::new(ToleoConfig::small(), [0u8; 48]);
+//! let mut engine = ProtectionEngine::try_new(ToleoConfig::small(), [0u8; 48])?;
 //!
 //! // Ordinary protected accesses.
 //! engine.write(0x1000, &[1u8; 64])?;
@@ -67,6 +71,7 @@ pub mod engine;
 pub mod error;
 pub mod layout;
 pub mod pagetable;
+pub mod protected;
 pub mod rowhammer;
 pub mod sharded;
 pub mod trip;
@@ -76,4 +81,5 @@ pub use config::ToleoConfig;
 pub use device::ToleoDevice;
 pub use engine::ProtectionEngine;
 pub use error::{Result, ToleoError};
+pub use protected::ProtectedMemory;
 pub use sharded::ShardedEngine;

@@ -25,7 +25,7 @@
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, PAGE_BYTES};
 use crate::device::DeviceStats;
 use crate::engine::{Block, EngineStats, ProtectionEngine, UntrustedDram};
-use crate::error::{Result, ToleoError};
+use crate::error::{BatchError, Result, ToleoError};
 use crate::layout;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
@@ -231,6 +231,20 @@ impl ShardedEngine {
     /// a retryable error). If any shard detected tampering, the whole
     /// engine is killed and remaining workers abort early.
     pub fn write_batch(&self, ops: &[(u64, Block)]) -> Result<()> {
+        self.write_batch_indexed(ops).map_err(|e| e.error)
+    }
+
+    /// [`write_batch`](Self::write_batch) variant that also reports the
+    /// smallest failing batch index (integrity violations still take
+    /// precedence over earlier benign failures). Because shard workers
+    /// run concurrently, ops *after* the index on **other** shards may
+    /// have completed; on the failing op's own shard, ops before it
+    /// completed and ops after it were not attempted.
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] with the failing index and underlying error.
+    pub fn write_batch_indexed(&self, ops: &[(u64, Block)]) -> std::result::Result<(), BatchError> {
         let mut scratch: Vec<(u64, Block)> = Vec::new();
         self.run_batch(
             ops.len(),
@@ -260,6 +274,17 @@ impl ShardedEngine {
     /// index, with integrity violations preferred over benign errors; a
     /// tamper detection on any shard kills the whole engine.
     pub fn read_batch(&self, addrs: &[u64]) -> Result<Vec<Block>> {
+        self.read_batch_indexed(addrs).map_err(|e| e.error)
+    }
+
+    /// [`read_batch`](Self::read_batch) variant that also reports the
+    /// smallest failing batch index, with the same concurrent-completion
+    /// caveat as [`write_batch_indexed`](Self::write_batch_indexed).
+    ///
+    /// # Errors
+    ///
+    /// [`BatchError`] with the failing index and underlying error.
+    pub fn read_batch_indexed(&self, addrs: &[u64]) -> std::result::Result<Vec<Block>, BatchError> {
         let mut scratch: Vec<u64> = Vec::new();
         self.run_batch(
             addrs.len(),
@@ -279,7 +304,8 @@ impl ShardedEngine {
     /// indices through the engine's batched entry points and reports a
     /// failure as its chunk-local index), and scatters per-op payloads
     /// back into batch order (`fill` seeds the output vector). Returns the
-    /// payload vector (unit-cost for writes).
+    /// payload vector (unit-cost for writes), or the smallest failing
+    /// batch index with its error.
     fn run_batch<T: Clone + Send>(
         &self,
         len: usize,
@@ -292,11 +318,12 @@ impl ShardedEngine {
             + Clone
             + Send
             + Sync,
-    ) -> Result<Vec<T>> {
+    ) -> std::result::Result<Vec<T>, BatchError> {
         if len == 0 {
             return Ok(Vec::new());
         }
-        self.check_alive(addr_of(0))?;
+        self.check_alive(addr_of(0))
+            .map_err(|error| BatchError { index: 0, error })?;
         let mut queues: Vec<Vec<usize>> = vec![Vec::new(); self.shards.len()];
         for i in 0..len {
             queues[self.shard_of_addr(addr_of(i))].push(i);
@@ -383,7 +410,7 @@ impl ShardedEngine {
             self.trip_kill();
         }
         match first_integrity.or(first_other) {
-            Some((_, e)) => Err(e),
+            Some((index, error)) => Err(BatchError { index, error }),
             None => Ok(out),
         }
     }
@@ -603,11 +630,29 @@ mod tests {
         e.write(4096, &[7u8; 64]).unwrap(); // page 1 -> shard 1
         e.with_adversary(4096, |dram| dram.corrupt_data(4096, 3, 0x40));
         let out_of_range = e.config().protected_pages() * PAGE_BYTES as u64; // shard 0
-        assert!(matches!(
-            e.read_batch(&[out_of_range, 4096]),
-            Err(ToleoError::IntegrityViolation { .. })
-        ));
+        let err = e.read_batch_indexed(&[out_of_range, 4096]).unwrap_err();
+        assert!(matches!(err.error, ToleoError::IntegrityViolation { .. }));
+        assert_eq!(err.index, 1, "the violation's own index, not 0");
         assert!(e.is_killed());
+    }
+
+    #[test]
+    fn indexed_batches_report_the_failing_op_index() {
+        let e = sharded(4);
+        let writes: Vec<(u64, Block)> = (0..12u64).map(|i| (i * 4096, [i as u8; 64])).collect();
+        e.write_batch_indexed(&writes).unwrap();
+        // Corrupt page 7 (shard 3): the read batch must name index 7.
+        e.with_adversary(7 * 4096, |dram| dram.corrupt_data(7 * 4096, 5, 0x11));
+        let addrs: Vec<u64> = (0..12u64).map(|i| i * 4096).collect();
+        let err = e.read_batch_indexed(&addrs).unwrap_err();
+        assert_eq!(err.index, 7);
+        assert!(matches!(
+            err.error,
+            ToleoError::IntegrityViolation { address } if address == 7 * 4096
+        ));
+        // Dead engine: batches fail at index 0 before any work.
+        let err = e.read_batch_indexed(&addrs).unwrap_err();
+        assert_eq!(err.index, 0);
     }
 
     #[test]

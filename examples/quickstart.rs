@@ -13,7 +13,7 @@ fn main() {
     // stealth versions in the (modelled) trusted Toleo device.
     let mut key = [0u8; 48];
     key[..31].copy_from_slice(b"quickstart key material entropy");
-    let mut engine = ProtectionEngine::new(ToleoConfig::small(), key);
+    let mut engine = ProtectionEngine::try_new(ToleoConfig::small(), key).expect("valid config");
 
     // Ordinary protected writes and reads.
     let mut secret = [b'.'; 64];

@@ -13,7 +13,7 @@ use toleo_crypto::ide::establish_session;
 use toleo_crypto::mac::Tag56;
 
 fn fresh_engine() -> ProtectionEngine {
-    ProtectionEngine::new(ToleoConfig::small(), [0xd1u8; 48])
+    ProtectionEngine::try_new(ToleoConfig::small(), [0xd1u8; 48]).unwrap()
 }
 
 fn main() {

@@ -113,7 +113,7 @@ fn kill_during_batch_freezes_aggregate_stats() {
 /// Replays a trace through a single sequential engine, returning the
 /// observed read values in op order.
 fn replay_single(trace: &[Op], key: [u8; 48]) -> Vec<[u8; 64]> {
-    let mut engine = ProtectionEngine::new(ToleoConfig::small(), key);
+    let mut engine = ProtectionEngine::try_new(ToleoConfig::small(), key).unwrap();
     let mut reads = Vec::new();
     for op in trace {
         match op {
@@ -202,7 +202,7 @@ proptest! {
         let trace = engine_pattern(EnginePattern::Random, 2_000, 1 << 18, seed);
         let shards = 4usize;
 
-        let mut single = ProtectionEngine::new(ToleoConfig::small(), [0x55u8; 48]);
+        let mut single = ProtectionEngine::try_new(ToleoConfig::small(), [0x55u8; 48]).unwrap();
         let mut touched = std::collections::BTreeSet::new();
         for op in &trace.ops {
             match op {

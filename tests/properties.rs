@@ -9,11 +9,26 @@
 
 use proptest::prelude::*;
 use toleo_baselines::tree::CounterTree;
+use toleo_baselines::{MorphEngine, SgxEngine, VaultEngine};
 use toleo_core::config::{ToleoConfig, LINES_PER_PAGE};
 use toleo_core::engine::ProtectionEngine;
+use toleo_core::protected::{MemoryError, ProtectedMemory};
+use toleo_core::sharded::ShardedEngine;
 use toleo_core::trip::PageEntry;
 use toleo_core::version::StealthVersion;
 use toleo_crypto::modes::{AesXts, Tweak};
+
+/// Fresh engines for every scheme in the evaluation arena, protecting at
+/// least 1 MB each.
+fn arena() -> Vec<Box<dyn ProtectedMemory>> {
+    vec![
+        Box::new(ProtectionEngine::try_new(ToleoConfig::small(), [0x61u8; 48]).unwrap()),
+        Box::new(ShardedEngine::new(ToleoConfig::small(), 4, [0x62u8; 48]).unwrap()),
+        Box::new(SgxEngine::new(1 << 20)),
+        Box::new(VaultEngine::new(1 << 20)),
+        Box::new(MorphEngine::new(1 << 20)),
+    ]
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -61,7 +76,7 @@ proptest! {
     fn engine_is_a_faithful_memory(
         ops in proptest::collection::vec((0u64..64, 0u8..=255, any::<bool>()), 1..150),
     ) {
-        let mut e = ProtectionEngine::new(ToleoConfig::small(), [9u8; 48]);
+        let mut e = ProtectionEngine::try_new(ToleoConfig::small(), [9u8; 48]).unwrap();
         let mut model = std::collections::HashMap::new();
         for (slot, val, is_write) in ops {
             let addr = slot * 64;
@@ -86,7 +101,7 @@ proptest! {
     ) {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 4; // frequent resets
-        let mut e = ProtectionEngine::new(cfg, [7u8; 48]);
+        let mut e = ProtectionEngine::try_new(cfg, [7u8; 48]).unwrap();
         let mut model = std::collections::HashMap::new();
         for (slot, val, is_write) in ops {
             let addr = slot * 64; // spans 8 pages
@@ -108,7 +123,7 @@ proptest! {
     fn full_versions_never_repeat(n_writes in 50usize..400) {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = 4; // aggressive resets
-        let mut e = ProtectionEngine::new(cfg.clone(), [2u8; 48]);
+        let mut e = ProtectionEngine::try_new(cfg.clone(), [2u8; 48]).unwrap();
         let mut seen = std::collections::HashSet::new();
         for i in 0..n_writes {
             e.write(0x40, &[i as u8; 64]).unwrap();
@@ -190,8 +205,8 @@ proptest! {
     ) {
         let mut cfg = ToleoConfig::small();
         cfg.reset_log2 = reset_log2; // make reset walks common in-test
-        let mut batched = ProtectionEngine::new(cfg.clone(), [0x17u8; 48]);
-        let mut looped = ProtectionEngine::new(cfg, [0x17u8; 48]);
+        let mut batched = ProtectionEngine::try_new(cfg.clone(), [0x17u8; 48]).unwrap();
+        let mut looped = ProtectionEngine::try_new(cfg, [0x17u8; 48]).unwrap();
         let mut i = 0usize;
         while i < ops.len() {
             let is_write = ops[i].2;
@@ -222,5 +237,106 @@ proptest! {
         prop_assert_eq!(batched.stealth_cache_stats(), looped.stealth_cache_stats());
         prop_assert_eq!(batched.mac_cache_stats(), looped.mac_cache_stats());
         prop_assert_eq!(batched.device_stats(), looped.device_stats());
+    }
+
+    /// Every `ProtectedMemory` scheme is a faithful memory under any
+    /// mixed single/batch op sequence: reads return the last write,
+    /// never-written blocks read as zeros, and the batch entry points
+    /// agree with the model exactly like the single-op path.
+    #[test]
+    fn every_scheme_is_a_faithful_memory(
+        ops in proptest::collection::vec(
+            (0u64..256, 0u8..=255, any::<bool>(), any::<bool>()),
+            1..120,
+        ),
+    ) {
+        for mut m in arena() {
+            let scheme = m.scheme();
+            let mut model: std::collections::HashMap<u64, u8> = std::collections::HashMap::new();
+            let mut i = 0usize;
+            while i < ops.len() {
+                // Group same-kind runs; every other run goes through the
+                // batch entry points so both paths face the same stream.
+                let (_, _, is_write, batch) = ops[i];
+                let mut j = i;
+                while j < ops.len() && ops[j].2 == is_write {
+                    j += 1;
+                }
+                let run = &ops[i..j];
+                if is_write {
+                    for &(block, val, _, _) in run {
+                        model.insert(block * 64, val);
+                    }
+                    if batch {
+                        let writes: Vec<(u64, [u8; 64])> =
+                            run.iter().map(|&(b, v, _, _)| (b * 64, [v; 64])).collect();
+                        m.write_batch(&writes)
+                            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+                    } else {
+                        for &(b, v, _, _) in run {
+                            m.write(b * 64, &[v; 64])
+                                .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+                        }
+                    }
+                } else {
+                    let addrs: Vec<u64> = run.iter().map(|&(b, _, _, _)| b * 64).collect();
+                    let got = if batch {
+                        m.read_batch(&addrs).unwrap_or_else(|e| panic!("{scheme}: {e}"))
+                    } else {
+                        addrs
+                            .iter()
+                            .map(|a| m.read(*a).unwrap_or_else(|e| panic!("{scheme}: {e}")))
+                            .collect()
+                    };
+                    for (k, addr) in addrs.iter().enumerate() {
+                        let expect = model.get(addr).map(|v| [*v; 64]).unwrap_or([0u8; 64]);
+                        prop_assert!(
+                            got[k] == expect,
+                            "{} addr {:#x}: wrong block",
+                            scheme,
+                            addr
+                        );
+                    }
+                }
+                i = j;
+            }
+        }
+    }
+
+    /// Every `ProtectedMemory` scheme detects the shared tamper corpus:
+    /// after an arbitrary warm-up stream, either a single-byte ciphertext
+    /// corruption at any offset or a stale-capsule replay over newer data
+    /// must fail the next read with an integrity violation.
+    #[test]
+    fn every_scheme_detects_the_shared_tamper_corpus(
+        warmup in proptest::collection::vec((0u64..128, 0u8..=255), 0..60),
+        target in 0u64..128,
+        offset in 0usize..64,
+        xor in 1u8..=255,
+        use_replay in any::<bool>(),
+        depth in 1u8..4,
+    ) {
+        for mut m in arena() {
+            let scheme = m.scheme();
+            for &(b, v) in &warmup {
+                m.write(b * 64, &[v; 64]).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            }
+            let addr = target * 64;
+            m.write(addr, &[0x5Au8; 64]).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+            if use_replay {
+                let stale = m.capture(addr);
+                for d in 0..depth {
+                    m.write(addr, &[d; 64]).unwrap_or_else(|e| panic!("{scheme}: {e}"));
+                }
+                prop_assert!(m.replay(&stale), "{}: capsule rejected", scheme);
+            } else {
+                prop_assert!(m.corrupt(addr, offset, xor), "{}: nothing resident", scheme);
+            }
+            prop_assert!(
+                matches!(m.read(addr), Err(MemoryError::IntegrityViolation { .. })),
+                "{}: tamper (replay={}) must be detected at {:#x}",
+                scheme, use_replay, addr
+            );
+        }
     }
 }

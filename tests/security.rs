@@ -1,14 +1,150 @@
 //! End-to-end security tests: every attack in the threat model (§2.1)
-//! must be detected by both Toleo and the Merkle baseline, and the §6
-//! confidentiality arguments must hold on observable traces.
+//! must be detected by **every** scheme in the evaluation arena — Toleo,
+//! sharded Toleo, and the Merkle baselines — driven through the shared
+//! [`ProtectedMemory`] trait so all schemes face the same tamper/replay
+//! corpus. The §6 confidentiality arguments must hold on observable
+//! traces.
 
 use toleo_baselines::sgx::SgxEngine;
+use toleo_baselines::{MorphEngine, VaultEngine};
 use toleo_core::config::ToleoConfig;
 use toleo_core::engine::ProtectionEngine;
 use toleo_core::error::ToleoError;
+use toleo_core::protected::{MemoryError, ProtectedMemory};
+use toleo_core::sharded::ShardedEngine;
 
 fn engine() -> ProtectionEngine {
-    ProtectionEngine::new(ToleoConfig::small(), [0xabu8; 48])
+    ProtectionEngine::try_new(ToleoConfig::small(), [0xabu8; 48]).unwrap()
+}
+
+/// Footprint the baseline engines protect in the shared corpus.
+const ARENA_BYTES: u64 = 1 << 20;
+
+/// One fresh engine per scheme in the arena, behind the shared trait.
+fn arena() -> Vec<Box<dyn ProtectedMemory>> {
+    vec![
+        Box::new(ProtectionEngine::try_new(ToleoConfig::small(), [0xabu8; 48]).unwrap()),
+        Box::new(ShardedEngine::new(ToleoConfig::small(), 4, [0xacu8; 48]).unwrap()),
+        Box::new(SgxEngine::new(ARENA_BYTES)),
+        Box::new(VaultEngine::new(ARENA_BYTES)),
+        Box::new(MorphEngine::new(ARENA_BYTES)),
+    ]
+}
+
+#[test]
+fn arena_covers_every_scheme_exactly_once() {
+    let names: Vec<&str> = arena().iter().map(|m| m.scheme()).collect();
+    assert_eq!(
+        names,
+        vec!["toleo", "toleo-sharded", "sgx-tree", "vault", "morph"]
+    );
+}
+
+#[test]
+fn every_scheme_roundtrips_and_zero_fills() {
+    for mut m in arena() {
+        let scheme = m.scheme();
+        for i in 0..32u64 {
+            m.write(i * 64, &[i as u8 + 1; 64])
+                .unwrap_or_else(|e| panic!("{scheme}: write {i}: {e}"));
+        }
+        for i in 0..32u64 {
+            assert_eq!(
+                m.read(i * 64).unwrap(),
+                [i as u8 + 1; 64],
+                "{scheme} op {i}"
+            );
+        }
+        assert_eq!(m.read(0x8000).unwrap(), [0u8; 64], "{scheme} zero fill");
+        let ops: Vec<(u64, [u8; 64])> = (0..32u64).map(|i| (i * 64, [i as u8; 64])).collect();
+        m.write_batch(&ops)
+            .unwrap_or_else(|e| panic!("{scheme}: {e}"));
+        let addrs: Vec<u64> = ops.iter().map(|(a, _)| *a).collect();
+        let blocks = m.read_batch(&addrs).unwrap();
+        for (i, b) in blocks.iter().enumerate() {
+            assert_eq!(*b, [i as u8; 64], "{scheme} batch op {i}");
+        }
+    }
+}
+
+#[test]
+fn every_scheme_detects_corruption_at_any_offset() {
+    for offset in [0usize, 1, 17, 31, 48, 63] {
+        for mut m in arena() {
+            let scheme = m.scheme();
+            m.write(0x40, &[7u8; 64]).unwrap();
+            assert!(m.corrupt(0x40, offset, 0x01), "{scheme} offset {offset}");
+            assert!(
+                matches!(
+                    m.read(0x40),
+                    Err(MemoryError::IntegrityViolation { address: 0x40 })
+                ),
+                "{scheme}: corruption at byte {offset} must be detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheme_detects_replay_at_every_overwrite_depth() {
+    for depth in 1..5u8 {
+        for mut m in arena() {
+            let scheme = m.scheme();
+            m.write(0x40, &[0u8; 64]).unwrap();
+            let stale = m.capture(0x40);
+            for v in 0..depth {
+                m.write(0x40, &[v + 1; 64]).unwrap();
+            }
+            assert!(m.replay(&stale), "{scheme}: capsule must be accepted");
+            assert!(
+                matches!(m.read(0x40), Err(MemoryError::IntegrityViolation { .. })),
+                "{scheme}: replay at depth {depth} must be detected"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_scheme_detects_tamper_inside_a_batch_read() {
+    for mut m in arena() {
+        let scheme = m.scheme();
+        let ops: Vec<(u64, [u8; 64])> = (0..8u64).map(|i| (i * 64, [i as u8 + 1; 64])).collect();
+        m.write_batch(&ops).unwrap();
+        assert!(m.corrupt(5 * 64, 9, 0x80), "{scheme}");
+        let addrs: Vec<u64> = ops.iter().map(|(a, _)| *a).collect();
+        let err = m.read_batch(&addrs).unwrap_err();
+        assert!(
+            matches!(err.error, MemoryError::IntegrityViolation { .. }),
+            "{scheme}: batch must surface the violation, got {err}"
+        );
+    }
+}
+
+#[test]
+fn every_scheme_rejects_out_of_range_addresses() {
+    // Each scheme bounds a different resource (Toleo protected pages,
+    // the EPC, a tree's covered blocks); all must refuse service beyond
+    // it rather than silently wrap.
+    for mut m in arena() {
+        let scheme = m.scheme();
+        let beyond = match scheme {
+            "toleo" | "toleo-sharded" => {
+                ToleoConfig::small().protected_pages() * 4096 // first page past the pool
+            }
+            _ => ARENA_BYTES,
+        };
+        assert!(
+            matches!(
+                m.write(beyond, &[1u8; 64]),
+                Err(MemoryError::OutOfRange { .. })
+            ),
+            "{scheme}: write beyond the range must be rejected"
+        );
+        assert!(
+            matches!(m.read(beyond), Err(MemoryError::OutOfRange { .. })),
+            "{scheme}: read beyond the range must be rejected"
+        );
+    }
 }
 
 #[test]
@@ -17,7 +153,7 @@ fn quickstart_replay_capture_overwrite_replay_detected() {
     // ordinary protected accesses work, then a replay attack (capture
     // stale ciphertext+MAC, overwrite with new data, replay the stale
     // capsule) is detected on the next read and kills the platform.
-    let mut engine = ProtectionEngine::new(ToleoConfig::small(), [0u8; 48]);
+    let mut engine = ProtectionEngine::try_new(ToleoConfig::small(), [0u8; 48]).unwrap();
 
     // Ordinary protected accesses.
     engine.write(0x1000, &[1u8; 64]).unwrap();
@@ -66,7 +202,7 @@ fn replay_detected_across_stealth_resets() {
     // old UV), the full version has moved on.
     let mut cfg = ToleoConfig::small();
     cfg.reset_log2 = 3; // frequent resets
-    let mut e = ProtectionEngine::new(cfg, [1u8; 48]);
+    let mut e = ProtectionEngine::try_new(cfg, [1u8; 48]).unwrap();
     e.write(0x40, &[1u8; 64]).unwrap();
     let stale = e.adversary().capture(0x40);
     for i in 0..100u8 {
@@ -165,7 +301,7 @@ fn same_plaintext_never_repeats_ciphertext_across_writes() {
     // defeated). 200 rewrites with frequent resets exercise UV bumps too.
     let mut cfg = ToleoConfig::small();
     cfg.reset_log2 = 4;
-    let mut e = ProtectionEngine::new(cfg, [3u8; 48]);
+    let mut e = ProtectionEngine::try_new(cfg, [3u8; 48]).unwrap();
     let mut seen = std::collections::HashSet::new();
     for i in 0..200 {
         e.write(0x1000, &[0x77u8; 64]).unwrap();
@@ -183,8 +319,8 @@ fn stealth_version_not_inferable_from_fresh_pages() {
     cfg_a.rng_seed = 111;
     let mut cfg_b = ToleoConfig::small();
     cfg_b.rng_seed = 222;
-    let mut a = ProtectionEngine::new(cfg_a, [5u8; 48]);
-    let mut b = ProtectionEngine::new(cfg_b, [5u8; 48]);
+    let mut a = ProtectionEngine::try_new(cfg_a, [5u8; 48]).unwrap();
+    let mut b = ProtectionEngine::try_new(cfg_b, [5u8; 48]).unwrap();
     let mut diffs = 0;
     for page in 0..8u64 {
         a.write(page * 4096, &[1u8; 64]).unwrap();
