@@ -1,0 +1,366 @@
+//! Minimal JSON reader/writer for `AUDIT.json` and `--json` output.
+//!
+//! Self-contained by design (the auditor depends on nothing it audits):
+//! a recursive-descent parser over the small, trusted schema this crate
+//! itself writes, plus a deterministic pretty-printer whose object keys
+//! keep insertion order so `--fix-inventory` produces stable diffs.
+
+use std::fmt::Write as _;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    /// All numbers as f64; the schema only stores small counts.
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    /// Key/value pairs in insertion (= file) order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_u32(&self) -> Option<u32> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u32::MAX as f64 => {
+                Some(*n as u32)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    pub fn as_obj(&self) -> Option<&[(String, Json)]> {
+        match self {
+            Json::Obj(pairs) => Some(pairs),
+            _ => None,
+        }
+    }
+
+    /// Renders with 2-space indentation and a trailing newline.
+    pub fn pretty(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        let pad = "  ".repeat(indent);
+        let inner = "  ".repeat(indent + 1);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 1e15 {
+                    let _ = write!(out, "{}", *n as i64);
+                } else {
+                    let _ = write!(out, "{n}");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&inner);
+                    item.write(out, indent + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push(']');
+            }
+            Json::Obj(pairs) if pairs.is_empty() => out.push_str("{}"),
+            Json::Obj(pairs) => {
+                out.push_str("{\n");
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    out.push_str(&inner);
+                    write_escaped(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                    out.push_str(if i + 1 < pairs.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&pad);
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document; the whole input must be one value.
+pub fn parse(src: &str) -> Result<Json, String> {
+    let chars: Vec<char> = src.chars().collect();
+    let mut pos = 0usize;
+    let value = parse_value(&chars, &mut pos)?;
+    skip_ws(&chars, &mut pos);
+    if pos != chars.len() {
+        return Err(format!("trailing data at offset {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(chars: &[char], pos: &mut usize) {
+    while chars.get(*pos).is_some_and(|c| c.is_whitespace()) {
+        *pos += 1;
+    }
+}
+
+fn expect(chars: &[char], pos: &mut usize, c: char) -> Result<(), String> {
+    if chars.get(*pos) == Some(&c) {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected `{c}` at offset {pos}", pos = *pos))
+    }
+}
+
+fn parse_value(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(chars, pos);
+    match chars.get(*pos) {
+        Some('{') => parse_obj(chars, pos),
+        Some('[') => parse_arr(chars, pos),
+        Some('"') => parse_str(chars, pos).map(Json::Str),
+        Some('t') => parse_word(chars, pos, "true", Json::Bool(true)),
+        Some('f') => parse_word(chars, pos, "false", Json::Bool(false)),
+        Some('n') => parse_word(chars, pos, "null", Json::Null),
+        Some(c) if *c == '-' || c.is_ascii_digit() => parse_num(chars, pos),
+        other => Err(format!("unexpected {other:?} at offset {pos}", pos = *pos)),
+    }
+}
+
+fn parse_word(chars: &[char], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    for want in word.chars() {
+        expect(chars, pos, want)?;
+    }
+    Ok(value)
+}
+
+fn parse_num(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while chars
+        .get(*pos)
+        .is_some_and(|c| c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E'))
+    {
+        *pos += 1;
+    }
+    let text: String = chars[start..*pos].iter().collect();
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|e| format!("bad number `{text}`: {e}"))
+}
+
+fn parse_str(chars: &[char], pos: &mut usize) -> Result<String, String> {
+    expect(chars, pos, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.get(*pos) {
+            None => return Err("unterminated string".to_string()),
+            Some('"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some('\\') => {
+                *pos += 1;
+                match chars.get(*pos) {
+                    Some('"') => out.push('"'),
+                    Some('\\') => out.push('\\'),
+                    Some('/') => out.push('/'),
+                    Some('n') => out.push('\n'),
+                    Some('r') => out.push('\r'),
+                    Some('t') => out.push('\t'),
+                    Some('b') => out.push('\u{8}'),
+                    Some('f') => out.push('\u{c}'),
+                    Some('u') => {
+                        let hex: String = chars
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?
+                            .iter()
+                            .collect();
+                        let code =
+                            u32::from_str_radix(&hex, 16).map_err(|e| format!("bad \\u: {e}"))?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                }
+                *pos += 1;
+            }
+            Some(c) => {
+                out.push(*c);
+                *pos += 1;
+            }
+        }
+    }
+}
+
+fn parse_arr(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '[')?;
+    let mut items = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(chars, pos)?);
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+            }
+            Some(']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            other => return Err(format!("expected `,` or `]`, got {other:?}")),
+        }
+    }
+}
+
+fn parse_obj(chars: &[char], pos: &mut usize) -> Result<Json, String> {
+    expect(chars, pos, '{')?;
+    let mut pairs = Vec::new();
+    skip_ws(chars, pos);
+    if chars.get(*pos) == Some(&'}') {
+        *pos += 1;
+        return Ok(Json::Obj(pairs));
+    }
+    loop {
+        skip_ws(chars, pos);
+        let key = parse_str(chars, pos)?;
+        skip_ws(chars, pos);
+        expect(chars, pos, ':')?;
+        let value = parse_value(chars, pos)?;
+        pairs.push((key, value));
+        skip_ws(chars, pos);
+        match chars.get(*pos) {
+            Some(',') => {
+                *pos += 1;
+            }
+            Some('}') => {
+                *pos += 1;
+                return Ok(Json::Obj(pairs));
+            }
+            other => return Err(format!("expected `,` or `}}`, got {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_schema_shape() {
+        let src = r#"{
+  "schema": "toleo-audit/v1",
+  "unsafe": {
+    "crates/crypto/src/backend.rs": 23
+  },
+  "allow": [
+    {
+      "file": "a.rs",
+      "rule": "panic",
+      "scope": "line",
+      "reason": "why \"quoted\""
+    }
+  ],
+  "atomics": {
+    "killed": {
+      "orderings": ["SeqCst"],
+      "why": "kill must be totally ordered"
+    }
+  }
+}
+"#;
+        let parsed = parse(src).unwrap();
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("toleo-audit/v1")
+        );
+        assert_eq!(
+            parsed
+                .get("unsafe")
+                .and_then(|u| u.get("crates/crypto/src/backend.rs"))
+                .and_then(Json::as_u32),
+            Some(23)
+        );
+        // pretty() -> parse() is the identity on values.
+        assert_eq!(parse(&parsed.pretty()).unwrap(), parsed);
+    }
+
+    #[test]
+    fn escapes_roundtrip() {
+        let v = Json::Str("line\nquote\" back\\ tab\t".to_string());
+        assert_eq!(parse(&v.pretty()).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{} extra").is_err());
+        assert!(parse("'single'").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(parse("42").unwrap().as_u32(), Some(42));
+        assert_eq!(parse("-1").unwrap().as_u32(), None);
+        assert_eq!(parse("1.5").unwrap(), Json::Num(1.5));
+    }
+
+    #[test]
+    fn object_order_is_preserved() {
+        let parsed = parse(r#"{"z": 1, "a": 2}"#).unwrap();
+        let keys: Vec<_> = parsed
+            .as_obj()
+            .unwrap()
+            .iter()
+            .map(|(k, _)| k.as_str())
+            .collect();
+        assert_eq!(keys, ["z", "a"]);
+    }
+}

@@ -1,0 +1,496 @@
+//! A minimal line/column-tracking Rust lexer.
+//!
+//! The audit rules only need a *token stream* — identifiers, punctuation,
+//! literals and comments with accurate source positions — not a syntax
+//! tree. Lexing (rather than regexing raw text) is what makes the rules
+//! trustworthy: `unwrap` inside a string literal, `unsafe` inside a doc
+//! comment and `Ordering::` inside a `//` comment must not count, and
+//! `#[cfg(test)]` scoping needs real brace matching. The lexer handles
+//! every literal form that could otherwise confuse a scanner: strings
+//! with escapes, raw strings (`r#"…"#`), byte strings, C strings, char
+//! literals vs. lifetimes, nested block comments and raw identifiers.
+//!
+//! It is deliberately dependency-free (no `proc-macro2`/`syn`): the
+//! workspace vendors its dependencies offline and the auditor must not
+//! depend on anything it audits.
+
+/// What a [`Token`] is, at the granularity the audit rules care about.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`unwrap`, `unsafe`, `fn`, `r#type`, …).
+    Ident,
+    /// Lifetime (`'a`, `'_`, `'static`).
+    Lifetime,
+    /// Numeric literal (`0x1f`, `1_000u64`, `1.5`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r"…"`, `r#"…"#`, `b"…"`,
+    /// `br#"…"#`, `c"…"`. Text includes the delimiters.
+    Str,
+    /// Char or byte-char literal (`'x'`, `b'\n'`).
+    Char,
+    /// `// …` comment (including `///` and `//!`), text without newline.
+    LineComment,
+    /// `/* … */` comment (nesting handled), may span lines.
+    BlockComment,
+    /// A single punctuation character (`.`, `[`, `!`, `:`, …).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Token {
+    /// Whether this token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokenKind::LineComment | TokenKind::BlockComment)
+    }
+
+    /// Whether this is punctuation `c`.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokenKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+
+    /// Whether this is the identifier `name`.
+    pub fn is_ident(&self, name: &str) -> bool {
+        self.kind == TokenKind::Ident && self.text == name
+    }
+
+    /// The inner content of a string literal: prefix (`r`, `b`, `br`,
+    /// `c`…), hashes and quotes stripped. Returns the raw text for
+    /// non-string tokens.
+    pub fn string_content(&self) -> &str {
+        if self.kind != TokenKind::Str {
+            return &self.text;
+        }
+        let s = self.text.trim_start_matches(['r', 'b', 'c']);
+        let s = s.trim_start_matches('#');
+        let s = s.strip_prefix('"').unwrap_or(s);
+        let s = s.trim_end_matches('#');
+        s.strip_suffix('"').unwrap_or(s)
+    }
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into a token stream. Unterminated literals and comments
+/// are tolerated (the token simply runs to end of input): an auditor
+/// must degrade gracefully on code that rustc would reject anyway.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut tokens = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let token = if c == '/' && cur.peek(1) == Some('/') {
+            lex_line_comment(&mut cur)
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            lex_block_comment(&mut cur)
+        } else if c == '"' {
+            lex_string(&mut cur, String::new())
+        } else if c == '\'' {
+            lex_quote(&mut cur)
+        } else if c.is_ascii_digit() {
+            lex_number(&mut cur)
+        } else if is_ident_start(c) {
+            lex_word(&mut cur)
+        } else {
+            let c = cur.bump().unwrap_or(' ');
+            Token {
+                kind: TokenKind::Punct,
+                text: c.to_string(),
+                line,
+                col,
+            }
+        };
+        tokens.push(Token { line, col, ..token });
+    }
+    tokens
+}
+
+fn lex_line_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token {
+        kind: TokenKind::LineComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_block_comment(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    let mut depth = 0usize;
+    while let Some(c) = cur.peek(0) {
+        if c == '/' && cur.peek(1) == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek(1) == Some('/') {
+            depth -= 1;
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Token {
+        kind: TokenKind::BlockComment,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes a non-raw string body starting at the opening `"`; `prefix`
+/// holds any literal prefix (`b`, `c`) already consumed.
+fn lex_string(cur: &mut Cursor, prefix: String) -> Token {
+    let mut text = prefix;
+    text.push('"');
+    cur.bump(); // opening quote
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes a raw string starting at the first `#` or `"` after the `r`
+/// prefix (already consumed into `prefix`).
+fn lex_raw_string(cur: &mut Cursor, prefix: String) -> Token {
+    let mut text = prefix;
+    let mut hashes = 0usize;
+    while cur.peek(0) == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek(0) == Some('"') {
+        text.push('"');
+        cur.bump();
+        'body: while let Some(c) = cur.bump() {
+            text.push(c);
+            if c == '"' {
+                for ahead in 0..hashes {
+                    if cur.peek(ahead) != Some('#') {
+                        continue 'body;
+                    }
+                }
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+    Token {
+        kind: TokenKind::Str,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Disambiguates `'a` (lifetime) from `'a'` (char literal) at a `'`.
+fn lex_quote(cur: &mut Cursor) -> Token {
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    let is_lifetime =
+        matches!(next, Some(c) if is_ident_start(c)) && after != Some('\'') && next != Some('\\');
+    if is_lifetime {
+        let mut text = String::from("'");
+        cur.bump();
+        while let Some(c) = cur.peek(0) {
+            if !is_ident_continue(c) {
+                break;
+            }
+            text.push(c);
+            cur.bump();
+        }
+        return Token {
+            kind: TokenKind::Lifetime,
+            text,
+            line: 0,
+            col: 0,
+        };
+    }
+    // Char literal: consume until the closing quote, honoring escapes.
+    let mut text = String::from("'");
+    cur.bump();
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(esc) = cur.bump() {
+                text.push(esc);
+            }
+        } else if c == '\'' {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Char,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+fn lex_number(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else if c == '.' && matches!(cur.peek(1), Some(d) if d.is_ascii_digit()) {
+            // `1.5` continues the number; `0..n` does not.
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    Token {
+        kind: TokenKind::Number,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+/// Lexes an identifier, or hands off to a string lexer when the word
+/// turns out to be a literal prefix (`r"…"`, `b'…'`, `br#"…"#`, `r#raw`).
+fn lex_word(cur: &mut Cursor) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek(0) {
+        if !is_ident_continue(c) {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    match (text.as_str(), cur.peek(0)) {
+        ("r" | "br" | "cr", Some('#')) => {
+            // `r#"…"#` raw string, or `r#ident` raw identifier.
+            let mut ahead = 0;
+            while cur.peek(ahead) == Some('#') {
+                ahead += 1;
+            }
+            if cur.peek(ahead) == Some('"') {
+                return lex_raw_string(cur, text);
+            }
+            if text == "r" {
+                cur.bump(); // the `#`
+                let mut ident = String::from("r#");
+                while let Some(c) = cur.peek(0) {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    ident.push(c);
+                    cur.bump();
+                }
+                return Token {
+                    kind: TokenKind::Ident,
+                    text: ident,
+                    line: 0,
+                    col: 0,
+                };
+            }
+        }
+        ("r" | "br" | "cr", Some('"')) => return lex_raw_string(cur, text),
+        ("b" | "c", Some('"')) => return lex_string(cur, text),
+        ("b", Some('\'')) => {
+            let mut tok = lex_quote(cur);
+            tok.text = format!("b{}", tok.text);
+            return tok;
+        }
+        _ => {}
+    }
+    Token {
+        kind: TokenKind::Ident,
+        text,
+        line: 0,
+        col: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let toks = lex("let x = a.unwrap();");
+        assert!(toks[0].is_ident("let"));
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].col, 1);
+        let unwrap = toks.iter().find(|t| t.is_ident("unwrap")).unwrap();
+        assert_eq!(unwrap.col, 11);
+    }
+
+    #[test]
+    fn strings_hide_their_content() {
+        let toks = kinds(r#"let s = "a.unwrap() // not code";"#);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_and_hashes() {
+        let toks = kinds(r##"let s = r#"quote " inside"#;"##);
+        let s = toks.iter().find(|(k, _)| *k == TokenKind::Str).unwrap();
+        assert!(s.1.contains("quote"));
+        // Nothing after the raw string terminator leaked into it.
+        assert!(toks.last().unwrap().1 == ";");
+    }
+
+    #[test]
+    fn byte_and_c_strings() {
+        let toks = kinds(r##"(b"bytes", c"cstr", br#"raw"#)"##);
+        let strs: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Str).collect();
+        assert_eq!(strs.len(), 3);
+    }
+
+    #[test]
+    fn string_content_strips_delimiters() {
+        let toks = lex(r###"("plain", r#"raw {x}"#, b"bytes")"###);
+        let contents: Vec<_> = toks
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.string_content().to_string())
+            .collect();
+        assert_eq!(contents, ["plain", "raw {x}", "bytes"]);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a u8) { let c = 'x'; let n = '\\n'; let u = '_'; }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        let chars: Vec<_> = toks.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(chars.len(), 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokenKind::BlockComment);
+        assert!(toks[2].1 == "b");
+    }
+
+    #[test]
+    fn comments_keep_text_for_annotation_parsing() {
+        let toks = lex("// audit: allow(panic, reason)\nx");
+        assert_eq!(toks[0].kind, TokenKind::LineComment);
+        assert!(toks[0].text.contains("audit: allow(panic, reason)"));
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#type = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Ident && t == "r#type"));
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let toks = kinds("for i in 0..10 { a[i]; } let f = 1.5e3;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "10"));
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Number && t == "1.5e3"));
+    }
+
+    #[test]
+    fn multiline_positions() {
+        let toks = lex("a\n  b\n\tc");
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+        assert_eq!(toks[2].line, 3);
+    }
+}

@@ -1,0 +1,260 @@
+//! Rule 3 — **atomic-ordering policy**.
+//!
+//! The cross-shard kill flag and the crypto backend tag are the only
+//! lock-free shared state in the workspace, and their memory orderings
+//! are load-bearing: the kill flag must be `SeqCst` so a tamper verdict
+//! is totally ordered with the stats freeze it triggers, while the
+//! backend tag tolerates `Relaxed` because it is an idempotent cache.
+//! Every `Ordering::X` use must therefore match the policy table in
+//! `AUDIT.json`, keyed by the atomic's name — an undocumented atomic or
+//! a changed ordering is a finding, not a silent merge.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, Tier};
+use crate::source::SourceFile;
+use std::collections::BTreeSet;
+
+/// `std::sync::atomic::Ordering` variants. `std::cmp::Ordering`'s
+/// `Less`/`Equal`/`Greater` deliberately don't match.
+const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Methods that take an `Ordering`; used to walk from an `Ordering::X`
+/// token back to the atomic it orders.
+const ATOMIC_METHODS: [&str; 13] = [
+    "load",
+    "store",
+    "swap",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_and",
+    "fetch_nand",
+    "fetch_or",
+    "fetch_xor",
+    "fetch_min",
+    "fetch_max",
+    "fetch_update",
+    "compare_exchange",
+];
+
+/// How far (in code tokens) the receiver search walks back from an
+/// `Ordering::` use before giving up.
+const SEARCH_WINDOW: usize = 48;
+
+/// One documented atomic: its name and permitted orderings.
+#[derive(Debug, Clone)]
+pub struct AtomicPolicy {
+    pub atomic: String,
+    pub orderings: Vec<String>,
+}
+
+/// Scans `file` for `Ordering::X` uses, checking each against `policy`.
+/// Names of policy entries that matched are added to `used` so stale
+/// table rows can be reported at the end of the run.
+pub fn scan(
+    file: &SourceFile,
+    tier: Tier,
+    policy: &[AtomicPolicy],
+    used: &mut BTreeSet<String>,
+) -> Vec<Finding> {
+    if tier == Tier::Test {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if !tok.is_ident("Ordering") || file.in_test_region(i) {
+            continue;
+        }
+        let path_sep = file.next_code_token(i + 1).is_some_and(|(j, t)| {
+            t.is_punct(':')
+                && file
+                    .next_code_token(j + 1)
+                    .is_some_and(|(_, t2)| t2.is_punct(':'))
+        });
+        if !path_sep {
+            continue; // `use …::Ordering;` import or a bare mention
+        }
+        let Some(ordering) = ordering_name(file, i) else {
+            continue; // `Ordering::Less` etc.
+        };
+        match receiver_of(file, i) {
+            None => out.push(Finding::new(
+                "atomic-ordering",
+                &file.rel_path,
+                tok.line,
+                tok.col,
+                format!(
+                    "`Ordering::{ordering}` could not be attributed to an atomic operation: \
+                     keep orderings at the call site of load/store/rmw methods"
+                ),
+            )),
+            Some(receiver) => match policy.iter().find(|p| p.atomic == receiver) {
+                None => out.push(Finding::new(
+                    "atomic-ordering",
+                    &file.rel_path,
+                    tok.line,
+                    tok.col,
+                    format!(
+                        "atomic `{receiver}` is not documented in AUDIT.json: add a policy \
+                             entry naming its permitted orderings and why they are sound"
+                    ),
+                )),
+                Some(entry) => {
+                    used.insert(receiver.clone());
+                    if !entry.orderings.iter().any(|o| o == ordering) {
+                        out.push(Finding::new(
+                            "atomic-ordering",
+                            &file.rel_path,
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "`{receiver}` used with `Ordering::{ordering}` but AUDIT.json \
+                                     permits only [{}]: fix the call or re-justify the policy",
+                                entry.orderings.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    out
+}
+
+/// The `X` of `Ordering::X` at token `i`, if it is an atomic ordering.
+fn ordering_name(file: &SourceFile, i: usize) -> Option<&str> {
+    let (j, colon1) = file.next_code_token(i + 1)?;
+    if !colon1.is_punct(':') {
+        return None;
+    }
+    let (k, colon2) = file.next_code_token(j + 1)?;
+    if !colon2.is_punct(':') {
+        return None;
+    }
+    let (_, name) = file.next_code_token(k + 1)?;
+    ORDERINGS.iter().find(|o| name.is_ident(o)).copied()
+}
+
+/// Walks back from the `Ordering` token to find `<receiver>.<method>(`,
+/// returning the receiver's final path/field segment (`killed`,
+/// `DEFAULT_BACKEND`).
+fn receiver_of(file: &SourceFile, ordering_idx: usize) -> Option<String> {
+    let mut walked = 0usize;
+    let mut idx = ordering_idx;
+    while walked < SEARCH_WINDOW {
+        let (prev_idx, prev) = file.prev_code_token(idx)?;
+        if prev.kind == TokenKind::Ident && ATOMIC_METHODS.contains(&prev.text.as_str()) {
+            let called = file
+                .next_code_token(prev_idx + 1)
+                .is_some_and(|(_, t)| t.is_punct('('));
+            let (dot_idx, dot) = file.prev_code_token(prev_idx)?;
+            if called && dot.is_punct('.') {
+                let (_, recv) = file.prev_code_token(dot_idx)?;
+                if recv.kind == TokenKind::Ident {
+                    return Some(recv.text.clone());
+                }
+            }
+        }
+        idx = prev_idx;
+        walked += 1;
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(entries: &[(&str, &[&str])]) -> Vec<AtomicPolicy> {
+        entries
+            .iter()
+            .map(|(a, os)| AtomicPolicy {
+                atomic: a.to_string(),
+                orderings: os.iter().map(|s| s.to_string()).collect(),
+            })
+            .collect()
+    }
+
+    fn scan_src(src: &str, pol: &[AtomicPolicy]) -> (Vec<Finding>, BTreeSet<String>) {
+        let file = SourceFile::parse("crates/toleo-core/src/sharded.rs", src);
+        let mut used = BTreeSet::new();
+        let findings = scan(&file, Tier::Policy, pol, &mut used);
+        (findings, used)
+    }
+
+    #[test]
+    fn documented_matching_use_is_clean() {
+        let pol = policy(&[("killed", &["SeqCst"])]);
+        let (findings, used) = scan_src(
+            "fn k(&self) { self.killed.store(true, Ordering::SeqCst); }",
+            &pol,
+        );
+        assert!(findings.is_empty());
+        assert!(used.contains("killed"));
+    }
+
+    #[test]
+    fn wrong_ordering_is_flagged() {
+        let pol = policy(&[("killed", &["SeqCst"])]);
+        let (findings, _) = scan_src(
+            "fn k(&self) -> bool { self.killed.load(Ordering::Relaxed) }",
+            &pol,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("permits only [SeqCst]"));
+    }
+
+    #[test]
+    fn undocumented_atomic_is_flagged() {
+        let (findings, _) = scan_src("fn f() { FLAG.store(1, Ordering::SeqCst); }", &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("not documented"));
+    }
+
+    #[test]
+    fn compare_exchange_checks_both_orderings() {
+        let pol = policy(&[("state", &["AcqRel", "Acquire"])]);
+        let (ok, _) = scan_src(
+            "fn f() { state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok(); }",
+            &pol,
+        );
+        assert!(ok.is_empty());
+        let (bad, _) = scan_src(
+            "fn f() { state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).ok(); }",
+            &pol,
+        );
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn cmp_ordering_is_ignored() {
+        let (findings, _) = scan_src(
+            "fn f(a: u8, b: u8) { if a.cmp(&b) == Ordering::Less {} }",
+            &[],
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn import_line_is_ignored() {
+        let (findings, _) = scan_src("use std::sync::atomic::{AtomicBool, Ordering};", &[]);
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn ordering_without_call_site_is_flagged() {
+        let (findings, _) = scan_src("fn f() { let o = Ordering::SeqCst; }", &[]);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("could not be attributed"));
+    }
+
+    #[test]
+    fn field_chains_resolve_to_final_segment() {
+        let pol = policy(&[("killed", &["SeqCst"])]);
+        let (findings, used) = scan_src(
+            "fn f(&self, i: usize) { self.shards[i].killed.load(Ordering::SeqCst); }",
+            &pol,
+        );
+        assert!(findings.is_empty());
+        assert!(used.contains("killed"));
+    }
+}

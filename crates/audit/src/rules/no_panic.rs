@@ -1,0 +1,174 @@
+//! Rule 1 — **no-panic policy**.
+//!
+//! A panic in the protection engine is availability loss an attacker can
+//! trigger: the schemes must fail *closed* (kill + `Err`), never abort.
+//! In policy-crate library code, `unwrap`/`expect`, the panic macro
+//! family, and slice indexing are findings unless annotated with
+//! `// audit: allow(panic, reason)` (or, for indexing only,
+//! `// audit: allow-file(indexing, reason)`). Elsewhere (bench harness,
+//! binaries) panics may additionally be excused file-wide with
+//! `// audit: allow-file(panic, reason)`.
+
+use crate::lexer::TokenKind;
+use crate::rules::{Finding, Tier, KEYWORDS};
+use crate::source::SourceFile;
+
+const PANIC_MACROS: [&str; 4] = ["panic", "unreachable", "todo", "unimplemented"];
+
+/// Scans `file` (tier `tier`) for panic-surface findings. Findings are
+/// pre-suppression; `run_audit` applies annotations.
+pub fn scan(file: &SourceFile, tier: Tier) -> Vec<Finding> {
+    if tier == Tier::Test {
+        return Vec::new();
+    }
+    let mut out = Vec::new();
+    for (i, tok) in file.tokens.iter().enumerate() {
+        if tok.is_comment() || file.in_test_region(i) {
+            continue;
+        }
+        match tok.kind {
+            TokenKind::Ident if tok.text == "unwrap" || tok.text == "expect" => {
+                let after_dot = file
+                    .prev_code_token(i)
+                    .is_some_and(|(_, p)| p.is_punct('.'));
+                let called = file
+                    .next_code_token(i + 1)
+                    .is_some_and(|(_, n)| n.is_punct('('));
+                if after_dot && called {
+                    out.push(
+                        Finding::new(
+                            "no-panic",
+                            &file.rel_path,
+                            tok.line,
+                            tok.col,
+                            format!(
+                                "`.{}()` in non-test code: convert to a Result path or annotate \
+                                 with `// audit: allow(panic, reason)`",
+                                tok.text
+                            ),
+                        )
+                        .allowed_by(&["panic"]),
+                    );
+                }
+            }
+            TokenKind::Ident
+                if PANIC_MACROS.contains(&tok.text.as_str())
+                    && file
+                        .next_code_token(i + 1)
+                        .is_some_and(|(_, n)| n.is_punct('!')) =>
+            {
+                out.push(
+                    Finding::new(
+                        "no-panic",
+                        &file.rel_path,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "`{}!` in non-test code: fail closed via an error path or \
+                             annotate with `// audit: allow(panic, reason)`",
+                            tok.text
+                        ),
+                    )
+                    .allowed_by(&["panic"]),
+                );
+            }
+            TokenKind::Punct if tier == Tier::Policy && tok.is_punct('[') => {
+                if let Some((_, prev)) = file.prev_code_token(i) {
+                    let indexable = (prev.kind == TokenKind::Ident
+                        && !KEYWORDS.contains(&prev.text.as_str()))
+                        || prev.is_punct(')')
+                        || prev.is_punct(']');
+                    if indexable {
+                        out.push(
+                            Finding::new(
+                                "no-panic",
+                                &file.rel_path,
+                                tok.line,
+                                tok.col,
+                                "slice indexing in policy-crate code can panic on a bad bound: \
+                                 use get()/iterators or annotate (`// audit: allow(panic, …)` \
+                                 per line, `// audit: allow-file(indexing, …)` per file)"
+                                    .to_string(),
+                            )
+                            .allowed_by(&["indexing", "panic"]),
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(src: &str) -> Vec<Finding> {
+        scan(
+            &SourceFile::parse("crates/toleo-core/src/demo.rs", src),
+            Tier::Policy,
+        )
+    }
+
+    #[test]
+    fn catches_unwrap_expect_and_macros() {
+        let found = policy(
+            "fn f() {\n  let a = x.unwrap();\n  let b = y.expect(\"msg\");\n  panic!(\"no\");\n  unreachable!();\n}\n",
+        );
+        let lines: Vec<u32> = found.iter().map(|f| f.line).collect();
+        assert_eq!(lines, [2, 3, 4, 5]);
+        assert!(found.iter().all(|f| f.rule == "no-panic"));
+    }
+
+    #[test]
+    fn ignores_unwrap_or_family_and_fields() {
+        let found = policy(
+            "fn f() {\n  let a = x.unwrap_or(0);\n  let b = y.unwrap_or_else(z);\n  let c = m.expect_none;\n}\n",
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn ignores_strings_comments_and_test_code() {
+        let found = policy(
+            "fn f() { let s = \"x.unwrap()\"; } // panic! here is prose\n#[cfg(test)]\nmod t { fn g() { x.unwrap(); } }\n",
+        );
+        assert!(found.is_empty());
+    }
+
+    #[test]
+    fn flags_indexing_in_policy_tier_only() {
+        let src = "fn f(v: &[u8], i: usize) -> u8 { v[i] }\n";
+        assert_eq!(policy(src).len(), 1);
+        let other = scan(
+            &SourceFile::parse("crates/bench/src/lib.rs", src),
+            Tier::Other,
+        );
+        assert!(other.is_empty());
+    }
+
+    #[test]
+    fn indexing_ignores_types_attributes_and_macros() {
+        let found = policy(
+            "#[derive(Clone)]\nstruct S { a: [u8; 16] }\nfn f() -> Vec<[u8; 4]> { vec![[0u8; 4]] }\nfn g(x: &mut [[u8; 16]]) {}\n",
+        );
+        assert!(found.is_empty(), "{found:?}");
+    }
+
+    #[test]
+    fn chained_and_nested_indexing_each_flagged() {
+        let found = policy("fn f() { m[i][j]; f()[0]; }\n");
+        assert_eq!(found.len(), 3);
+    }
+
+    #[test]
+    fn test_tier_is_exempt() {
+        let found = scan(
+            &SourceFile::parse("tests/security.rs", "fn f() { x.unwrap(); panic!(); }"),
+            Tier::Test,
+        );
+        assert!(found.is_empty());
+    }
+}

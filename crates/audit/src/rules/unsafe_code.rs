@@ -1,0 +1,128 @@
+//! Rule 2 — **unsafe inventory**.
+//!
+//! The workspace is `deny(unsafe_code)` with two intrinsics carve-outs
+//! in `crypto/src/backend.rs`. Every `unsafe` block or fn must carry a
+//! `// SAFETY:` comment, and the per-file count is diffed against the
+//! committed `AUDIT.json` baseline so new unsafe cannot land without a
+//! reviewed `--fix-inventory` run.
+
+use crate::rules::Finding;
+use crate::source::SourceFile;
+use std::collections::BTreeMap;
+
+/// Scans `file`, appending its `unsafe` count to `inventory` and
+/// returning missing-SAFETY findings. Test code is *not* exempt:
+/// unsafe is unsafe wherever it runs.
+pub fn scan(file: &SourceFile, inventory: &mut BTreeMap<String, u32>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for tok in file.tokens.iter() {
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        *inventory.entry(file.rel_path.clone()).or_insert(0) += 1;
+        if !has_safety_comment(file, tok.line) {
+            out.push(Finding::new(
+                "unsafe-safety",
+                &file.rel_path,
+                tok.line,
+                tok.col,
+                "`unsafe` without a `// SAFETY:` comment on the preceding lines: state the \
+                 invariant that makes this sound"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+/// True when the line holding the `unsafe` token, or the contiguous run
+/// of comment/attribute lines directly above it, contains `SAFETY:` (or
+/// a rustdoc `# Safety` section). A blank line breaks the run: the
+/// justification must visibly attach to the unsafe it justifies.
+fn has_safety_comment(file: &SourceFile, line: u32) -> bool {
+    let idx = (line as usize).saturating_sub(1);
+    let mentions = |l: &str| l.contains("SAFETY:") || l.contains("# Safety");
+    if file.lines.get(idx).is_some_and(|l| mentions(l)) {
+        return true;
+    }
+    let mut i = idx;
+    while i > 0 {
+        i -= 1;
+        let Some(raw) = file.lines.get(i) else {
+            break;
+        };
+        let t = raw.trim();
+        let attaches =
+            t.starts_with("//") || t.starts_with("/*") || t.starts_with('*') || t.starts_with("#[");
+        if !attaches {
+            break;
+        }
+        if mentions(t) {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scan_src(src: &str) -> (Vec<Finding>, BTreeMap<String, u32>) {
+        let file = SourceFile::parse("crates/crypto/src/backend.rs", src);
+        let mut inv = BTreeMap::new();
+        let findings = scan(&file, &mut inv);
+        (findings, inv)
+    }
+
+    #[test]
+    fn counts_blocks_and_fns() {
+        let (_, inv) =
+            scan_src("unsafe fn raw() {}\nfn f() {\n  // SAFETY: checked\n  unsafe { raw() }\n}\n");
+        assert_eq!(inv["crates/crypto/src/backend.rs"], 2);
+    }
+
+    #[test]
+    fn safety_comment_directly_above_passes() {
+        let (findings, _) =
+            scan_src("// SAFETY: feature checked at construction\nunsafe fn f() {}\n");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn safety_comment_through_attributes_passes() {
+        let (findings, _) = scan_src(
+            "// SAFETY: caller proved the `aes` feature\n#[target_feature(enable = \"aes\")]\nunsafe fn f() {}\n",
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn same_line_safety_passes() {
+        let (findings, _) = scan_src("let x = unsafe { get() }; // SAFETY: index bounded above\n");
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn missing_safety_is_flagged() {
+        let (findings, _) = scan_src("fn f() {\n  unsafe { raw() }\n}\n");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "unsafe-safety");
+        assert_eq!(findings[0].line, 2);
+    }
+
+    #[test]
+    fn blank_line_breaks_the_attachment() {
+        let (findings, _) = scan_src("// SAFETY: too far away\n\nunsafe fn f() {}\n");
+        assert_eq!(findings.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_in_strings_attrs_and_comments_not_counted() {
+        let (findings, inv) = scan_src(
+            "#![deny(unsafe_code)]\n// unsafe is discussed here\nfn f() { let s = \"unsafe\"; }\n",
+        );
+        assert!(findings.is_empty());
+        assert!(inv.is_empty());
+    }
+}

@@ -1,0 +1,6 @@
+//! Known-bad fixture: an unannotated `.unwrap()` in policy-crate
+//! non-test code must surface as a `no-panic` finding.
+
+pub fn head(v: &[u8]) -> u8 {
+    v.first().copied().unwrap()
+}

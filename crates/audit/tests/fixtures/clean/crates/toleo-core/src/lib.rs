@@ -1,0 +1,6 @@
+//! Known-good fixture: plain arithmetic with no panics, no unsafe, no
+//! atomics and no key material must produce zero findings.
+
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

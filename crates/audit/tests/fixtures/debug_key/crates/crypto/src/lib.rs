@@ -1,0 +1,8 @@
+//! Known-bad fixture: `#[derive(Debug)]` on a struct holding key
+//! material must surface as a `secret-hygiene` finding — Debug output
+//! of a key is a key exfiltrated.
+
+#[derive(Debug)]
+pub struct MacKey {
+    pub key: [u8; 16],
+}

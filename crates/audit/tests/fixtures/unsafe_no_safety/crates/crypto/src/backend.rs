@@ -1,0 +1,10 @@
+//! Known-bad fixture: an `unsafe` block with no SAFETY comment must
+//! surface as an `unsafe-safety` finding. The committed AUDIT.json
+//! already carries the count of 1, so only the missing justification
+//! is reported, not inventory drift.
+
+pub fn poke(p: *mut u8) {
+    unsafe {
+        *p = 1;
+    }
+}

@@ -1,0 +1,15 @@
+//! Known-bad fixture: the kill flag's policy table permits only
+//! `SeqCst`, so a `Relaxed` load must surface as an `atomic-ordering`
+//! finding.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Engine {
+    killed: AtomicBool,
+}
+
+impl Engine {
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::Relaxed)
+    }
+}

@@ -1,0 +1,28 @@
+//! The workspace-clean gate as a plain test: auditing the real
+//! repository root must produce zero findings, exactly as the CI
+//! `audit` job requires. This keeps `cargo test` and
+//! `cargo run -p toleo-audit -- --check` in lockstep.
+
+use std::path::PathBuf;
+
+use toleo_audit::run_audit;
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .expect("crates/audit sits two levels below the repo root")
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_is_audit_clean() {
+    let report = run_audit(&repo_root()).expect("workspace audit runs");
+    assert!(
+        report.findings.is_empty(),
+        "the workspace must stay audit-clean; run `cargo run -p toleo-audit -- --check` \
+         and fix or annotate each finding:\n{:#?}",
+        report.findings
+    );
+    assert!(report.files_scanned > 50, "discovery lost the workspace");
+}

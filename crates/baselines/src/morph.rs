@@ -20,6 +20,8 @@
 //! re-encrypts* the covered 8 KB — exactly the cost the denser 128:1
 //! encoding trades for.
 
+// audit: allow-file(indexing, slot indices are reduced modulo BLOCKS_PER_LEAF)
+
 /// Current encoding of a morphable leaf.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Encoding {
@@ -121,14 +123,14 @@ impl MorphLeaf {
     fn rebase(&mut self) -> u64 {
         // Fold the minimum delta into the base and clear; if skew persists
         // the encoding stays skewed, otherwise return to uniform.
-        let min = *self.deltas.iter().min().expect("non-empty");
+        let min = self.deltas.iter().copied().min().unwrap_or(0);
         self.base += min;
         for d in self.deltas.iter_mut() {
             *d -= min;
         }
         // Any remaining over-capacity deltas force a full reset.
         if self.over_uniform() > HOT_SLOTS {
-            let max = *self.deltas.iter().max().expect("non-empty");
+            let max = self.deltas.iter().copied().max().unwrap_or(0);
             self.base += max;
             self.deltas = [0; BLOCKS_PER_LEAF];
         }

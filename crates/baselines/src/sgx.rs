@@ -8,6 +8,8 @@
 //! the real system; here the capacity limit is surfaced for the overhead
 //! comparison in the ablation benches.
 
+// audit: allow-file(indexing, tree level/node indices are bounded by the construction-time geometry)
+
 use crate::store::{BlockCapsule, SealedStore};
 use crate::tree::{CounterTree, TreeError};
 use toleo_core::protected::{Capsule, MemoryBatchError, MemoryError, MemoryStats, ProtectedMemory};

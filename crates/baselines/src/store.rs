@@ -104,6 +104,7 @@ impl SealedStore {
     pub fn corrupt(&mut self, addr: u64, offset: usize, xor: u8) -> bool {
         match self.data.get_mut(&addr) {
             Some(ct) => {
+                // audit: allow(panic, documented adversary hook: offset >= 64 is a caller bug)
                 ct[offset] ^= xor;
                 true
             }

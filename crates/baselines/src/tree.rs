@@ -10,6 +10,8 @@
 //! bumping a counter at every level. Both costs grow with `log_arity(N)`,
 //! which is why the approach cannot scale to tera-scale memory (§1).
 
+// audit: allow-file(indexing, level/index pairs come from path() and parent arithmetic, bounded by the tree geometry)
+
 use toleo_core::cache::SetAssocCache;
 use toleo_crypto::mac::{MacKey, Tag56};
 
@@ -29,6 +31,8 @@ pub enum TreeError {
         /// The offending block index.
         block: u64,
     },
+    /// A batch entry point was handed an empty run of blocks.
+    EmptyRun,
 }
 
 impl std::fmt::Display for TreeError {
@@ -41,6 +45,7 @@ impl std::fmt::Display for TreeError {
                 )
             }
             TreeError::OutOfRange { block } => write!(f, "block {block} outside the tree"),
+            TreeError::EmptyRun => write!(f, "empty run of blocks"),
         }
     }
 }
@@ -91,6 +96,7 @@ pub struct RunWalk {
 /// tree.update(17).unwrap();
 /// assert_eq!(tree.verify(17).unwrap().version, v0 + 1);
 /// ```
+// audit: allow(secret, MacKey's manual Debug impl already redacts the key)
 #[derive(Debug)]
 pub struct CounterTree {
     arity: usize,
@@ -261,7 +267,7 @@ impl CounterTree {
             let child_slot = index % self.arity;
             self.levels[plevel][pindex].counters[child_slot] += 1;
         }
-        let (leaf_level, leaf_index) = *path.last().expect("non-empty path");
+        let (leaf_level, leaf_index) = (self.depth() - 1, self.leaf_of(block) as usize);
         let slot = (block % self.arity as u64) as usize;
         self.levels[leaf_level][leaf_index].counters[slot] += 1;
         for &(level, index) in path.iter().rev() {
@@ -283,13 +289,16 @@ impl CounterTree {
     ///
     /// # Errors
     ///
-    /// As [`verify`](Self::verify).
+    /// As [`verify`](Self::verify), plus [`TreeError::EmptyRun`] for an
+    /// empty `run`.
     ///
     /// # Panics
     ///
-    /// Panics if `run` is empty or its blocks do not all share a leaf.
+    /// Panics if the blocks do not all share a leaf.
     pub fn verify_run(&mut self, run: &[u64]) -> Result<RunWalk, TreeError> {
-        let first = *run.first().expect("run must be non-empty");
+        let Some(&first) = run.first() else {
+            return Err(TreeError::EmptyRun);
+        };
         for b in run {
             if *b >= self.blocks {
                 return Err(TreeError::OutOfRange { block: *b });
@@ -317,13 +326,16 @@ impl CounterTree {
     ///
     /// # Errors
     ///
-    /// As [`update`](Self::update).
+    /// As [`update`](Self::update), plus [`TreeError::EmptyRun`] for an
+    /// empty `run`.
     ///
     /// # Panics
     ///
-    /// Panics if `run` is empty or its blocks do not all share a leaf.
+    /// Panics if the blocks do not all share a leaf.
     pub fn update_run(&mut self, run: &[u64]) -> Result<RunWalk, TreeError> {
-        let first = *run.first().expect("run must be non-empty");
+        let Some(&first) = run.first() else {
+            return Err(TreeError::EmptyRun);
+        };
         for b in run {
             if *b >= self.blocks {
                 return Err(TreeError::OutOfRange { block: *b });
@@ -333,7 +345,7 @@ impl CounterTree {
         let walk = self.verify(first)?;
         let path = self.path(first);
         let (_, top_index) = path[0];
-        let (leaf_level, leaf_index) = *path.last().expect("non-empty path");
+        let (leaf_level, leaf_index) = (self.depth() - 1, self.leaf_of(first) as usize);
         let mut versions = Vec::with_capacity(run.len());
         for b in run {
             self.root_counters[top_index % self.arity] += 1;

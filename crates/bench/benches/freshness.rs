@@ -2,6 +2,8 @@
 //! the Merkle counter tree (client SGX) vs the Toleo device, plus the full
 //! protected read/write path of each engine.
 
+// audit: allow-file(panic, bench setup: aborting on a broken harness is the right failure mode)
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use toleo_baselines::sgx::SgxEngine;
 use toleo_baselines::tree::CounterTree;

@@ -2,6 +2,8 @@
 //! protection engine's hot path: AES block, XTS cache-block encryption,
 //! 56-bit MAC, and IDE flit processing.
 
+// audit: allow-file(panic, bench setup: aborting on a broken harness is the right failure mode)
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use toleo_crypto::aes::Aes128;
 use toleo_crypto::backend::available_backends;

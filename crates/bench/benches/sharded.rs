@@ -3,6 +3,8 @@
 //! queues on scoped worker threads, versus the same ops routed one at a
 //! time through the thread-safe handle.
 
+// audit: allow-file(panic, bench setup: aborting on a broken harness is the right failure mode)
+
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use toleo_core::config::ToleoConfig;
 use toleo_core::engine::Block;

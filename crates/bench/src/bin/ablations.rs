@@ -6,6 +6,8 @@
 //! 4. TLB-extension version cache vs Merkle-tree caching (accesses
 //!    per miss).
 
+// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
+
 use toleo_baselines::tree::CounterTree;
 use toleo_bench::harness;
 use toleo_core::analysis::StealthAnalysis;

@@ -1,5 +1,7 @@
 //! Calibration dashboard: per-benchmark measured vs paper targets.
 
+// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
+
 use toleo_bench::harness;
 use toleo_sim::config::Protection;
 use toleo_workloads::Benchmark;

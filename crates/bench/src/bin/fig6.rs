@@ -1,6 +1,8 @@
 //! Figure 6: execution-time overhead of CI, Toleo and InvisiMem relative
 //! to no memory protection, per benchmark.
 
+// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
+
 use toleo_bench::harness::{self, mean};
 use toleo_sim::config::Protection;
 

@@ -1,6 +1,8 @@
 //! §6.2 security analysis: closed-form and Monte-Carlo bounds on stealth
 //! space exhaustion and replay success.
 
+// audit: allow-file(secret, prints Monte Carlo RNG seeds for reproducibility, not key material)
+
 use toleo_core::analysis::{monte_carlo_resets, StealthAnalysis};
 
 fn main() {

@@ -47,6 +47,9 @@
 //! flat, which is why the model and the measurement are reported side by
 //! side rather than conflated.
 
+// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
+// audit: allow-file(secret, seed here names seed-commit perf baselines in the emitted JSON, not key material)
+
 use std::time::Instant;
 use toleo_baselines::{MorphEngine, SgxEngine, VaultEngine};
 use toleo_bench::gate;

@@ -70,6 +70,7 @@ pub mod harness {
                 });
             }
         });
+        // audit: allow(panic, scoped threads fill every slot before the scope exits)
         out.into_iter().map(|o| o.expect("run completed")).collect()
     }
 

@@ -38,6 +38,8 @@
 //! assert_eq!(aes.decrypt_block(&ct), pt);
 //! ```
 
+// audit: allow-file(indexing, state words and T-table lookups use 8-bit indices into 256-entry tables and fixed-width round-key arrays)
+
 use crate::backend::{Aes128Backend, BackendKind};
 
 /// Number of 32-bit words in an AES-128 key.
@@ -201,8 +203,8 @@ impl TtableAes {
     /// Expands `key` into encryption and decryption round keys.
     pub fn new(key: &[u8; 16]) -> Self {
         let mut ek = [0u32; 4 * (NR + 1)];
-        for (i, chunk) in key.chunks_exact(4).enumerate() {
-            ek[i] = u32::from_be_bytes(chunk.try_into().expect("4 bytes"));
+        for (i, chunk) in key.as_chunks::<4>().0.iter().enumerate() {
+            ek[i] = u32::from_be_bytes(*chunk);
         }
         for i in NK..4 * (NR + 1) {
             let mut temp = ek[i - 1];
@@ -243,10 +245,11 @@ impl TtableAes {
     /// Encrypts one 16-byte block.
     pub fn encrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
         let rk = &self.ek;
-        let mut s0 = u32::from_be_bytes(block[0..4].try_into().expect("4 bytes")) ^ rk[0];
-        let mut s1 = u32::from_be_bytes(block[4..8].try_into().expect("4 bytes")) ^ rk[1];
-        let mut s2 = u32::from_be_bytes(block[8..12].try_into().expect("4 bytes")) ^ rk[2];
-        let mut s3 = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes")) ^ rk[3];
+        let words = block.as_chunks::<4>().0;
+        let mut s0 = u32::from_be_bytes(words[0]) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(words[1]) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(words[2]) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(words[3]) ^ rk[3];
         // Middle rounds: iterate round keys by 4-word chunks so the
         // compiler sees in-bounds indexing without checks.
         for k in rk[4..4 * NR].chunks_exact(4) {
@@ -287,10 +290,11 @@ impl TtableAes {
     /// Decrypts one 16-byte block.
     pub fn decrypt_block(&self, block: &[u8; 16]) -> [u8; 16] {
         let rk = &self.dk;
-        let mut s0 = u32::from_be_bytes(block[0..4].try_into().expect("4 bytes")) ^ rk[0];
-        let mut s1 = u32::from_be_bytes(block[4..8].try_into().expect("4 bytes")) ^ rk[1];
-        let mut s2 = u32::from_be_bytes(block[8..12].try_into().expect("4 bytes")) ^ rk[2];
-        let mut s3 = u32::from_be_bytes(block[12..16].try_into().expect("4 bytes")) ^ rk[3];
+        let words = block.as_chunks::<4>().0;
+        let mut s0 = u32::from_be_bytes(words[0]) ^ rk[0];
+        let mut s1 = u32::from_be_bytes(words[1]) ^ rk[1];
+        let mut s2 = u32::from_be_bytes(words[2]) ^ rk[2];
+        let mut s3 = u32::from_be_bytes(words[3]) ^ rk[3];
         for k in rk[4..4 * NR].chunks_exact(4) {
             let t0 = TD[0][(s0 >> 24) as usize]
                 ^ TD[1][(s3 >> 16) as usize & 0xff]

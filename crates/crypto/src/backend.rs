@@ -29,6 +29,8 @@
 //! [`encrypt_blocks8`]: Aes128Backend::encrypt_blocks8
 //! [`encrypt_blocks`]: Aes128Backend::encrypt_blocks
 
+// audit: allow-file(indexing, round-key and lane indices are bounded by the AES-128 schedule: 11 round keys, 8 lanes)
+
 use std::sync::atomic::{AtomicU8, Ordering};
 
 /// Contract every AES-128 backend fulfills. All methods compute plain
@@ -61,24 +63,22 @@ pub trait Aes128Backend {
     /// Encrypts any number of independent blocks in place, pipelining in
     /// groups of up to eight.
     fn encrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
-        let mut chunks = blocks.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            let lanes: &mut [[u8; 16]; 8] = chunk.try_into().expect("chunk of 8");
+        let (groups, rest) = blocks.as_chunks_mut::<8>();
+        for lanes in groups {
             self.encrypt_blocks8(lanes);
         }
-        for b in chunks.into_remainder() {
+        for b in rest {
             *b = self.encrypt_block(b);
         }
     }
 
     /// Decrypts any number of independent blocks in place.
     fn decrypt_blocks(&self, blocks: &mut [[u8; 16]]) {
-        let mut chunks = blocks.chunks_exact_mut(8);
-        for chunk in &mut chunks {
-            let lanes: &mut [[u8; 16]; 8] = chunk.try_into().expect("chunk of 8");
+        let (groups, rest) = blocks.as_chunks_mut::<8>();
+        for lanes in groups {
             self.decrypt_blocks8(lanes);
         }
-        for b in chunks.into_remainder() {
+        for b in rest {
             *b = self.decrypt_block(b);
         }
     }
@@ -274,6 +274,11 @@ mod hw_x86 {
             Some(unsafe { Self::expand(key) })
         }
 
+        /// # Safety
+        ///
+        /// The `aes` target feature must be available on the running CPU
+        /// (`new` verifies it via `is_x86_feature_detected!` before the
+        /// only call site).
         #[target_feature(enable = "aes")]
         unsafe fn expand(key: &[u8; 16]) -> Self {
             let mut ek = [_mm_setzero(); 11];
@@ -320,6 +325,11 @@ mod hw_x86 {
 
     /// Encrypts up to 8 blocks with the round loop interleaved across all
     /// lanes, so the pipelined AESENC units stay busy.
+    ///
+    /// # Safety
+    ///
+    /// The `aes` target feature must be available on the running CPU; an
+    /// `AesNiAes` value (whose constructor verified it) is proof.
     #[target_feature(enable = "aes")]
     unsafe fn enc_chunk(ek: &[__m128i; 11], blocks: &mut [[u8; 16]]) {
         debug_assert!(blocks.len() <= 8);
@@ -342,6 +352,10 @@ mod hw_x86 {
     }
 
     /// Decrypts up to 8 blocks (equivalent inverse cipher), interleaved.
+    ///
+    /// # Safety
+    ///
+    /// As [`enc_chunk`]: the `aes` target feature must be available.
     #[target_feature(enable = "aes")]
     unsafe fn dec_chunk(dk: &[__m128i; 11], blocks: &mut [[u8; 16]]) {
         debug_assert!(blocks.len() <= 8);
@@ -469,6 +483,11 @@ mod hw_aarch64 {
     }
 
     /// Encrypts up to 8 blocks, rounds interleaved across lanes.
+    ///
+    /// # Safety
+    ///
+    /// The `aes` target feature must be available on the running CPU; an
+    /// `ArmCeAes` value (whose constructor verified it) is proof.
     #[target_feature(enable = "aes")]
     unsafe fn enc_chunk(ek: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
         debug_assert!(blocks.len() <= 8);
@@ -493,6 +512,10 @@ mod hw_aarch64 {
     }
 
     /// Decrypts up to 8 blocks (equivalent inverse cipher), interleaved.
+    ///
+    /// # Safety
+    ///
+    /// As [`enc_chunk`]: the `aes` target feature must be available.
     #[target_feature(enable = "aes")]
     unsafe fn dec_chunk(dk: &[[u8; 16]; 11], blocks: &mut [[u8; 16]]) {
         debug_assert!(blocks.len() <= 8);

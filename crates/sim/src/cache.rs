@@ -4,6 +4,8 @@
 //! track dirty state so LLC evictions generate the protected writebacks
 //! that drive version UPDATE traffic.
 
+// audit: allow-file(panic, simulator invariants: a panic aborts the offline run with a trace, no production path)
+
 use crate::config::CacheConfig;
 
 /// One cache way entry.

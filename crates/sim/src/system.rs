@@ -15,6 +15,8 @@
 //! * **InvisiMem** — all memory in smart packages: double encryption,
 //!   size-padded packets, and constant-rate dummy traffic.
 
+// audit: allow-file(panic, simulator invariants: a panic aborts the offline run with a trace, no production path)
+
 use crate::cache::{Hierarchy, HitLevel};
 use crate::config::{Protection, SimConfig};
 use crate::dram::Dram;

@@ -18,6 +18,8 @@
 //! Everything here is adversary-accessible by construction: the public
 //! methods are tampering entry points for security testing.
 
+// audit: allow-file(indexing, slot ids are handed out by this arena and index its own slots Vec)
+
 use crate::config::{CACHE_BLOCK_BYTES, LINES_PER_PAGE};
 use crate::layout;
 use crate::pagetable::PageIndex;
@@ -178,6 +180,7 @@ impl UntrustedDram {
         if let Some(id) = self.index.get(page) {
             return SlotId(id);
         }
+        // audit: allow(panic, 2^32 page slots exhaust memory long before this overflows; a wrapped id would alias two pages)
         let id = u32::try_from(self.slots.len()).expect("arena slot count fits u32");
         self.slots.push(PageSlot::new());
         self.index.insert(page, id);

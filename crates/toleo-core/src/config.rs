@@ -28,6 +28,7 @@ pub const FULL_ENTRY_BLOCKS: usize = 4;
 /// Defaults are the paper's design point: 27-bit stealth versions, 37-bit
 /// upper versions, probabilistic reset with p = 2^-20, 4 KB pages of 64-byte
 /// cache blocks, and a 168 GB device.
+// audit: allow(secret, rng_seed is a simulation reproducibility knob serialized with bench configs, not key material)
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ToleoConfig {
     /// Width of the stealth (lower) version in bits. Paper: 27.

@@ -18,6 +18,8 @@
 //! exhausted, upgrades are rejected with [`ToleoError::DeviceFull`] until
 //! the host frees space via RESET.
 
+// audit: allow-file(indexing, entry indices come from the page index that allocated them)
+
 use crate::config::{ToleoConfig, DYNAMIC_BLOCK_BYTES, FLAT_ENTRY_BYTES};
 use crate::error::{Result, ToleoError};
 use crate::pagetable::PageIndex;
@@ -429,6 +431,7 @@ fn materialize<'a>(
     let slot = match index.get(page) {
         Some(i) => i as usize,
         None => {
+            // audit: allow(panic, 2^32 page entries exhaust memory long before this overflows; a wrapped index would alias two pages)
             let i = u32::try_from(entries.len()).expect("device entry count fits u32");
             entries.push(PageEntry::new_flat(random_base(rng, bits)));
             index.insert(page, i);

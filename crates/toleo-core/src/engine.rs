@@ -19,6 +19,8 @@
 //! integration tests replay old (ciphertext, MAC, UV) triples through it
 //! to demonstrate detection.
 
+// audit: allow-file(indexing, sector/line offsets derive from the fixed page and cache-block layout constants)
+
 use crate::arena::{PageSlot, SlotId};
 use crate::cache::{CacheStats, MacCache, StealthCache};
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
@@ -109,6 +111,16 @@ pub struct ProtectionEngine {
     killed: Option<Box<KillSnapshot>>,
 }
 
+/// Splits 48 bytes of key material into its three 16-byte subkeys (XTS
+/// data, XTS tweak, MAC) without a fallible slice-to-array conversion.
+pub(crate) fn split_key_material(key_material: &[u8; 48]) -> [[u8; 16]; 3] {
+    let mut keys = [[0u8; 16]; 3];
+    for (i, byte) in key_material.iter().enumerate() {
+        keys[i / 16][i % 16] = *byte;
+    }
+    keys
+}
+
 impl ProtectionEngine {
     /// Creates an engine. `key_material` supplies the XTS data key, XTS
     /// tweak key and MAC key (16 bytes each).
@@ -122,6 +134,7 @@ impl ProtectionEngine {
     #[deprecated(note = "use try_new: a bad ToleoConfig is a recoverable error, not a panic")]
     pub fn new(cfg: ToleoConfig, key_material: [u8; 48]) -> Self {
         Self::try_new(cfg, key_material)
+            // audit: allow(panic, deprecated shim documented to panic; try_new is the error path)
             .unwrap_or_else(|e| panic!("ProtectionEngine construction failed: {e}"))
     }
 
@@ -133,9 +146,7 @@ impl ProtectionEngine {
     /// [`ToleoError::InvalidConfig`] if `cfg` fails
     /// [`ToleoConfig::validate`].
     pub fn try_new(cfg: ToleoConfig, key_material: [u8; 48]) -> Result<Self> {
-        let data_key: [u8; 16] = key_material[..16].try_into().expect("16 bytes");
-        let tweak_key: [u8; 16] = key_material[16..32].try_into().expect("16 bytes");
-        let mac_key: [u8; 16] = key_material[32..].try_into().expect("16 bytes");
+        let [data_key, tweak_key, mac_key] = split_key_material(&key_material);
         Ok(ProtectionEngine {
             device: ToleoDevice::new(cfg.clone())?,
             cfg,

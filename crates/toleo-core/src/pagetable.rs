@@ -16,6 +16,8 @@
 //! indices into a caller-owned dense `Vec`, which is exactly the shape
 //! both consumers already had (arena slots, device entries).
 
+// audit: allow-file(indexing, bucket indices are masked to the power-of-two table size)
+
 /// Sentinel key marking an empty bucket. Page numbers live far below this
 /// (a 2^64-page pool would be 2^76 bytes of protected memory).
 const EMPTY: u64 = u64::MAX;
@@ -40,6 +42,7 @@ const FIB: u64 = 0x9E37_79B9_7F4A_7C15;
 /// assert_eq!(idx.get(8), None);
 /// assert_eq!(idx.len(), 2);
 /// ```
+// audit: allow(secret, keys here are hash-table bucket keys holding page numbers, not cryptographic keys)
 #[derive(Debug, Clone)]
 pub struct PageIndex {
     /// Bucket keys; [`EMPTY`] marks a free bucket.

@@ -19,6 +19,8 @@
 //! not later. The slot remembers the most recent page for `suspects`
 //! reporting only.
 
+// audit: allow-file(indexing, slot indices are masked to the power-of-two slot count)
+
 /// Decision for one tracked update.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum RateDecision {

@@ -22,6 +22,8 @@
 //! flag flips, in-flight batch workers abort, and every peer shard is
 //! force-killed so each is individually inert thereafter.
 
+// audit: allow-file(indexing, shard and queue indices come from shard_of_addr and the queue builder, bounded by the shard count)
+
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, PAGE_BYTES};
 use crate::device::DeviceStats;
 use crate::engine::{Block, EngineStats, ProtectionEngine, UntrustedDram};
@@ -338,7 +340,8 @@ impl ShardedEngine {
                 .map(|(shard, queue)| {
                     let addr_of = &addr_of;
                     let mut exec_chunk = exec_chunk.clone();
-                    s.spawn(move || -> ShardOutcome<T> {
+                    let first = queue.first().copied().unwrap_or(0);
+                    let handle = s.spawn(move || -> ShardOutcome<T> {
                         let mut engine = self.lock_shard(shard);
                         let mut done = Vec::with_capacity(queue.len());
                         for chunk in queue.chunks(KILL_POLL_OPS) {
@@ -369,12 +372,28 @@ impl ShardedEngine {
                             }
                         }
                         Ok(done)
-                    })
+                    });
+                    (first, handle)
                 })
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("shard worker panicked"))
+                .map(|(first, h)| match h.join() {
+                    Ok(outcome) => outcome,
+                    // A panicked worker is an engine bug, not tampering,
+                    // but the response is the same fail-closed one: kill
+                    // the engine and fail the shard's whole queue rather
+                    // than silently dropping its ops.
+                    Err(_) => {
+                        self.killed.store(true, Ordering::SeqCst);
+                        Err((
+                            first,
+                            ToleoError::IntegrityViolation {
+                                address: addr_of(first),
+                            },
+                        ))
+                    }
+                })
                 .collect()
         });
 
@@ -483,10 +502,10 @@ impl ShardedEngine {
 /// no shard and the root — ever share a key.
 fn derive_shard_key(root: &[u8; 48], shard: u64) -> [u8; 48] {
     let mut out = [0u8; 48];
-    for role in 0..3usize {
-        let subkey: [u8; 16] = root[role * 16..(role + 1) * 16]
-            .try_into()
-            .expect("16-byte subkey");
+    for (role, subkey) in crate::engine::split_key_material(root)
+        .into_iter()
+        .enumerate()
+    {
         let mut block = [0u8; 16];
         block[..8].copy_from_slice(&shard.to_le_bytes());
         block[8] = role as u8;

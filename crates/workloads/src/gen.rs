@@ -125,6 +125,7 @@ impl std::fmt::Display for Benchmark {
 }
 
 /// Generation parameters.
+// audit: allow(secret, seed is the workload generator's RNG seed, not key material)
 #[derive(Debug, Clone, PartialEq)]
 pub struct GenConfig {
     /// Bytes of synthetic working set per paper-GB of RSS (default 1 MB:
