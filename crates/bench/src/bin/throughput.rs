@@ -11,19 +11,28 @@
 //! over the page-sharded [`ShardedEngine`] to record a thread-scaling
 //! curve.
 //!
-//! New in v4: the **scheme sweep**. Every [`ProtectedMemory`] scheme —
-//! Toleo, 8-shard Toleo, the SGX-style counter-tree engine, VAULT and
-//! Morphable Counters — replays the same four workload patterns
-//! (sequential / random / hot-reset / multi-tenant) through the same
-//! trait, single-op and batched, producing the side-by-side curves the
-//! paper's comparative claim rests on. Results are emitted as
-//! `BENCH_5.json` (schema `toleo-bench-throughput/v4`, a superset of the
-//! v3 fields so the trajectory stays comparable across PRs).
+//! The v4 **scheme sweep**: every [`ProtectedMemory`] scheme — Toleo,
+//! 8-shard Toleo, the SGX-style counter-tree engine, VAULT and Morphable
+//! Counters — replays the same four workload patterns (sequential /
+//! random / hot-reset / multi-tenant) through the same trait, single-op
+//! and batched, producing the side-by-side curves the paper's
+//! comparative claim rests on.
+//!
+//! New in v5: the **availability section**. The four workloads are
+//! replayed through the sharded engine's fault-injected
+//! [`DeviceChannel`](toleo_core::channel::DeviceChannel) at every rate of
+//! [`FAULT_RATE_SWEEP`], reporting goodput vs the fault-free run and
+//! asserting the transients were fully absorbed (bit-identical
+//! observations, zero false kills); a separate experiment tampers one
+//! shard mid-traffic and records what the healthy shards keep delivering
+//! under quarantine. Results are emitted as `BENCH_6.json` (schema
+//! `toleo-bench-throughput/v5`, a superset of the v4 fields so the
+//! trajectory stays comparable across PRs).
 //!
 //! ```sh
 //! cargo run --release -p toleo-bench --bin throughput -- \
-//!     --ops 400000 --out BENCH_5.json --check \
-//!     --compare BENCH_4.json --tolerance 0.85
+//!     --ops 400000 --out BENCH_6.json --check \
+//!     --compare BENCH_5.json --tolerance 0.85
 //! ```
 //!
 //! `--check` re-reads the emitted file and fails (non-zero exit) unless it
@@ -53,14 +62,18 @@
 use std::time::Instant;
 use toleo_baselines::{MorphEngine, SgxEngine, VaultEngine};
 use toleo_bench::gate;
+use toleo_core::channel::RetryPolicy;
 use toleo_core::config::ToleoConfig;
 use toleo_core::engine::ProtectionEngine;
+use toleo_core::error::ToleoError;
+use toleo_core::fault::FaultPlanConfig;
 use toleo_core::protected::ProtectedMemory;
 use toleo_core::sharded::ShardedEngine;
 use toleo_crypto::aes::Aes128;
 use toleo_crypto::backend::{
     available_backends, default_backend, set_default_backend, BackendKind,
 };
+use toleo_workloads::campaign::{tamper_schedule, FAULT_RATE_SWEEP};
 use toleo_workloads::concurrent::{multi_tenant, partition_by_page};
 use toleo_workloads::pattern::{engine_pattern, homogeneous_runs, EnginePattern};
 use toleo_workloads::{Op, Trace};
@@ -252,27 +265,7 @@ fn replay_batched_dyn(trace: &Trace, mem: &mut dyn ProtectedMemory) -> (u64, f64
 /// batched.
 fn run_scheme_sweep(ops: u64) -> Vec<SchemeResult> {
     // (name, trace, toleo config) — baselines ignore the config.
-    let mut workloads: Vec<(&'static str, Trace, ToleoConfig)> = EnginePattern::all()
-        .iter()
-        .enumerate()
-        .map(|(i, p)| {
-            (
-                p.name(),
-                engine_pattern(*p, ops, FOOTPRINT_BYTES, 0xBE2C + i as u64),
-                engine_cfg(Some(*p)),
-            )
-        })
-        .collect();
-    workloads.push((
-        "multi-tenant",
-        multi_tenant(
-            TENANTS,
-            ops / TENANTS as u64,
-            FOOTPRINT_BYTES / TENANTS as u64,
-            0xBE2F,
-        ),
-        engine_cfg(None),
-    ));
+    let workloads = availability_workloads(ops);
 
     SCHEMES
         .iter()
@@ -305,6 +298,256 @@ fn run_scheme_sweep(ops: u64) -> Vec<SchemeResult> {
             }
         })
         .collect()
+}
+
+/// One fault rate of a workload's availability curve.
+struct AvailabilityPoint {
+    fault_rate: f64,
+    blocks: u64,
+    blocks_per_sec: f64,
+    /// Throughput relative to the fault-free (rate 0) run of the same
+    /// workload — the goodput-vs-injected-fault-rate curve.
+    goodput_vs_fault_free: f64,
+    faults_injected: u64,
+    faults_absorbed: u64,
+    retries: u64,
+    backoff_nanos: u64,
+    /// Whether the run's observation checksum is bit-identical to the
+    /// fault-free run's (retries must be invisible to the application).
+    observations_match: bool,
+    /// Shard quarantines + world-kills during the run; any non-zero value
+    /// is a false kill, since injected transients are never integrity
+    /// failures.
+    false_kills: u64,
+}
+
+struct AvailabilityWorkload {
+    workload: &'static str,
+    points: Vec<AvailabilityPoint>,
+}
+
+/// The one-shard-tampered-under-traffic experiment.
+struct QuarantineExperiment {
+    workload: &'static str,
+    tamper_at_op: u64,
+    tampered_shard: usize,
+    quarantined_shards: u64,
+    world_killed: bool,
+    /// Ops served by healthy shards after the quarantine engaged.
+    healthy_blocks: u64,
+    healthy_blocks_per_sec: f64,
+    /// Trace ops refused with `ShardQuarantined` after detection.
+    refused_blocks: u64,
+    ops_served_total: u64,
+    ops_at_quarantine: u64,
+}
+
+/// One faulted replay's raw outcome.
+struct FaultedRun {
+    blocks: u64,
+    seconds: f64,
+    /// FNV fold of every read byte: two runs match iff the application
+    /// observed bit-identical data.
+    checksum: u64,
+    stats: toleo_core::sharded::RobustnessStats,
+}
+
+/// Replays `trace` single-op through a sharded engine under `plan`. The
+/// channel's fault plan is salted per shard from the engine seed, so one
+/// campaign config fans out to [`SHARDS`] independent fault streams.
+fn replay_sharded_faulted(
+    trace: &Trace,
+    cfg: &ToleoConfig,
+    plan: Option<FaultPlanConfig>,
+) -> FaultedRun {
+    let engine = ShardedEngine::new_with_robustness(
+        cfg.clone(),
+        SHARDS,
+        [0x42u8; 48],
+        plan,
+        RetryPolicy::default(),
+    )
+    .expect("sharded engine");
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    for op in &trace.ops {
+        match op {
+            Op::Write(addr) => {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                engine.write(*addr, &[fill; 64]).expect("protected write");
+                blocks += 1;
+            }
+            Op::Read(addr) => {
+                let block = engine.read(*addr).expect("protected read");
+                for b in block {
+                    checksum = (checksum ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                blocks += 1;
+            }
+            Op::Compute(_) => {}
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    FaultedRun {
+        blocks,
+        seconds,
+        checksum,
+        stats: engine.robustness_stats(),
+    }
+}
+
+/// The four workload traces the availability sweep (and the scheme sweep)
+/// replays, with their tuned configs.
+fn availability_workloads(ops: u64) -> Vec<(&'static str, Trace, ToleoConfig)> {
+    let mut workloads: Vec<(&'static str, Trace, ToleoConfig)> = EnginePattern::all()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                p.name(),
+                engine_pattern(*p, ops, FOOTPRINT_BYTES, 0xBE2C + i as u64),
+                engine_cfg(Some(*p)),
+            )
+        })
+        .collect();
+    workloads.push((
+        "multi-tenant",
+        multi_tenant(
+            TENANTS,
+            ops / TENANTS as u64,
+            FOOTPRINT_BYTES / TENANTS as u64,
+            0xBE2F,
+        ),
+        engine_cfg(None),
+    ));
+    workloads
+}
+
+/// The availability sweep: each workload replayed under every fault rate
+/// of [`FAULT_RATE_SWEEP`] through the fault-injected device channel,
+/// reporting goodput vs the fault-free run and proving the injected
+/// transients were fully absorbed (identical observations, zero kills).
+fn run_availability(ops: u64) -> Vec<AvailabilityWorkload> {
+    availability_workloads(ops)
+        .into_iter()
+        .map(|(name, trace, cfg)| {
+            let mut points: Vec<AvailabilityPoint> = Vec::with_capacity(FAULT_RATE_SWEEP.len());
+            let mut reference: Option<(u64, f64, u64)> = None;
+            for (i, &rate) in FAULT_RATE_SWEEP.iter().enumerate() {
+                let plan = if rate > 0.0 {
+                    // Per-point seeds so the curve's rates don't share one
+                    // fault stream.
+                    Some(FaultPlanConfig::uniform(0xFA01 + i as u64, rate))
+                } else {
+                    None
+                };
+                let run = replay_sharded_faulted(&trace, &cfg, plan);
+                let blocks_per_sec = run.blocks as f64 / run.seconds;
+                let (ref_blocks, ref_rate, ref_checksum) =
+                    *reference.get_or_insert((run.blocks, blocks_per_sec, run.checksum));
+                assert_eq!(run.blocks, ref_blocks, "{name}: faulted run lost ops");
+                let false_kills = run.stats.quarantined_shards
+                    + u64::from(run.stats.world_killed)
+                    + run.stats.channel.retry_exhaustions;
+                assert_eq!(false_kills, 0, "{name}: transients at rate {rate} killed");
+                points.push(AvailabilityPoint {
+                    fault_rate: rate,
+                    blocks: run.blocks,
+                    blocks_per_sec,
+                    goodput_vs_fault_free: blocks_per_sec / ref_rate,
+                    faults_injected: run.stats.channel.faults_injected,
+                    faults_absorbed: run.stats.channel.faults_absorbed,
+                    retries: run.stats.channel.retries,
+                    backoff_nanos: run.stats.channel.backoff_nanos,
+                    observations_match: run.checksum == ref_checksum,
+                    false_kills,
+                });
+            }
+            AvailabilityWorkload {
+                workload: name,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Tamper one shard mid-traffic (at a `tamper_schedule` point) and measure
+/// what the remaining shards still deliver: the quarantine containment
+/// number the availability story rests on.
+fn run_quarantine_experiment(ops: u64) -> QuarantineExperiment {
+    let trace = engine_pattern(EnginePattern::Random, ops, FOOTPRINT_BYTES, 0xBE2D);
+    let cfg = engine_cfg(Some(EnginePattern::Random));
+    let engine = ShardedEngine::new(cfg, SHARDS, [0x42u8; 48]).expect("sharded engine");
+    let event = tamper_schedule(&trace, 1, 0xFA17)
+        .first()
+        .copied()
+        .expect("random trace has writes to tamper");
+    let tampered_shard = engine.shard_of_addr(event.addr);
+
+    let mut blocks = 0u64;
+    let mut healthy_blocks = 0u64;
+    let mut refused_blocks = 0u64;
+    let mut tampered = false;
+    let mut after_start = Instant::now();
+    let mut checksum = 0u64;
+    for op in &trace.ops {
+        let addr = match op {
+            Op::Write(addr) | Op::Read(addr) => *addr,
+            Op::Compute(_) => continue,
+        };
+        if !tampered && blocks == event.at_op {
+            // Mount the corruption, then act as the victim's next access
+            // to the block: detection quarantines the owning shard.
+            engine.with_adversary(event.addr, |dram| dram.corrupt_data(event.addr, 11, 0x5a));
+            match engine.read(event.addr) {
+                Err(ToleoError::IntegrityViolation { .. }) => {}
+                other => panic!("tamper must be detected, got {other:?}"),
+            }
+            assert!(engine.is_shard_quarantined(tampered_shard));
+            tampered = true;
+            after_start = Instant::now();
+        }
+        let result = match op {
+            Op::Write(_) => engine.write(addr, &[(addr >> 6) as u8 ^ blocks as u8; 64]),
+            Op::Read(addr) => engine.read(*addr).map(|block| {
+                checksum = checksum.wrapping_add(block[0] as u64);
+            }),
+            Op::Compute(_) => unreachable!(),
+        };
+        blocks += 1;
+        match result {
+            Ok(()) => {
+                if tampered {
+                    healthy_blocks += 1;
+                }
+            }
+            Err(ToleoError::ShardQuarantined { shard, .. }) => {
+                assert_eq!(shard, tampered_shard, "only the tampered shard refuses");
+                assert!(tampered);
+                refused_blocks += 1;
+            }
+            Err(e) => panic!("unexpected error under quarantine: {e}"),
+        }
+    }
+    let after_seconds = after_start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    assert!(!engine.is_killed(), "a tamper must never world-kill");
+    assert_eq!(engine.quarantined_shard_count(), 1);
+    let rs = engine.robustness_stats();
+    QuarantineExperiment {
+        workload: "random",
+        tamper_at_op: event.at_op,
+        tampered_shard,
+        quarantined_shards: rs.quarantined_shards,
+        world_killed: rs.world_killed,
+        healthy_blocks,
+        healthy_blocks_per_sec: healthy_blocks as f64 / after_seconds,
+        refused_blocks,
+        ops_served_total: rs.ops_served,
+        ops_at_quarantine: rs.ops_at_last_quarantine,
+    }
 }
 
 fn engine_cfg(pattern: Option<EnginePattern>) -> ToleoConfig {
@@ -578,6 +821,9 @@ fn measure_backends() -> Vec<BackendAes> {
         .collect()
 }
 
+// One parameter per emitted JSON section; bundling them into a struct
+// would just move the same list behind a constructor.
+#[allow(clippy::too_many_arguments)]
 fn emit_json(
     ops: u64,
     results: &[WorkloadResult],
@@ -585,6 +831,8 @@ fn emit_json(
     backends: &[BackendAes],
     selected: BackendKind,
     schemes: &[SchemeResult],
+    availability: &[AvailabilityWorkload],
+    quarantine: &QuarantineExperiment,
 ) -> String {
     let sel = backends
         .iter()
@@ -592,8 +840,8 @@ fn emit_json(
         .expect("selected backend was measured");
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"toleo-bench-throughput/v4\",\n");
-    out.push_str("  \"pr\": 5,\n");
+    out.push_str("  \"schema\": \"toleo-bench-throughput/v5\",\n");
+    out.push_str("  \"pr\": 7,\n");
     out.push_str(&format!("  \"ops_per_workload\": {ops},\n"));
     out.push_str(&format!(
         "  \"host_cores\": {},\n",
@@ -744,7 +992,96 @@ fn emit_json(
             "    },\n"
         });
     }
-    out.push_str("  ]\n");
+    out.push_str("  ],\n");
+    // v5: the availability section — goodput vs injected transient-fault
+    // rate for every workload through the fault-injected device channel,
+    // plus the one-shard-tampered quarantine containment experiment.
+    let policy = RetryPolicy::default();
+    out.push_str("  \"availability\": {\n");
+    out.push_str(&format!(
+        "    \"fault_rates\": [{}],\n",
+        FAULT_RATE_SWEEP.map(|r| format!("{r}")).join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"retry_policy\": {{\"max_attempts\": {}, \"base_backoff_nanos\": {}, \
+         \"max_backoff_nanos\": {}}},\n",
+        policy.max_attempts, policy.base_backoff_nanos, policy.max_backoff_nanos
+    ));
+    out.push_str("    \"workloads\": [\n");
+    for (ai, a) in availability.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"workload\": \"{}\",\n", a.workload));
+        out.push_str("        \"points\": [\n");
+        for (pi, p) in a.points.iter().enumerate() {
+            out.push_str(&format!(
+                "          {{\"fault_rate\": {}, \"blocks\": {}, \"blocks_per_sec\": {:.0}, \
+                 \"goodput_vs_fault_free\": {:.3}, \"faults_injected\": {}, \
+                 \"faults_absorbed\": {}, \"retries\": {}, \"backoff_nanos\": {}, \
+                 \"observations_match\": {}, \"false_kills\": {}}}{}\n",
+                p.fault_rate,
+                p.blocks,
+                p.blocks_per_sec,
+                p.goodput_vs_fault_free,
+                p.faults_injected,
+                p.faults_absorbed,
+                p.retries,
+                p.backoff_nanos,
+                p.observations_match,
+                p.false_kills,
+                if pi + 1 == a.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("        ]\n");
+        out.push_str(if ai + 1 == availability.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"quarantine\": {\n");
+    out.push_str(&format!(
+        "      \"workload\": \"{}\",\n",
+        quarantine.workload
+    ));
+    out.push_str(&format!(
+        "      \"tamper_at_op\": {},\n",
+        quarantine.tamper_at_op
+    ));
+    out.push_str(&format!(
+        "      \"tampered_shard\": {},\n",
+        quarantine.tampered_shard
+    ));
+    out.push_str(&format!(
+        "      \"quarantined_shards\": {},\n",
+        quarantine.quarantined_shards
+    ));
+    out.push_str(&format!(
+        "      \"world_killed\": {},\n",
+        quarantine.world_killed
+    ));
+    out.push_str(&format!(
+        "      \"healthy_blocks\": {},\n",
+        quarantine.healthy_blocks
+    ));
+    out.push_str(&format!(
+        "      \"healthy_blocks_per_sec\": {:.0},\n",
+        quarantine.healthy_blocks_per_sec
+    ));
+    out.push_str(&format!(
+        "      \"refused_blocks\": {},\n",
+        quarantine.refused_blocks
+    ));
+    out.push_str(&format!(
+        "      \"ops_served_total\": {},\n",
+        quarantine.ops_served_total
+    ));
+    out.push_str(&format!(
+        "      \"ops_at_quarantine\": {}\n",
+        quarantine.ops_at_quarantine
+    ));
+    out.push_str("    }\n");
+    out.push_str("  }\n");
     out.push_str("}\n");
     out
 }
@@ -764,6 +1101,7 @@ fn check_emitted(path: &str) -> Result<(), String> {
         "engine",
         "sharded",
         "schemes",
+        "availability",
     ] {
         if root.get(key).is_none() {
             return Err(format!("{path}: missing key {key:?}"));
@@ -781,6 +1119,14 @@ fn check_emitted(path: &str) -> Result<(), String> {
         "\"speedup_4t_vs_1t\"",
         "\"version_fetches\"",
         "\"reencryption_events\"",
+        "\"fault_rates\"",
+        "\"retry_policy\"",
+        "\"goodput_vs_fault_free\"",
+        "\"faults_injected\"",
+        "\"observations_match\"",
+        "\"false_kills\"",
+        "\"quarantine\"",
+        "\"ops_at_quarantine\"",
     ] {
         if !text.contains(key) {
             return Err(format!("{path}: missing key {key}"));
@@ -805,6 +1151,30 @@ fn check_emitted(path: &str) -> Result<(), String> {
             }) {
                 return Err(format!("{path}: {scheme} missing workload {workload:?}"));
             }
+        }
+    }
+    let avail_rows = root
+        .get("availability")
+        .and_then(|a| a.get("workloads"))
+        .and_then(toleo_bench::json::Value::as_array)
+        .ok_or_else(|| format!("{path}: availability.workloads is not an array"))?;
+    for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
+        let row = avail_rows
+            .iter()
+            .find(|r| {
+                r.get("workload").and_then(toleo_bench::json::Value::as_str) == Some(workload)
+            })
+            .ok_or_else(|| format!("{path}: availability missing workload {workload:?}"))?;
+        let points = row
+            .get("points")
+            .and_then(toleo_bench::json::Value::as_array)
+            .ok_or_else(|| format!("{path}: availability/{workload} has no points array"))?;
+        if points.len() != FAULT_RATE_SWEEP.len() {
+            return Err(format!(
+                "{path}: availability/{workload} has {} points, expected {}",
+                points.len(),
+                FAULT_RATE_SWEEP.len()
+            ));
         }
     }
     Ok(())
@@ -847,7 +1217,7 @@ fn compare_against_baseline(
 
 fn main() {
     let mut ops = DEFAULT_OPS;
-    let mut out_path = String::from("BENCH_5.json");
+    let mut out_path = String::from("BENCH_6.json");
     let mut check = false;
     let mut compare: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -964,7 +1334,50 @@ fn main() {
         }
     }
 
-    let json = emit_json(ops, &results, &curves, &backends, selected, &schemes);
+    // The availability sweep and the quarantine containment experiment.
+    let availability = run_availability(ops);
+    for a in &availability {
+        for p in &a.points {
+            println!(
+                "avail/{:<12} rate {:<7} {:>10.0} blocks/s (goodput {:>5.3}, faults {:>6}, \
+                 retries {:>6}, observations {})",
+                a.workload,
+                p.fault_rate,
+                p.blocks_per_sec,
+                p.goodput_vs_fault_free,
+                p.faults_injected,
+                p.retries,
+                if p.observations_match {
+                    "match"
+                } else {
+                    "DIVERGE"
+                },
+            );
+        }
+    }
+    let quarantine = run_quarantine_experiment(ops);
+    println!(
+        "quarantine/{:<8} shard {} frozen at op {}; healthy shards {:>10.0} blocks/s \
+         ({} served, {} refused, world_killed={})",
+        quarantine.workload,
+        quarantine.tampered_shard,
+        quarantine.tamper_at_op,
+        quarantine.healthy_blocks_per_sec,
+        quarantine.healthy_blocks,
+        quarantine.refused_blocks,
+        quarantine.world_killed,
+    );
+
+    let json = emit_json(
+        ops,
+        &results,
+        &curves,
+        &backends,
+        selected,
+        &schemes,
+        &availability,
+        &quarantine,
+    );
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {out_path}");
 

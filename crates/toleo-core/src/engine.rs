@@ -23,9 +23,11 @@
 
 use crate::arena::{PageSlot, SlotId};
 use crate::cache::{CacheStats, MacCache, StealthCache};
+use crate::channel::{ChannelStats, DeviceChannel, RetryPolicy};
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, LINES_PER_PAGE, PAGE_BYTES};
 use crate::device::{DeviceStats, ToleoDevice, UpdateResponse};
 use crate::error::{BatchError, Result, ToleoError};
+use crate::fault::{FaultPlan, FaultPlanConfig};
 use crate::layout;
 use crate::version::FullVersion;
 use toleo_crypto::mac::MacKey;
@@ -72,12 +74,22 @@ impl EngineStats {
 /// without touching the device, the caches, or untrusted memory, and the
 /// stats getters report exactly this frozen state (the detecting access
 /// itself is included — it physically happened).
-#[derive(Debug, Clone, Copy)]
-struct KillSnapshot {
-    stats: EngineStats,
-    stealth_cache: CacheStats,
-    mac_cache: CacheStats,
-    device: DeviceStats,
+///
+/// Public because a sharded deployment carries it out in
+/// [`ToleoError::ShardQuarantined`]: the forensic record of a quarantined
+/// shard travels with the refusal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KillSnapshot {
+    /// Engine counters at the kill instant.
+    pub stats: EngineStats,
+    /// Stealth-cache counters at the kill instant.
+    pub stealth_cache: CacheStats,
+    /// MAC-cache counters at the kill instant.
+    pub mac_cache: CacheStats,
+    /// Device counters at the kill instant.
+    pub device: DeviceStats,
+    /// Device-channel (fault plane) counters at the kill instant.
+    pub channel: ChannelStats,
 }
 
 /// The memory protection engine in the Toleo configuration (CIF:
@@ -98,7 +110,7 @@ pub struct ProtectionEngine {
     cfg: ToleoConfig,
     xts: AesXts,
     mac: MacKey,
-    device: ToleoDevice,
+    channel: DeviceChannel,
     dram: UntrustedDram,
     /// Last-page fast path: the most recently touched page and its arena
     /// slot, so consecutive accesses to one page skip the index probe.
@@ -139,16 +151,45 @@ impl ProtectionEngine {
     }
 
     /// Creates an engine, reporting a bad configuration as an error
-    /// instead of panicking.
+    /// instead of panicking. If the `TOLEO_FAULT_PLAN` environment
+    /// variable is set (see [`FaultPlanConfig::parse`]), the device
+    /// channel is armed with that fault campaign — how the CI
+    /// `fault-smoke` job runs the whole suite under injected link faults.
     ///
     /// # Errors
     ///
     /// [`ToleoError::InvalidConfig`] if `cfg` fails
-    /// [`ToleoConfig::validate`].
+    /// [`ToleoConfig::validate`] or `TOLEO_FAULT_PLAN` is malformed.
     pub fn try_new(cfg: ToleoConfig, key_material: [u8; 48]) -> Result<Self> {
+        let fault_plan = FaultPlanConfig::from_env()?;
+        Self::try_new_with_robustness(cfg, key_material, fault_plan, RetryPolicy::default())
+    }
+
+    /// Creates an engine with an explicit robustness configuration: an
+    /// optional fault-injection campaign for the device link and the
+    /// retry policy that absorbs its transients. The plan's stream is
+    /// salted with `cfg.rng_seed`, so per-shard engines (whose configs
+    /// carry derived seeds) draw independent fault streams from one
+    /// campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// [`ToleoError::InvalidConfig`] if `cfg` or the fault plan is
+    /// invalid.
+    pub fn try_new_with_robustness(
+        cfg: ToleoConfig,
+        key_material: [u8; 48],
+        fault_plan: Option<FaultPlanConfig>,
+        policy: RetryPolicy,
+    ) -> Result<Self> {
         let [data_key, tweak_key, mac_key] = split_key_material(&key_material);
+        let plan = match fault_plan {
+            Some(plan_cfg) => Some(FaultPlan::with_salt(plan_cfg, cfg.rng_seed)?),
+            None => None,
+        };
+        let device = ToleoDevice::new(cfg.clone())?;
         Ok(ProtectionEngine {
-            device: ToleoDevice::new(cfg.clone())?,
+            channel: DeviceChannel::new(device, plan, policy),
             cfg,
             xts: AesXts::new(&data_key, &tweak_key),
             mac: MacKey::new(mac_key),
@@ -196,13 +237,35 @@ impl ProtectionEngine {
     pub fn device_stats(&self) -> DeviceStats {
         match &self.killed {
             Some(snap) => snap.device,
-            None => self.device.stats(),
+            None => self.channel.device().stats(),
         }
+    }
+
+    /// Device-channel (fault plane) counters: faults injected and
+    /// absorbed, retries, backoff budget spent. Frozen after a kill.
+    pub fn channel_stats(&self) -> ChannelStats {
+        match &self.killed {
+            Some(snap) => snap.channel,
+            None => self.channel.stats(),
+        }
+    }
+
+    /// The frozen kill-switch snapshot, if the engine is killed. A
+    /// sharded deployment clones this into
+    /// [`ToleoError::ShardQuarantined`] so the forensic record travels
+    /// with the refusal.
+    pub fn kill_snapshot(&self) -> Option<KillSnapshot> {
+        self.killed.as_deref().copied()
+    }
+
+    /// Whether a fault-injection plan is armed on the device channel.
+    pub fn fault_plan_armed(&self) -> bool {
+        self.channel.fault_plan_armed()
     }
 
     /// The trusted device (for usage/format statistics).
     pub fn device(&self) -> &ToleoDevice {
-        &self.device
+        self.channel.device()
     }
 
     /// Adversary access to untrusted memory. Anything reachable from here
@@ -233,9 +296,23 @@ impl ProtectionEngine {
                 stats: self.stats,
                 stealth_cache: self.stealth_cache.stats(),
                 mac_cache: self.mac_cache.stats(),
-                device: self.device.stats(),
+                device: self.channel.device().stats(),
+                channel: self.channel.stats(),
             }));
         }
+    }
+
+    /// Escalation hook for device-channel failures: a host that cannot
+    /// reach its freshness device within the retry budget can no longer
+    /// verify freshness and must fail closed — engage the kill switch.
+    /// Protocol errors ([`ToleoError::DeviceFull`],
+    /// [`ToleoError::PageOutOfRange`]) are the device *answering*, so
+    /// they pass through without killing.
+    fn note_device_err(&mut self, e: ToleoError) -> ToleoError {
+        if matches!(e, ToleoError::DeviceUnavailable { .. }) {
+            self.kill();
+        }
+        e
     }
 
     fn check_alive(&self, address: u64) -> Result<()> {
@@ -289,7 +366,10 @@ impl ProtectionEngine {
         let page = layout::page_of(addr);
         let line = layout::line_of(addr);
 
-        let resp: UpdateResponse = self.device.update(page, line)?;
+        let resp: UpdateResponse = self
+            .channel
+            .update(page, line)
+            .map_err(|e| self.note_device_err(e))?;
         // Version-cache access for stats; the UPDATE went through to the
         // device regardless (write-through), but a hit means the host knew
         // the current version and did not stall on the CXL round trip.
@@ -405,7 +485,10 @@ impl ProtectionEngine {
         let line = layout::line_of(addr);
         self.stats.reads += 1;
 
-        let (stealth, fmt) = self.device.read_versioned(page, line)?;
+        let (stealth, fmt) = self
+            .channel
+            .read_versioned(page, line)
+            .map_err(|e| self.note_device_err(e))?;
         if !self.stealth_cache.access(page, fmt) {
             self.stats.device_reads += 1;
         }
@@ -440,7 +523,9 @@ impl ProtectionEngine {
     /// Address-range errors only; freeing is always safe.
     pub fn free_page(&mut self, page: u64) -> Result<()> {
         self.check_alive(page * PAGE_BYTES as u64)?;
-        self.device.reset(page)?;
+        self.channel
+            .reset(page)
+            .map_err(|e| self.note_device_err(e))?;
         // Bump the UV only when the page holds untrusted state: a
         // never-written page has no ciphertext to scramble, and
         // materializing a slot for it would waste a whole-page slab.
@@ -526,8 +611,9 @@ impl ProtectionEngine {
             // One device probe for the whole run. On failure, account the
             // engine-level READ the per-op loop would have counted for the
             // (first) failing op before erroring out.
-            if let Err(error) = self.device.read_run(page, &lines, &mut versions) {
+            if let Err(error) = self.channel.read_run(page, &lines, &mut versions) {
                 self.stats.reads += 1;
+                let error = self.note_device_err(error);
                 return Err(BatchError { index: i, error });
             }
             self.stats.reads += (j - i) as u64;
@@ -1109,7 +1195,7 @@ mod tests {
             e.write(0x7000, &[i as u8; 64]).unwrap();
             let page = layout::page_of(0x7000);
             let line = layout::line_of(0x7000);
-            let stealth = e.device.read(page, line).unwrap();
+            let stealth = e.channel.device_mut().read(page, line).unwrap();
             let uv = e.dram.uv(page);
             let fv = FullVersion::compose(uv, stealth, cfg.stealth_bits);
             assert!(seen.insert(fv.raw()), "full version repeated at write {i}");

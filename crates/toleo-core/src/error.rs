@@ -1,6 +1,11 @@
 //! Error types. A failed integrity or freshness check is fatal by design:
 //! the platform "kill switch" (§2.1) destroys the enclave rather than let a
-//! replay be retried.
+//! replay be retried. Transient device-link faults, by contrast, are
+//! absorbed by the [`DeviceChannel`](crate::channel::DeviceChannel); only
+//! when its retry budget is exhausted do they surface here, as
+//! [`ToleoError::DeviceUnavailable`].
+
+use crate::engine::KillSnapshot;
 
 /// Errors raised by the Toleo device and the host protection engine.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -10,6 +15,28 @@ pub enum ToleoError {
     IntegrityViolation {
         /// Physical address of the offending cache block.
         address: u64,
+    },
+    /// The shard owning this address has been quarantined after detecting
+    /// tampering: the shard is frozen (its counters are carried in the
+    /// snapshot) while healthy peer shards keep serving. Fail-closed for
+    /// this address range, contained for everyone else.
+    ShardQuarantined {
+        /// Index of the quarantined shard.
+        shard: usize,
+        /// Physical address of the refused operation.
+        address: u64,
+        /// The shard's observable state, frozen at the instant its kill
+        /// switch engaged.
+        snapshot: Box<KillSnapshot>,
+    },
+    /// The freshness device did not deliver a response within the channel's
+    /// retry budget. A host that cannot verify freshness must fail closed:
+    /// this escalates to the engine (and, sharded, the world) kill.
+    DeviceUnavailable {
+        /// Page of the abandoned operation.
+        page: u64,
+        /// Delivery attempts made before giving up.
+        attempts: u32,
     },
     /// The CXL IDE link detected tampering or replay of version traffic.
     LinkViolation {
@@ -45,6 +72,19 @@ impl std::fmt::Display for ToleoError {
                 write!(
                     f,
                     "integrity/freshness check failed at {address:#x}: kill switch engaged"
+                )
+            }
+            ToleoError::ShardQuarantined { shard, address, .. } => {
+                write!(
+                    f,
+                    "shard {shard} quarantined after tamper detection; {address:#x} refused"
+                )
+            }
+            ToleoError::DeviceUnavailable { page, attempts } => {
+                write!(
+                    f,
+                    "freshness device unreachable for page {page:#x} after {attempts} attempts: \
+                     failing closed"
                 )
             }
             ToleoError::LinkViolation { detail } => {
@@ -126,6 +166,19 @@ mod tests {
         }
         .to_string()
         .contains("invalid ToleoConfig"));
+        assert!(ToleoError::DeviceUnavailable {
+            page: 2,
+            attempts: 8
+        }
+        .to_string()
+        .contains("failing closed"));
+        assert!(ToleoError::ShardQuarantined {
+            shard: 3,
+            address: 0x40,
+            snapshot: Box::new(KillSnapshot::default()),
+        }
+        .to_string()
+        .contains("quarantined"));
     }
 
     #[test]

@@ -21,8 +21,13 @@
 //!   re-encryption on reset, and the kill switch.
 //! * [`sharded`] — the concurrent scale-out layer: page-wise sharding
 //!   across N independent engines behind a thread-safe handle, with
-//!   batched reads/writes fanned out on scoped workers and a global kill
-//!   that halts every shard the moment one detects tampering.
+//!   batched reads/writes fanned out on scoped workers, per-shard
+//!   quarantine on tamper detection (healthy shards keep serving), and
+//!   a world-kill escalation for device-level failures.
+//! * [`channel`] / [`fault`] — the device fault plane: a [`channel`]
+//!   layer that absorbs transient link faults with bounded exponential
+//!   backoff and an idempotency guard, driven by a deterministic seeded
+//!   [`fault`] injection plan (per-op-type rates, burst windows).
 //! * [`cache`] — the L2-TLB stealth extension, the 28 KB overflow buffer,
 //!   and the per-core MAC cache.
 //! * [`layout`] — data / MAC+UV partitioning of conventional memory.
@@ -65,10 +70,12 @@
 pub mod analysis;
 pub mod arena;
 pub mod cache;
+pub mod channel;
 pub mod config;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod fault;
 pub mod layout;
 pub mod pagetable;
 pub mod protected;
@@ -77,9 +84,11 @@ pub mod sharded;
 pub mod trip;
 pub mod version;
 
+pub use channel::{ChannelStats, DeviceChannel, RetryPolicy};
 pub use config::ToleoConfig;
 pub use device::ToleoDevice;
-pub use engine::ProtectionEngine;
+pub use engine::{KillSnapshot, ProtectionEngine};
 pub use error::{Result, ToleoError};
+pub use fault::{FaultPlan, FaultPlanConfig};
 pub use protected::ProtectedMemory;
 pub use sharded::ShardedEngine;

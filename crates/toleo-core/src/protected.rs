@@ -89,6 +89,11 @@ impl From<ToleoError> for MemoryError {
             ToleoError::IntegrityViolation { address } => {
                 MemoryError::IntegrityViolation { address }
             }
+            // A quarantined shard is a detected-tamper refusal: to the
+            // scheme-agnostic harness it is the integrity failure itself.
+            ToleoError::ShardQuarantined { address, .. } => {
+                MemoryError::IntegrityViolation { address }
+            }
             ToleoError::PageOutOfRange { page, .. } => MemoryError::OutOfRange {
                 address: page * crate::config::PAGE_BYTES as u64,
             },

@@ -6,7 +6,7 @@
 //! shards. Each shard owns a complete `ProtectionEngine` — its own
 //! untrusted-memory arena, stealth/MAC caches, device slice and a key
 //! schedule derived per-shard from the root key material — so shards share
-//! **no** mutable state except the global kill flag. That makes the
+//! **no** mutable state except the kill/quarantine flags. That makes the
 //! decomposition embarrassingly parallel: on a host with enough cores,
 //! throughput scales with the shard-worker count until memory bandwidth
 //! saturates.
@@ -17,19 +17,33 @@
 //! per-shard op queues and drain them with [`std::thread::scope`] workers,
 //! one per occupied shard.
 //!
-//! Security composes across shards: the moment any shard's engine detects
-//! tampering or replay, the *whole* sharded engine is killed — the global
-//! flag flips, in-flight batch workers abort, and every peer shard is
-//! force-killed so each is individually inert thereafter.
+//! Failure containment is a two-level ladder:
+//!
+//! * **Quarantine** — a shard whose engine detects tampering or replay is
+//!   frozen *alone*: its engine's kill switch engages (so the shard is
+//!   individually inert, counters frozen in a [`KillSnapshot`]), its bit
+//!   flips in the quarantine bitmap, and subsequent operations routed to
+//!   it refuse with [`ToleoError::ShardQuarantined`] carrying that frozen
+//!   snapshot. Healthy shards keep serving — one hostile tenant cannot
+//!   deny service to every other tenant in the pool. In-flight batch
+//!   workers on healthy shards observe the quarantine within one
+//!   kill-poll interval and simply keep draining their own queues.
+//! * **World-kill** — a *device-level* failure (the freshness device
+//!   unreachable after the [`DeviceChannel`](crate::channel::DeviceChannel)
+//!   retry budget) means freshness can no longer be verified for anyone:
+//!   the global flag flips, in-flight batch workers abort, and every peer
+//!   shard is force-killed so each is individually inert thereafter.
 
 // audit: allow-file(indexing, shard and queue indices come from shard_of_addr and the queue builder, bounded by the shard count)
 
+use crate::channel::{ChannelStats, RetryPolicy};
 use crate::config::{ToleoConfig, CACHE_BLOCK_BYTES, PAGE_BYTES};
 use crate::device::DeviceStats;
-use crate::engine::{Block, EngineStats, ProtectionEngine, UntrustedDram};
+use crate::engine::{Block, EngineStats, KillSnapshot, ProtectionEngine, UntrustedDram};
 use crate::error::{BatchError, Result, ToleoError};
+use crate::fault::FaultPlanConfig;
 use crate::layout;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use toleo_crypto::aes::Aes128;
 
@@ -45,16 +59,99 @@ const _: fn() = || {
 /// any plausible worker fleet while keeping the routing modulus cheap.
 pub const MAX_SHARDS: usize = 4096;
 
-/// Ops a batch worker hands to the engine's batched entry points between
-/// global-kill polls. Large enough that run-grouping and pipelined tweak
-/// precompute inside [`ProtectionEngine::read_batch`] pay off; small
-/// enough that a peer shard's tamper detection still aborts this worker
-/// promptly.
-const KILL_POLL_OPS: usize = 64;
+/// Default ops a batch worker hands to the engine's batched entry points
+/// between kill/quarantine polls. Large enough that run-grouping and
+/// pipelined tweak precompute inside [`ProtectionEngine::read_batch`] pay
+/// off; small enough that a peer shard's failure is still observed
+/// promptly. Tunable per engine via
+/// [`ShardedEngine::set_kill_poll_ops`].
+pub const DEFAULT_KILL_POLL_OPS: usize = 64;
+
+/// Lock-free per-shard quarantine state: one bit per shard, plus a
+/// monotonically increasing epoch that batch workers poll to learn that
+/// *some* peer's quarantine state changed without scanning the bitmap.
+/// Marking is a `fetch_or`, so the shard that detects tampering can flip
+/// its own bit while still holding its engine lock — no lock ordering
+/// hazard with [`ShardedEngine::trip_kill`], which takes every lock.
+#[derive(Debug)]
+struct QuarantineMap {
+    words: Box<[AtomicU64]>,
+    epoch: AtomicU64,
+}
+
+impl QuarantineMap {
+    fn new(shards: usize) -> Self {
+        QuarantineMap {
+            words: (0..shards.div_ceil(64))
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// Flips `shard`'s bit; returns `true` if this call newly set it.
+    fn mark(&self, shard: usize) -> bool {
+        let bit = 1u64 << (shard % 64);
+        let quarantine_word = &self.words[shard / 64];
+        let newly = quarantine_word.fetch_or(bit, Ordering::SeqCst) & bit == 0;
+        if newly {
+            let quarantine_epoch = &self.epoch;
+            quarantine_epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        newly
+    }
+
+    fn is_quarantined(&self, shard: usize) -> bool {
+        let bit = 1u64 << (shard % 64);
+        let quarantine_word = &self.words[shard / 64];
+        quarantine_word.load(Ordering::SeqCst) & bit != 0
+    }
+
+    /// Bumped on every new quarantine; workers poll it between chunks.
+    fn epoch(&self) -> u64 {
+        let quarantine_epoch = &self.epoch;
+        quarantine_epoch.load(Ordering::SeqCst)
+    }
+
+    fn count(&self) -> u64 {
+        self.words
+            .iter()
+            .map(|quarantine_word| u64::from(quarantine_word.load(Ordering::SeqCst).count_ones()))
+            .sum()
+    }
+}
+
+/// Aggregated robustness telemetry for a sharded engine: what the device
+/// fault plane absorbed, what the quarantine layer contained, and how
+/// fast in-flight workers observed it. Feeds the bench `availability`
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RobustnessStats {
+    /// Device-channel counters summed over every shard (faults injected /
+    /// absorbed, retries, virtual backoff nanoseconds, replays).
+    pub channel: ChannelStats,
+    /// Shards currently quarantined.
+    pub quarantined_shards: u64,
+    /// Whether the world-kill (device-level escalation) has engaged.
+    pub world_killed: bool,
+    /// Operations served successfully through this handle (singles plus
+    /// batch ops).
+    pub ops_served: u64,
+    /// Value of [`ops_served`](Self::ops_served) at the most recent
+    /// quarantine — together with the current value, the detection-to-now
+    /// op distance.
+    pub ops_at_last_quarantine: u64,
+    /// Largest number of ops any in-flight batch worker executed between
+    /// the poll that preceded a peer's quarantine and the poll that
+    /// observed it — the realized detection latency, bounded by
+    /// [`kill_poll_ops`](ShardedEngine::kill_poll_ops).
+    pub max_poll_lag_ops: u64,
+}
 
 /// A sharded, thread-safe protection engine: N independent
 /// [`ProtectionEngine`] shards behind one handle, with page-granular
-/// address routing and a global kill switch.
+/// address routing, per-shard quarantine, and a world-kill switch for
+/// device-level failures.
 ///
 /// # Examples
 ///
@@ -75,9 +172,20 @@ const KILL_POLL_OPS: usize = 64;
 #[derive(Debug)]
 pub struct ShardedEngine {
     shards: Box<[Mutex<ProtectionEngine>]>,
-    /// Set the instant any shard detects tamper; checked on every entry
-    /// and between batch ops so workers abort promptly.
+    /// Set only by the world-kill escalation (device unreachable, worker
+    /// panic); checked on every entry and between batch ops so workers
+    /// abort promptly.
     killed: AtomicBool,
+    /// Per-shard quarantine bitmap: tamper on shard *k* freezes only *k*.
+    quarantine: QuarantineMap,
+    /// Ops between kill/quarantine polls in batch workers.
+    kill_poll_ops: usize,
+    /// Successful ops served (telemetry; see [`RobustnessStats`]).
+    ops_served: AtomicU64,
+    /// `ops_served` at the most recent quarantine.
+    ops_at_last_quarantine: AtomicU64,
+    /// Worst observed poll lag (see [`RobustnessStats::max_poll_lag_ops`]).
+    max_poll_lag_ops: AtomicU64,
     cfg: ToleoConfig,
 }
 
@@ -85,14 +193,37 @@ impl ShardedEngine {
     /// Creates an engine with `shards` independent shards. Each shard's
     /// 48-byte key material is derived from `root_key` with AES-128 as a
     /// PRF (so shards never share data/tweak/MAC keys), and each shard's
-    /// device draws from an independently seeded D-RaNGe stream.
+    /// device draws from an independently seeded D-RaNGe stream. Honors
+    /// the `TOLEO_FAULT_PLAN` environment variable (see
+    /// [`FaultPlanConfig::parse`](crate::fault::FaultPlanConfig::parse)).
     ///
     /// # Errors
     ///
     /// [`ToleoError::InvalidConfig`] if `shards` is 0 or exceeds
     /// [`MAX_SHARDS`], or if `cfg` fails
-    /// [`ToleoConfig::validate`](crate::config::ToleoConfig::validate).
+    /// [`ToleoConfig::validate`](crate::config::ToleoConfig::validate),
+    /// or `TOLEO_FAULT_PLAN` is malformed.
     pub fn new(cfg: ToleoConfig, shards: usize, root_key: [u8; 48]) -> Result<Self> {
+        let fault_plan = FaultPlanConfig::from_env()?;
+        Self::new_with_robustness(cfg, shards, root_key, fault_plan, RetryPolicy::default())
+    }
+
+    /// [`new`](Self::new) with an explicit robustness configuration: an
+    /// optional device fault-injection campaign and the retry policy that
+    /// absorbs its transients. Each shard's plan is salted with that
+    /// shard's derived RNG seed, so shards draw independent fault streams
+    /// from one campaign spec.
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new); additionally if `fault_plan` is invalid.
+    pub fn new_with_robustness(
+        cfg: ToleoConfig,
+        shards: usize,
+        root_key: [u8; 48],
+        fault_plan: Option<FaultPlanConfig>,
+        policy: RetryPolicy,
+    ) -> Result<Self> {
         if shards == 0 || shards > MAX_SHARDS {
             return Err(ToleoError::InvalidConfig {
                 detail: format!("shard count {shards} outside 1..={MAX_SHARDS}"),
@@ -102,13 +233,23 @@ impl ShardedEngine {
             .map(|s| {
                 let mut shard_cfg = cfg.clone();
                 shard_cfg.rng_seed = derive_shard_seed(cfg.rng_seed, s as u64);
-                ProtectionEngine::try_new(shard_cfg, derive_shard_key(&root_key, s as u64))
-                    .map(Mutex::new)
+                ProtectionEngine::try_new_with_robustness(
+                    shard_cfg,
+                    derive_shard_key(&root_key, s as u64),
+                    fault_plan,
+                    policy,
+                )
+                .map(Mutex::new)
             })
             .collect::<Result<Vec<_>>>()?;
         Ok(ShardedEngine {
             shards: engines.into_boxed_slice(),
             killed: AtomicBool::new(false),
+            quarantine: QuarantineMap::new(shards),
+            kill_poll_ops: DEFAULT_KILL_POLL_OPS,
+            ops_served: AtomicU64::new(0),
+            ops_at_last_quarantine: AtomicU64::new(0),
+            max_poll_lag_ops: AtomicU64::new(0),
             cfg,
         })
     }
@@ -124,6 +265,20 @@ impl ShardedEngine {
         self.shards.len()
     }
 
+    /// Ops a batch worker executes between kill/quarantine polls.
+    pub fn kill_poll_ops(&self) -> usize {
+        self.kill_poll_ops
+    }
+
+    /// Sets the batch-worker poll interval (clamped to at least 1).
+    /// Smaller values bound the latency until an in-flight batch observes
+    /// a peer shard's quarantine or a world-kill, at the cost of more
+    /// frequent polls and smaller run-grouped chunks; `&mut self` proves
+    /// no batch is in flight while the knob moves.
+    pub fn set_kill_poll_ops(&mut self, ops: usize) {
+        self.kill_poll_ops = ops.max(1);
+    }
+
     /// The shard that owns `addr` (page-wise interleaving: consecutive
     /// pages land on consecutive shards, so page-local version state —
     /// Trip entries, UVs, reset walks — never crosses a shard boundary).
@@ -136,9 +291,22 @@ impl ShardedEngine {
         (page % self.shards.len() as u64) as usize
     }
 
-    /// Whether the global kill switch has engaged.
+    /// Whether the world-kill switch has engaged (device-level failure or
+    /// worker panic). Per-shard tamper detections quarantine instead; see
+    /// [`is_shard_quarantined`](Self::is_shard_quarantined).
     pub fn is_killed(&self) -> bool {
         self.killed.load(Ordering::SeqCst)
+    }
+
+    /// Whether `shard` is quarantined (out-of-range shard indices are
+    /// simply not quarantined).
+    pub fn is_shard_quarantined(&self, shard: usize) -> bool {
+        shard < self.shards.len() && self.quarantine.is_quarantined(shard)
+    }
+
+    /// Number of quarantined shards.
+    pub fn quarantined_shard_count(&self) -> u64 {
+        self.quarantine.count()
     }
 
     fn lock_shard(&self, index: usize) -> MutexGuard<'_, ProtectionEngine> {
@@ -157,7 +325,7 @@ impl ShardedEngine {
         Ok(())
     }
 
-    /// Engages the global kill: flips the flag and force-kills every shard
+    /// Engages the world-kill: flips the flag and force-kills every shard
     /// so each is individually inert. Must not be called while holding a
     /// shard lock (it acquires all of them in turn).
     fn trip_kill(&self) {
@@ -167,8 +335,42 @@ impl ShardedEngine {
         }
     }
 
-    /// Runs `f` on the shard owning `address`, then propagates a shard
-    /// kill to the whole engine.
+    /// Records a fresh quarantine of `shard`. Lock-free, so the detecting
+    /// thread may call it while still holding the shard's engine lock —
+    /// the bit is visible to peers before the lock is released.
+    fn note_quarantine(&self, shard: usize) {
+        if self.quarantine.mark(shard) {
+            let served = self.ops_served.load(Ordering::Relaxed);
+            self.ops_at_last_quarantine.store(served, Ordering::SeqCst);
+        }
+    }
+
+    /// The refusal a quarantined shard serves: [`ToleoError::ShardQuarantined`]
+    /// carrying the engine's frozen [`KillSnapshot`]. `engine` must be the
+    /// already-locked shard engine.
+    fn quarantine_refusal(shard: usize, address: u64, engine: &ProtectionEngine) -> ToleoError {
+        ToleoError::ShardQuarantined {
+            shard,
+            address,
+            snapshot: Box::new(engine.kill_snapshot().unwrap_or_default()),
+        }
+    }
+
+    /// Classifies an engine-kill observed after an operation: a channel
+    /// retry-budget exhaustion escalates to the world-kill; anything else
+    /// (tamper, replay) quarantines only this shard. Returns `true` when
+    /// the caller must finish the world-kill (after releasing the lock).
+    fn escalate_after_kill(&self, shard: usize, error: &ToleoError) -> bool {
+        if matches!(error, ToleoError::DeviceUnavailable { .. }) {
+            true
+        } else {
+            self.note_quarantine(shard);
+            false
+        }
+    }
+
+    /// Runs `f` on the shard owning `address`, then applies the
+    /// escalation ladder if the shard's engine died doing it.
     fn run_on_shard<R>(
         &self,
         address: u64,
@@ -176,13 +378,25 @@ impl ShardedEngine {
     ) -> Result<R> {
         self.check_alive(address)?;
         let shard = self.shard_of_addr(address);
-        let (result, shard_killed) = {
+        let mut escalate_world = false;
+        let result = {
             let mut engine = self.lock_shard(shard);
+            if self.quarantine.is_quarantined(shard) {
+                return Err(Self::quarantine_refusal(shard, address, &engine));
+            }
             let result = f(&mut engine);
-            (result, engine.is_killed())
+            if engine.is_killed() && !self.is_killed() {
+                if let Err(e) = &result {
+                    escalate_world = self.escalate_after_kill(shard, e);
+                }
+            }
+            result
         };
-        if shard_killed {
+        if escalate_world {
             self.trip_kill();
+        }
+        if result.is_ok() {
+            self.ops_served.fetch_add(1, Ordering::Relaxed);
         }
         result
     }
@@ -191,8 +405,10 @@ impl ShardedEngine {
     ///
     /// # Errors
     ///
-    /// As [`ProtectionEngine::write`]; additionally fails with
-    /// [`ToleoError::IntegrityViolation`] once any shard has been killed.
+    /// As [`ProtectionEngine::write`]; additionally
+    /// [`ToleoError::ShardQuarantined`] once the owning shard is
+    /// quarantined, and [`ToleoError::IntegrityViolation`] once the
+    /// world-kill has engaged.
     pub fn write(&self, addr: u64, plaintext: &Block) -> Result<()> {
         self.run_on_shard(addr, |engine| engine.write(addr, plaintext))
     }
@@ -202,7 +418,8 @@ impl ShardedEngine {
     /// # Errors
     ///
     /// As [`ProtectionEngine::read`]; a tamper detection on this shard
-    /// kills the whole sharded engine.
+    /// quarantines it (healthy shards keep serving), while a device-level
+    /// failure escalates to the world-kill.
     pub fn read(&self, addr: u64) -> Result<Block> {
         self.run_on_shard(addr, |engine| engine.read(addr))
     }
@@ -218,30 +435,33 @@ impl ShardedEngine {
 
     /// Writes a batch of blocks, fanned out across shards with one scoped
     /// worker thread per occupied shard. Each worker drains its queue
-    /// through [`ProtectionEngine::write_batch`] in `KILL_POLL_OPS`-op
-    /// chunks (checking the global kill flag between chunks), replacing
-    /// the old one-call-per-op loop. Within a shard, ops execute in batch
-    /// order (so a later write to the same address wins, exactly as in a
-    /// sequential replay); across shards there is no ordering, which is
-    /// safe because shards share no state.
+    /// through [`ProtectionEngine::write_batch`] in
+    /// [`kill_poll_ops`](Self::kill_poll_ops)-op chunks, polling the
+    /// world-kill flag and the quarantine epoch between chunks. Within a
+    /// shard, ops execute in batch order (so a later write to the same
+    /// address wins, exactly as in a sequential replay); across shards
+    /// there is no ordering, which is safe because shards share no state.
     ///
     /// # Errors
     ///
-    /// The failing op's error, smallest batch index first, except that an
-    /// [`ToleoError::IntegrityViolation`] anywhere in the batch always
+    /// The failing op's error, smallest batch index first, except that a
+    /// security-relevant failure ([`ToleoError::IntegrityViolation`],
+    /// [`ToleoError::ShardQuarantined`],
+    /// [`ToleoError::DeviceUnavailable`]) anywhere in the batch always
     /// wins over benign failures (a security event must not be masked by
-    /// a retryable error). If any shard detected tampering, the whole
-    /// engine is killed and remaining workers abort early.
+    /// a retryable error). A tamper detection quarantines only its shard:
+    /// workers on healthy shards drain their queues to completion around
+    /// the quarantined member.
     pub fn write_batch(&self, ops: &[(u64, Block)]) -> Result<()> {
         self.write_batch_indexed(ops).map_err(|e| e.error)
     }
 
     /// [`write_batch`](Self::write_batch) variant that also reports the
-    /// smallest failing batch index (integrity violations still take
-    /// precedence over earlier benign failures). Because shard workers
-    /// run concurrently, ops *after* the index on **other** shards may
-    /// have completed; on the failing op's own shard, ops before it
-    /// completed and ops after it were not attempted.
+    /// smallest failing batch index (security-relevant failures still
+    /// take precedence over earlier benign failures). Because shard
+    /// workers run concurrently, ops *after* the index on **other**
+    /// shards may have completed; on the failing op's own shard, ops
+    /// before it completed and ops after it were not attempted.
     ///
     /// # Errors
     ///
@@ -273,8 +493,8 @@ impl ShardedEngine {
     /// # Errors
     ///
     /// As [`write_batch`](Self::write_batch): smallest failing batch
-    /// index, with integrity violations preferred over benign errors; a
-    /// tamper detection on any shard kills the whole engine.
+    /// index, with security-relevant errors preferred over benign ones; a
+    /// tamper detection quarantines only the offending shard.
     pub fn read_batch(&self, addrs: &[u64]) -> Result<Vec<Block>> {
         self.read_batch_indexed(addrs).map_err(|e| e.error)
     }
@@ -330,6 +550,7 @@ impl ShardedEngine {
         for i in 0..len {
             queues[self.shard_of_addr(addr_of(i))].push(i);
         }
+        let poll_ops = self.kill_poll_ops;
 
         type ShardOutcome<T> = std::result::Result<Vec<(usize, T)>, (usize, ToleoError)>;
         let outcomes: Vec<ShardOutcome<T>> = std::thread::scope(|s| {
@@ -343,10 +564,26 @@ impl ShardedEngine {
                     let first = queue.first().copied().unwrap_or(0);
                     let handle = s.spawn(move || -> ShardOutcome<T> {
                         let mut engine = self.lock_shard(shard);
+                        if self.quarantine.is_quarantined(shard) {
+                            // This whole queue is addressed to a frozen
+                            // shard: refuse it with the forensic snapshot.
+                            return Err((
+                                first,
+                                Self::quarantine_refusal(shard, addr_of(first), &engine),
+                            ));
+                        }
                         let mut done = Vec::with_capacity(queue.len());
-                        for chunk in queue.chunks(KILL_POLL_OPS) {
-                            // A peer shard may have tripped the kill while
-                            // this queue was draining: abort promptly.
+                        // Quarantine-epoch polling: healthy workers do NOT
+                        // abort when a peer is quarantined (that is the
+                        // whole point of containment) but they must
+                        // *observe* it within one poll interval — the lag
+                        // telemetry proves the bound.
+                        let mut epoch_seen = self.quarantine.epoch();
+                        let mut ops_since_poll = 0usize;
+                        for chunk in queue.chunks(poll_ops) {
+                            // A device-level failure on any shard trips the
+                            // world-kill while this queue was draining:
+                            // abort promptly.
                             if self.killed.load(Ordering::SeqCst) {
                                 return Err((
                                     chunk[0],
@@ -355,12 +592,24 @@ impl ShardedEngine {
                                     },
                                 ));
                             }
+                            let epoch_now = self.quarantine.epoch();
+                            if epoch_now != epoch_seen {
+                                epoch_seen = epoch_now;
+                                self.max_poll_lag_ops
+                                    .fetch_max(ops_since_poll as u64, Ordering::SeqCst);
+                            }
                             match exec_chunk(&mut engine, chunk) {
                                 Ok(values) => {
+                                    self.ops_served
+                                        .fetch_add(chunk.len() as u64, Ordering::Relaxed);
                                     done.extend(chunk.iter().copied().zip(values));
+                                    ops_since_poll = chunk.len();
                                 }
                                 Err((local, e)) => {
-                                    if engine.is_killed() {
+                                    if engine.is_killed()
+                                        && !self.is_killed()
+                                        && self.escalate_after_kill(shard, &e)
+                                    {
                                         // Only the flag here: trip_kill()
                                         // locks every shard and we hold
                                         // this one. The coordinator
@@ -370,6 +619,12 @@ impl ShardedEngine {
                                     return Err((chunk[local], e));
                                 }
                             }
+                        }
+                        // Tail poll: a quarantine landing during the final
+                        // chunk still gets its observation lag recorded.
+                        if self.quarantine.epoch() != epoch_seen {
+                            self.max_poll_lag_ops
+                                .fetch_max(ops_since_poll as u64, Ordering::SeqCst);
                         }
                         Ok(done)
                     });
@@ -382,7 +637,7 @@ impl ShardedEngine {
                     Ok(outcome) => outcome,
                     // A panicked worker is an engine bug, not tampering,
                     // but the response is the same fail-closed one: kill
-                    // the engine and fail the shard's whole queue rather
+                    // the world and fail the shard's whole queue rather
                     // than silently dropping its ops.
                     Err(_) => {
                         self.killed.store(true, Ordering::SeqCst);
@@ -399,10 +654,10 @@ impl ShardedEngine {
 
         let mut out = vec![fill; len];
         // Smallest-index failure, tracked separately per severity: a
-        // tamper detection must never be masked by a benign, retryable
-        // failure (e.g. `DeviceFull`) that happens to sit earlier in the
-        // batch — the caller has to learn the engine is dead.
-        let mut first_integrity: Option<(usize, ToleoError)> = None;
+        // security-relevant failure (tamper, quarantine, unreachable
+        // device) must never be masked by a benign, retryable failure
+        // (e.g. `DeviceFull`) that happens to sit earlier in the batch.
+        let mut first_severe: Option<(usize, ToleoError)> = None;
         let mut first_other: Option<(usize, ToleoError)> = None;
         for outcome in outcomes {
             match outcome {
@@ -412,8 +667,8 @@ impl ShardedEngine {
                     }
                 }
                 Err((i, e)) => {
-                    let slot = if matches!(e, ToleoError::IntegrityViolation { .. }) {
-                        &mut first_integrity
+                    let slot = if error_is_severe(&e) {
+                        &mut first_severe
                     } else {
                         &mut first_other
                     };
@@ -423,18 +678,22 @@ impl ShardedEngine {
                 }
             }
         }
-        // No locks held now: finish propagating a worker-detected kill to
-        // every shard so each is individually inert.
+        // No locks held now: finish propagating a worker-detected
+        // world-kill to every shard so each is individually inert.
         if self.is_killed() {
             self.trip_kill();
         }
-        match first_integrity.or(first_other) {
+        match first_severe.or(first_other) {
             Some((index, error)) => Err(BatchError { index, error }),
             None => Ok(out),
         }
     }
 
-    /// Aggregated engine counters across all shards.
+    /// Aggregated engine counters across all shards. Quarantined (and
+    /// world-killed) shards contribute their frozen [`KillSnapshot`]
+    /// counters — each shard's engine serves either its live stats or its
+    /// snapshot, never both, so a partial quarantine merges live and
+    /// frozen shards without double-counting.
     pub fn stats(&self) -> EngineStats {
         let mut total = EngineStats::default();
         for index in 0..self.shards.len() {
@@ -444,7 +703,8 @@ impl ShardedEngine {
     }
 
     /// Per-shard engine counters, in shard order (load-balance telemetry
-    /// for the throughput harness).
+    /// for the throughput harness). Quarantined shards report their
+    /// frozen snapshot.
     pub fn per_shard_stats(&self) -> Vec<EngineStats> {
         (0..self.shards.len())
             .map(|index| self.lock_shard(index).stats())
@@ -478,6 +738,35 @@ impl ShardedEngine {
         total
     }
 
+    /// Aggregated device-channel counters across all shards (frozen
+    /// values for quarantined shards).
+    pub fn channel_stats(&self) -> ChannelStats {
+        let mut total = ChannelStats::default();
+        for index in 0..self.shards.len() {
+            total.merge(&self.lock_shard(index).channel_stats());
+        }
+        total
+    }
+
+    /// Aggregated robustness telemetry: channel counters plus quarantine
+    /// and poll-lag state. See [`RobustnessStats`].
+    pub fn robustness_stats(&self) -> RobustnessStats {
+        RobustnessStats {
+            channel: self.channel_stats(),
+            quarantined_shards: self.quarantine.count(),
+            world_killed: self.is_killed(),
+            ops_served: self.ops_served.load(Ordering::Relaxed),
+            ops_at_last_quarantine: self.ops_at_last_quarantine.load(Ordering::SeqCst),
+            max_poll_lag_ops: self.max_poll_lag_ops.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The frozen [`KillSnapshot`] of a quarantined (or world-killed)
+    /// shard, `None` while the shard is healthy.
+    pub fn shard_kill_snapshot(&self, shard: usize) -> Option<KillSnapshot> {
+        self.lock_shard(shard).kill_snapshot()
+    }
+
     /// Adversary access to the untrusted memory of the shard owning
     /// `addr`. Usable concurrently with victim traffic on other shards —
     /// exactly the attack surface the concurrency security tests drive.
@@ -494,6 +783,18 @@ impl ShardedEngine {
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Whether `e` is security-relevant (must never be masked by a benign
+/// failure earlier in a batch): tampering, a quarantined shard, or an
+/// unreachable freshness device.
+fn error_is_severe(e: &ToleoError) -> bool {
+    matches!(
+        e,
+        ToleoError::IntegrityViolation { .. }
+            | ToleoError::ShardQuarantined { .. }
+            | ToleoError::DeviceUnavailable { .. }
+    )
 }
 
 /// Derives a shard's 48-byte key material from the root key: each 16-byte
@@ -558,6 +859,7 @@ mod tests {
         }
         assert_eq!(e.stats().writes, 16);
         assert_eq!(e.stats().reads, 16);
+        assert_eq!(e.robustness_stats().ops_served, 32);
     }
 
     #[test]
@@ -604,30 +906,51 @@ mod tests {
     }
 
     #[test]
-    fn tamper_on_one_shard_kills_every_shard() {
+    fn tamper_on_one_shard_quarantines_only_that_shard() {
         let mut e = sharded(4);
         for page in 0..8u64 {
             e.write(page * 4096, &[1u8; 64]).unwrap();
         }
         // Corrupt a block owned by shard 2 (page 2).
         e.with_adversary(2 * 4096, |dram| dram.corrupt_data(2 * 4096, 13, 0xa5));
-        assert!(e.read(2 * 4096).is_err());
-        assert!(e.is_killed(), "detection must engage the global kill");
-        // Every shard — including untampered ones — now refuses service.
-        for page in 0..8u64 {
-            assert!(e.read(page * 4096).is_err(), "page {page}");
-            assert!(e.write(page * 4096, &[0u8; 64]).is_err());
-            assert!(e.free_page(page).is_err());
+        assert!(matches!(
+            e.read(2 * 4096),
+            Err(ToleoError::IntegrityViolation { .. })
+        ));
+        // Containment: only shard 2 is frozen; the world lives on.
+        assert!(!e.is_killed(), "tamper must quarantine, not world-kill");
+        assert!(e.is_shard_quarantined(2));
+        assert_eq!(e.quarantined_shard_count(), 1);
+        // The quarantined shard refuses with the frozen forensic snapshot.
+        match e.read(2 * 4096) {
+            Err(ToleoError::ShardQuarantined {
+                shard: 2,
+                address,
+                snapshot,
+            }) => {
+                assert_eq!(address, 2 * 4096);
+                // Shard 2 owned pages 2 and 6 of the 8 written, plus the
+                // detecting read.
+                assert_eq!(snapshot.stats.writes, 2);
+                assert_eq!(snapshot.stats.reads, 1);
+            }
+            other => panic!("expected ShardQuarantined, got {other:?}"),
         }
-        assert!(e.read_batch(&[0, 4096]).is_err());
-        assert!(e.write_batch(&[(0, [0u8; 64])]).is_err());
+        assert!(e.write(6 * 4096, &[0u8; 64]).is_err(), "page 6 is shard 2");
+        // Every healthy shard keeps serving reads, writes and frees.
+        for page in [0u64, 1, 3, 4, 5, 7] {
+            assert_eq!(e.read(page * 4096).unwrap(), [1u8; 64], "page {page}");
+            e.write(page * 4096, &[2u8; 64]).unwrap();
+        }
+        e.free_page(3).unwrap();
+        // Only shard 2's engine is dead.
         for shard in 0..4 {
-            assert!(e.shard_engine_mut(shard).is_killed(), "shard {shard}");
+            assert_eq!(e.shard_engine_mut(shard).is_killed(), shard == 2);
         }
     }
 
     #[test]
-    fn batch_containing_tampered_block_fails_and_kills() {
+    fn batch_containing_tampered_block_quarantines_owner_only() {
         let e = sharded(4);
         let writes: Vec<(u64, Block)> = (0..16u64).map(|i| (i * 4096, [i as u8; 64])).collect();
         e.write_batch(&writes).unwrap();
@@ -637,14 +960,29 @@ mod tests {
             e.read_batch(&addrs),
             Err(ToleoError::IntegrityViolation { .. })
         ));
-        assert!(e.is_killed());
+        assert!(!e.is_killed());
+        assert!(e.is_shard_quarantined(1), "page 5 belongs to shard 1");
+        assert_eq!(e.quarantined_shard_count(), 1);
+        // A batch over the healthy shards' pages drains around the
+        // quarantined member.
+        let healthy: Vec<u64> = (0..16u64)
+            .filter(|i| i % 4 != 1)
+            .map(|i| i * 4096)
+            .collect();
+        let blocks = e.read_batch(&healthy).unwrap();
+        assert_eq!(blocks.len(), 12);
+        // A batch touching the quarantined shard refuses with the snapshot.
+        assert!(matches!(
+            e.read_batch(&[0, 4096]),
+            Err(ToleoError::ShardQuarantined { shard: 1, .. })
+        ));
     }
 
     #[test]
     fn batch_reports_tamper_over_earlier_benign_error() {
         // A batch whose lowest-index failure is benign (out-of-range) but
         // which also trips a tamper on another shard must surface the
-        // integrity violation — the caller has to learn the engine died.
+        // integrity violation — the caller has to learn the shard died.
         let e = sharded(2);
         e.write(4096, &[7u8; 64]).unwrap(); // page 1 -> shard 1
         e.with_adversary(4096, |dram| dram.corrupt_data(4096, 3, 0x40));
@@ -652,7 +990,8 @@ mod tests {
         let err = e.read_batch_indexed(&[out_of_range, 4096]).unwrap_err();
         assert!(matches!(err.error, ToleoError::IntegrityViolation { .. }));
         assert_eq!(err.index, 1, "the violation's own index, not 0");
-        assert!(e.is_killed());
+        assert!(!e.is_killed());
+        assert!(e.is_shard_quarantined(1));
     }
 
     #[test]
@@ -669,9 +1008,14 @@ mod tests {
             err.error,
             ToleoError::IntegrityViolation { address } if address == 7 * 4096
         ));
-        // Dead engine: batches fail at index 0 before any work.
+        // Re-running the batch: shard 3's queue (indices 3, 7, 11) refuses
+        // at its first op with the quarantine error; other shards served.
         let err = e.read_batch_indexed(&addrs).unwrap_err();
-        assert_eq!(err.index, 0);
+        assert_eq!(err.index, 3);
+        assert!(matches!(
+            err.error,
+            ToleoError::ShardQuarantined { shard: 3, .. }
+        ));
     }
 
     #[test]
@@ -687,8 +1031,172 @@ mod tests {
             Err(ToleoError::DeviceFull { .. })
         ));
         assert!(!e.is_killed(), "resource exhaustion is not tampering");
+        assert_eq!(e.quarantined_shard_count(), 0);
         // The engine still serves.
         assert_eq!(e.read(0x40).unwrap(), [1u8; 64]);
+    }
+
+    #[test]
+    fn retry_exhaustion_escalates_to_world_kill() {
+        // Every UPDATE times out: the channel burns its whole budget, the
+        // engine cannot verify freshness, and — unlike a tamper — this
+        // escalates past quarantine to the world-kill.
+        let mut plan = FaultPlanConfig::uniform(9, 0.0);
+        plan.update.timeout = 1.0;
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            ..RetryPolicy::default()
+        };
+        let e = ShardedEngine::new_with_robustness(
+            ToleoConfig::small(),
+            4,
+            [1u8; 48],
+            Some(plan),
+            policy,
+        )
+        .unwrap();
+        match e.write(0x40, &[1u8; 64]) {
+            Err(ToleoError::DeviceUnavailable { attempts: 3, .. }) => {}
+            other => panic!("expected DeviceUnavailable, got {other:?}"),
+        }
+        assert!(e.is_killed(), "unreachable device must world-kill");
+        assert_eq!(e.quarantined_shard_count(), 0, "this is not a quarantine");
+        let rs = e.robustness_stats();
+        assert!(rs.world_killed);
+        assert_eq!(rs.channel.retry_exhaustions, 1);
+        // Every shard — not just the one that saw the fault — is inert.
+        for page in 0..8u64 {
+            assert!(e.read(page * 4096).is_err(), "page {page}");
+        }
+    }
+
+    #[test]
+    fn kill_poll_ops_knob_clamps_and_batches_still_work() {
+        let mut e = sharded(2);
+        assert_eq!(e.kill_poll_ops(), DEFAULT_KILL_POLL_OPS);
+        e.set_kill_poll_ops(0);
+        assert_eq!(e.kill_poll_ops(), 1, "clamped to at least one op");
+        e.set_kill_poll_ops(16);
+        assert_eq!(e.kill_poll_ops(), 16);
+        let writes: Vec<(u64, Block)> = (0..100u64).map(|i| (i * 4096, [i as u8; 64])).collect();
+        e.write_batch(&writes).unwrap();
+        let addrs: Vec<u64> = writes.iter().map(|(a, _)| *a).collect();
+        assert_eq!(e.read_batch(&addrs).unwrap().len(), 100);
+    }
+
+    /// Satellite regression: an in-flight batch on a healthy shard must
+    /// observe a peer's quarantine within one poll interval — the
+    /// recorded poll lag is the realized detection latency and is bounded
+    /// by the knob.
+    #[test]
+    fn healthy_shard_observes_peer_quarantine_within_one_poll_interval() {
+        let mut e = sharded(2);
+        e.set_kill_poll_ops(16);
+        // Shard 1 (odd pages) gets a long queue of real, crypto-heavy
+        // reads so the batch is still draining when the tamper lands.
+        let mut victim_writes: Vec<(u64, Block)> = Vec::new();
+        for page in 0..64u64 {
+            for line in 0..8u64 {
+                victim_writes.push(((2 * page + 1) * 4096 + line * 64, [7u8; 64]));
+            }
+        }
+        e.write_batch(&victim_writes).unwrap();
+        e.write(0, &[1u8; 64]).unwrap(); // page 0 -> shard 0
+        e.with_adversary(0, |dram| dram.corrupt_data(0, 0, 0xff));
+        let addrs: Vec<u64> = (0..100_000usize)
+            .map(|i| victim_writes[i % victim_writes.len()].0)
+            .collect();
+        let batch_result = std::thread::scope(|s| {
+            let handle = s.spawn(|| e.read_batch(&addrs));
+            // Let the healthy worker get well into its queue, then trip
+            // the quarantine on shard 0 from this thread.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            assert!(e.read(0).is_err());
+            handle.join().expect("batch worker must not panic")
+        });
+        let blocks = batch_result.expect("healthy shard's batch must complete");
+        assert_eq!(blocks.len(), addrs.len());
+        assert!(!e.is_killed());
+        assert!(e.is_shard_quarantined(0));
+        let rs = e.robustness_stats();
+        assert!(
+            rs.max_poll_lag_ops <= 16,
+            "quarantine observed after {} ops, poll interval is 16",
+            rs.max_poll_lag_ops
+        );
+        assert!(
+            rs.max_poll_lag_ops > 0,
+            "the in-flight batch must have observed the quarantine mid-drain"
+        );
+    }
+
+    /// Satellite regression: merged stats during a partial quarantine
+    /// combine the live shards' current counters with the quarantined
+    /// shard's frozen snapshot, without double-counting.
+    #[test]
+    fn partial_quarantine_stats_merge_frozen_and_live_shards() {
+        let e = sharded(4);
+        for page in 0..4u64 {
+            e.write(page * 4096, &[1u8; 64]).unwrap();
+        }
+        // Quarantine shard 1 (page 1).
+        e.with_adversary(4096, |dram| dram.corrupt_data(4096, 2, 0x08));
+        assert!(e.read(4096).is_err());
+        assert!(e.is_shard_quarantined(1));
+        let frozen = e.per_shard_stats()[1];
+        assert_eq!(frozen.writes, 1);
+        assert_eq!(frozen.reads, 1, "the detecting read is in the snapshot");
+        let before = e.stats();
+        // Drive traffic through the three live shards only.
+        let mut healthy_ops = 0u64;
+        for round in 0..10u64 {
+            for page in [0u64, 2, 3] {
+                e.write(page * 4096, &[round as u8; 64]).unwrap();
+                assert_eq!(e.read(page * 4096).unwrap(), [round as u8; 64]);
+                healthy_ops += 2;
+            }
+        }
+        let after = e.stats();
+        let per_shard = e.per_shard_stats();
+        // The quarantined shard stayed frozen...
+        assert_eq!(per_shard[1], frozen);
+        // ...the live shards advanced by exactly the healthy traffic...
+        assert_eq!(after.writes, before.writes + healthy_ops / 2);
+        assert_eq!(after.reads, before.reads + healthy_ops / 2);
+        // ...and the aggregate is exactly the per-shard sum (no double
+        // counting of frozen vs live counters).
+        let mut summed = EngineStats::default();
+        for s in &per_shard {
+            summed.merge(s);
+        }
+        assert_eq!(after, summed);
+    }
+
+    #[test]
+    fn robustness_stats_aggregate_channel_counters_across_shards() {
+        let plan = FaultPlanConfig::uniform(3, 0.2);
+        let e = ShardedEngine::new_with_robustness(
+            ToleoConfig::small(),
+            2,
+            [2u8; 48],
+            Some(plan),
+            RetryPolicy::default(),
+        )
+        .unwrap();
+        for page in 0..50u64 {
+            e.write(page * 4096, &[page as u8; 64]).unwrap();
+            assert_eq!(e.read(page * 4096).unwrap(), [page as u8; 64]);
+        }
+        let rs = e.robustness_stats();
+        assert_eq!(rs.ops_served, 100);
+        assert_eq!(rs.channel.ops, 100, "every device op crossed the channel");
+        assert!(rs.channel.faults_injected > 0, "20% rate must inject");
+        assert_eq!(rs.channel.faults_absorbed, rs.channel.faults_injected);
+        assert!(rs.channel.retries > 0);
+        assert!(rs.channel.backoff_nanos > 0);
+        assert_eq!(rs.channel.retry_exhaustions, 0);
+        assert_eq!(rs.quarantined_shards, 0);
+        assert!(!rs.world_killed);
     }
 
     #[test]
@@ -770,5 +1278,6 @@ mod tests {
         });
         assert_eq!(e.stats().writes, 4 * LINES_PER_PAGE as u64);
         assert!(!e.is_killed());
+        assert_eq!(e.quarantined_shard_count(), 0);
     }
 }

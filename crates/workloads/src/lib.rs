@@ -22,11 +22,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod campaign;
 pub mod concurrent;
 pub mod gen;
 pub mod pattern;
 pub mod trace;
 
+pub use campaign::{tamper_schedule, TamperEvent, FAULT_RATE_SWEEP};
 pub use concurrent::{multi_tenant, partition_by_page, shard_ops};
 pub use gen::{generate, Benchmark, GenConfig};
 pub use pattern::{engine_pattern, EnginePattern};

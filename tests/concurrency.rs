@@ -1,9 +1,11 @@
-//! Concurrency tests for the sharded protection engine: the global kill
-//! contract under concurrent victim traffic, and observation-equivalence
-//! of the sharded batch path against a single sequential engine.
+//! Concurrency tests for the sharded protection engine: the per-shard
+//! quarantine contract under concurrent victim traffic (tamper freezes
+//! only the offending shard; healthy shards keep serving), and
+//! observation-equivalence of the sharded batch path against a single
+//! sequential engine.
 
 use proptest::prelude::*;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use toleo_core::config::{ToleoConfig, PAGE_BYTES};
 use toleo_core::engine::ProtectionEngine;
 use toleo_core::error::ToleoError;
@@ -13,11 +15,11 @@ use toleo_workloads::pattern::{engine_pattern, EnginePattern};
 use toleo_workloads::Op;
 
 /// Tamper with one shard while worker threads serve traffic on the other
-/// shards: the victim shard's detection must kill the whole engine, and
-/// every worker must observe the kill (no thread keeps being served by an
-/// untampered shard).
+/// shards: the victim shard's detection must quarantine *only* that
+/// shard. Healthy threads are never denied a single operation, while the
+/// quarantined shard refuses everything with the frozen snapshot.
 #[test]
-fn tamper_on_one_shard_kills_engine_under_concurrent_traffic() {
+fn tamper_on_one_shard_quarantines_it_while_healthy_threads_keep_serving() {
     const SHARDS: usize = 4;
     let engine = ShardedEngine::new(ToleoConfig::small(), SHARDS, [0x21u8; 48]).unwrap();
 
@@ -30,84 +32,122 @@ fn tamper_on_one_shard_kills_engine_under_concurrent_traffic() {
     }
 
     let served = AtomicU64::new(0);
-    let denied = AtomicU64::new(0);
+    let stop = AtomicBool::new(false);
     std::thread::scope(|s| {
-        // Three traffic threads hammer shards 1..3 (pages 1, 2, 3 mod 4).
+        // Three traffic threads hammer shards 1..3 (pages 1, 2, 3 mod 4);
+        // containment means none of them may ever see an error, before,
+        // during or after the tamper on shard 0.
         for t in 1..SHARDS as u64 {
             let engine = &engine;
             let served = &served;
-            let denied = &denied;
+            let stop = &stop;
             s.spawn(move || {
                 let addr = t * PAGE_BYTES as u64;
-                loop {
-                    match engine.read(addr) {
-                        Ok(_) => {
-                            served.fetch_add(1, Ordering::Relaxed);
-                        }
-                        Err(_) => {
-                            denied.fetch_add(1, Ordering::Relaxed);
-                            // The engine is dead; confirm it stays dead
-                            // for writes too, then stop.
-                            assert!(engine.write(addr, &[0u8; 64]).is_err());
-                            return;
-                        }
-                    }
+                while !stop.load(Ordering::Relaxed) {
+                    let block = engine
+                        .read(addr)
+                        .expect("healthy shard must keep serving through a peer quarantine");
+                    assert_eq!(block, [t as u8; 64]);
+                    served.fetch_add(1, Ordering::Relaxed);
                 }
             });
         }
         // The adversary corrupts shard 0's untrusted memory mid-traffic;
-        // the victim's next read of it detects and kills globally.
+        // the victim's next read of it detects and quarantines shard 0.
         let engine = &engine;
+        let stop = &stop;
         s.spawn(move || {
             engine.with_adversary(0, |dram| dram.corrupt_data(0, 7, 0x80));
             assert!(matches!(
                 engine.read(0),
                 Err(ToleoError::IntegrityViolation { .. })
             ));
+            // The quarantine is fully visible while peers still run.
+            assert!(engine.is_shard_quarantined(0));
+            assert!(!engine.is_killed());
+            assert!(matches!(
+                engine.read(0),
+                Err(ToleoError::ShardQuarantined { shard: 0, .. })
+            ));
+            // Let the traffic threads take a few more laps against the
+            // quarantined world before winding down.
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            stop.store(true, Ordering::Relaxed);
         });
     });
 
-    assert!(engine.is_killed(), "tamper on shard 0 must kill globally");
-    assert_eq!(
-        denied.load(Ordering::Relaxed),
-        (SHARDS - 1) as u64,
-        "every traffic thread must observe the kill"
+    assert!(
+        !engine.is_killed(),
+        "tamper must quarantine, not world-kill"
     );
-    // The dead engine refuses everything, batches included.
-    for page in 0..16u64 {
-        assert!(engine.read(page * PAGE_BYTES as u64).is_err());
+    assert_eq!(engine.quarantined_shard_count(), 1);
+    assert!(served.load(Ordering::Relaxed) >= 3, "healthy shards served");
+    // Healthy shards keep serving after the scope too, singles and batches.
+    for page in (0..16u64).filter(|p| p % 4 != 0) {
+        assert_eq!(
+            engine.read(page * PAGE_BYTES as u64).unwrap(),
+            [page as u8; 64]
+        );
     }
-    assert!(engine.read_batch(&[0, 4096, 8192]).is_err());
+    let healthy: Vec<u64> = (0..16u64)
+        .filter(|p| p % 4 != 0)
+        .map(|p| p * PAGE_BYTES as u64)
+        .collect();
+    assert_eq!(engine.read_batch(&healthy).unwrap().len(), healthy.len());
+    // The quarantined shard refuses everything with the frozen snapshot.
+    assert!(matches!(
+        engine.read(4 * PAGE_BYTES as u64),
+        Err(ToleoError::ShardQuarantined { shard: 0, .. })
+    ));
     assert!(engine.write_batch(&[(0, [1u8; 64])]).is_err());
 }
 
-/// A kill detected inside a batch aborts the batch, kills every shard,
-/// and leaves aggregate stats frozen.
+/// A tamper detected inside a batch quarantines the offending shard and
+/// freezes its counters, while the healthy shards' counters keep
+/// advancing — and the aggregate is always exactly the per-shard sum.
 #[test]
-fn kill_during_batch_freezes_aggregate_stats() {
+fn quarantine_during_batch_freezes_shard_stats_while_healthy_advance() {
     let engine = ShardedEngine::new(ToleoConfig::small(), 4, [0x33u8; 48]).unwrap();
     let writes: Vec<(u64, [u8; 64])> = (0..32u64).map(|i| (i * 4096, [i as u8; 64])).collect();
     engine.write_batch(&writes).unwrap();
+    // Page 9 routes to shard 1.
     engine.with_adversary(9 * 4096, |dram| dram.corrupt_data(9 * 4096, 0, 1));
 
     let addrs: Vec<u64> = (0..32u64).map(|i| i * 4096).collect();
-    assert!(engine.read_batch(&addrs).is_err());
-    assert!(engine.is_killed());
+    assert!(matches!(
+        engine.read_batch(&addrs),
+        Err(ToleoError::IntegrityViolation { address }) if address == 9 * 4096
+    ));
+    assert!(!engine.is_killed());
+    assert!(engine.is_shard_quarantined(1));
 
-    let stats = engine.stats();
-    let stealth = engine.stealth_cache_stats();
-    let mac = engine.mac_cache_stats();
-    let device = engine.device_stats();
-    // Hammer the dead engine; nothing may move.
+    let frozen = engine.per_shard_stats()[1];
+    // Hammer the partially quarantined engine: batches touching shard 1
+    // keep failing, but shard 1's frozen counters never move.
     for _ in 0..3 {
-        assert!(engine.read_batch(&addrs).is_err());
+        assert!(matches!(
+            engine.read_batch(&addrs),
+            Err(ToleoError::ShardQuarantined { shard: 1, .. })
+        ));
         assert!(engine.write_batch(&writes).is_err());
-        assert!(engine.free_page(0).is_err());
+        assert_eq!(engine.per_shard_stats()[1], frozen);
     }
-    assert_eq!(engine.stats(), stats);
-    assert_eq!(engine.stealth_cache_stats(), stealth);
-    assert_eq!(engine.mac_cache_stats(), mac);
-    assert_eq!(engine.device_stats(), device);
+    // Healthy-shard traffic advances the live counters...
+    let before = engine.stats();
+    let healthy: Vec<u64> = (0..32u64)
+        .filter(|i| i % 4 != 1)
+        .map(|i| i * 4096)
+        .collect();
+    assert_eq!(engine.read_batch(&healthy).unwrap().len(), 24);
+    let after = engine.stats();
+    assert_eq!(after.reads, before.reads + 24);
+    assert_eq!(engine.per_shard_stats()[1], frozen);
+    // ...and the aggregate merges frozen + live without double-counting.
+    let mut summed = toleo_core::engine::EngineStats::default();
+    for s in engine.per_shard_stats() {
+        summed.merge(&s);
+    }
+    assert_eq!(after, summed);
 }
 
 /// Replays a trace through a single sequential engine, returning the
