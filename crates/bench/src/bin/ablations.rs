@@ -1,173 +1,8 @@
-//! Ablation studies for the design choices DESIGN.md §6 calls out:
+//! Ablation studies: design-choice costs measured head-to-head.
 //!
-//! 1. probabilistic reset vs naive stored-initial-value reset (storage);
-//! 2. Trip's three-format dynamism vs flat-only / full-only;
-//! 3. stealth width sweep (security margin vs space);
-//! 4. TLB-extension version cache vs Merkle-tree caching (accesses
-//!    per miss).
-
-// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
-
-use toleo_baselines::tree::CounterTree;
-use toleo_bench::harness;
-use toleo_core::analysis::StealthAnalysis;
-use toleo_core::config::{ToleoConfig, FLAT_ENTRY_BYTES, FULL_ENTRY_BYTES, UNEVEN_ENTRY_BYTES};
-use toleo_core::device::ToleoDevice;
-use toleo_sim::config::Protection;
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    ablation_reset_policy();
-    ablation_trip_formats();
-    ablation_stealth_width();
-    ablation_tree_walks();
-    ablation_hot_write_cost();
-}
-
-/// 1\. Naive reset needs the initial value stored next to the current
-/// value (2x stealth bits); probabilistic reset needs none.
-fn ablation_reset_policy() {
-    println!("== Ablation 1: reset policy storage cost ==");
-    let bits = 27.0;
-    let naive_flat = (2.0 * bits + 64.0 + 2.0) / 8.0; // two stealth copies
-    let prob_flat = (bits + 64.0 + 2.0) / 8.0;
-    println!("flat entry, probabilistic reset : {prob_flat:.1} B/page");
-    println!(
-        "flat entry, naive stored-initial: {naive_flat:.1} B/page ({:.0}% larger)",
-        (naive_flat / prob_flat - 1.0) * 100.0
-    );
-    let a = StealthAnalysis::default();
-    println!(
-        "probabilistic residual risk     : {:.1e} (acceptable)\n",
-        a.p_exhaustion()
-    );
-}
-
-/// 2\. Fixed-format alternatives: flat-only cannot represent strided
-/// pages (forced resets/re-encryptions), full-only pays 19x space.
-fn ablation_trip_formats() {
-    println!("== Ablation 2: Trip dynamism vs fixed formats ==");
-    let stats = harness::run_all(Protection::Toleo);
-    let (mut flat, mut uneven, mut full) = (0u64, 0u64, 0u64);
-    for s in &stats {
-        flat += s.trip_pages.0;
-        uneven += s.trip_pages.1;
-        full += s.trip_pages.2;
-    }
-    let pages = flat + uneven + full;
-    let trip_bytes = flat * FLAT_ENTRY_BYTES as u64
-        + uneven * (FLAT_ENTRY_BYTES + UNEVEN_ENTRY_BYTES) as u64
-        + full * (FLAT_ENTRY_BYTES + FULL_ENTRY_BYTES) as u64;
-    let full_only = pages * (FLAT_ENTRY_BYTES + FULL_ENTRY_BYTES) as u64;
-    println!("pages: {pages} ({flat} flat / {uneven} uneven / {full} full)");
-    println!("Trip (dynamic)   : {:.2} MB", trip_bytes as f64 / 1e6);
-    println!(
-        "full-only        : {:.2} MB ({:.1}x)",
-        full_only as f64 / 1e6,
-        full_only as f64 / trip_bytes as f64
-    );
-    println!(
-        "flat-only        : {:.2} MB but {} pages ({:.1}%) need strides it cannot encode,",
-        (pages * FLAT_ENTRY_BYTES as u64) as f64 / 1e6,
-        uneven + full,
-        (uneven + full) as f64 / pages as f64 * 100.0
-    );
-    println!("                   each forcing a UV bump + full-page re-encryption per write\n");
-}
-
-/// 3\. Wider stealth = better replay odds, more space; the 27-bit point
-/// balances a 2^-27 guess probability against 12 B flat entries.
-fn ablation_stealth_width() {
-    println!("== Ablation 3: stealth width sweep ==");
-    println!(
-        "{:>6}{:>16}{:>18}{:>14}",
-        "bits", "P(replay)", "P(exhaustion)", "flat B/page"
-    );
-    for bits in [20u32, 24, 27, 30, 32] {
-        let a = StealthAnalysis {
-            stealth_bits: bits,
-            ..Default::default()
-        };
-        let flat_bytes = (bits as f64 + 64.0 + 2.0) / 8.0;
-        println!(
-            "{bits:>6}{:>16.1e}{:>18.1e}{:>14.1}",
-            a.p_replay_success(),
-            a.p_exhaustion(),
-            flat_bytes
-        );
-    }
-    println!();
-}
-
-/// 4\. Merkle walk accesses vs Toleo's single access, as memory grows.
-fn ablation_tree_walks() {
-    println!("== Ablation 4: Merkle walk cost vs memory size (cold paths) ==");
-    println!(
-        "{:>12}{:>8}{:>22}",
-        "blocks", "levels", "accesses/miss (cold)"
-    );
-    for log2_blocks in [14u32, 17, 20, 23] {
-        let mut tree = CounterTree::new(8, 1 << log2_blocks, 64);
-        // Sample cold walks across the space.
-        let mut total = 0u32;
-        let n = 64u64;
-        for i in 0..n {
-            let block = (i * ((1u64 << log2_blocks) / n)) % (1 << log2_blocks);
-            total += tree.verify(block).unwrap().memory_accesses;
-        }
-        println!(
-            "{:>12}{:>8}{:>22.1}",
-            1u64 << log2_blocks,
-            tree.depth(),
-            total as f64 / n as f64
-        );
-    }
-    println!("Toleo: 1 stealth access per miss at any scale (98% filtered by the cache).");
-    // Exercise a device at the paper's design point for reference.
-    let dev = ToleoDevice::new(ToleoConfig::small()).expect("valid ToleoConfig");
-    println!(
-        "(device flat array for this config: {} KB)\n",
-        dev.config().flat_array_bytes() / 1024
-    );
-}
-
-/// 5. Hot-write handling: compressed Merkle leaves (VAULT, MorphCtr) pay
-///    group re-encryptions when a small counter overflows; Toleo's uneven
-///    format absorbs the same skew with one side-entry allocation.
-fn ablation_hot_write_cost() {
-    use toleo_baselines::morph::MorphLeaf;
-    use toleo_baselines::vault::VaultTree;
-
-    println!("== Ablation 5: hot-write cost (10k writes to one block) ==");
-    let mut vault = VaultTree::new(VaultTree::paper_geometry(), 4096);
-    let mut vault_reenc = 0u64;
-    for _ in 0..10_000 {
-        vault_reenc += vault.update(0);
-    }
-    println!(
-        "VAULT     : {} blocks re-encrypted ({} overflow resets)",
-        vault_reenc, vault.overflow_resets
-    );
-
-    let mut morph = MorphLeaf::new();
-    let mut morph_reenc = 0u64;
-    for _ in 0..10_000 {
-        morph_reenc += morph.update(0);
-    }
-    println!(
-        "MorphCtr  : {} blocks re-encrypted ({} rebases, {} morphs)",
-        morph_reenc, morph.rebases, morph.morphs
-    );
-
-    let mut cfg = ToleoConfig::small();
-    cfg.reset_log2 = 20;
-    let mut dev = ToleoDevice::new(cfg).expect("valid ToleoConfig");
-    let mut toleo_reenc = 0u64;
-    for _ in 0..10_000 {
-        if dev.update(0, 0).expect("in range").uv_update() {
-            toleo_reenc += 64;
-        }
-    }
-    let s = dev.stats();
-    println!("Toleo     : {} blocks re-encrypted ({} probabilistic resets; {} uneven + {} full upgrades)",
-        toleo_reenc, s.stealth_resets, s.upgrades_to_uneven, s.upgrades_to_full);
+    toleo_bench::experiments::cli_main("ablations");
 }

@@ -1,51 +1,8 @@
-//! Calibration dashboard: per-benchmark measured vs paper targets.
-
-// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
-
-use toleo_bench::harness;
-use toleo_sim::config::Protection;
-use toleo_workloads::Benchmark;
+//! Calibration dashboard: measured vs paper targets.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let base = harness::run_all(Protection::NoProtect);
-    let ci = harness::run_all(Protection::Ci);
-    let toleo = harness::run_all(Protection::Toleo);
-    println!(
-        "{:<12}{:>7}{:>8}{:>9}{:>8}{:>9}{:>8}{:>8}{:>7}{:>7}{:>7}",
-        "bench",
-        "mpki",
-        "target",
-        "st-hit",
-        "mac-hit",
-        "CI-ovh",
-        "T-ovh",
-        "T-CI",
-        "flat%",
-        "unev%",
-        "full%"
-    );
-    for (i, b) in Benchmark::all().iter().enumerate() {
-        let (f, u, fl) = toleo[i].trip_pages;
-        let tot = (f + u + fl).max(1) as f64;
-        // Typed-error overhead math: degenerate (zero-cycle) runs abort
-        // with a message instead of printing NaN rows.
-        let overhead = |run: &toleo_sim::system::RunStats, base: &toleo_sim::system::RunStats| {
-            run.overhead_vs(base)
-                .unwrap_or_else(|e| panic!("calibrate {}: {e}", b.name()))
-        };
-        println!(
-            "{:<12}{:>7.2}{:>8.2}{:>8.1}%{:>7.1}%{:>8.1}%{:>7.1}%{:>7.1}%{:>6.1}%{:>6.1}%{:>6.2}%",
-            b.name(),
-            base[i].llc_mpki,
-            b.paper_mpki(),
-            toleo[i].stealth_hit_rate * 100.0,
-            toleo[i].mac_hit_rate * 100.0,
-            overhead(&ci[i], &base[i]) * 100.0,
-            overhead(&toleo[i], &base[i]) * 100.0,
-            overhead(&toleo[i], &ci[i]) * 100.0,
-            f as f64 / tot * 100.0,
-            u as f64 / tot * 100.0,
-            fl as f64 / tot * 100.0
-        );
-    }
+    toleo_bench::experiments::cli_main("calibrate");
 }

@@ -1,34 +1,8 @@
 //! Figure 10: pages classified by their final Trip format.
-
-use toleo_bench::harness;
-use toleo_sim::config::Protection;
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let stats = harness::run_all(Protection::Toleo);
-    println!("Figure 10. Pages classified by their Trip format (%)");
-    println!("{:<12}{:>8}{:>9}{:>8}", "bench", "flat", "uneven", "full");
-    let (mut tf, mut tu, mut tfu) = (0u64, 0u64, 0u64);
-    for s in &stats {
-        let (f, u, fl) = s.trip_pages;
-        let total = (f + u + fl).max(1) as f64;
-        tf += f;
-        tu += u;
-        tfu += fl;
-        println!(
-            "{:<12}{:>7.1}%{:>8.1}%{:>7.2}%",
-            s.name,
-            f as f64 / total * 100.0,
-            u as f64 / total * 100.0,
-            fl as f64 / total * 100.0
-        );
-    }
-    let total = (tf + tu + tfu) as f64;
-    println!(
-        "{:<12}{:>7.1}%{:>8.1}%{:>7.2}%",
-        "overall",
-        tf as f64 / total * 100.0,
-        tu as f64 / total * 100.0,
-        tfu as f64 / total * 100.0
-    );
-    println!("\n(paper: 92% flat, 7.5% uneven, 0.32% full; fmi most uneven at 33%)");
+    toleo_bench::experiments::cli_main("fig10");
 }

@@ -1,34 +1,8 @@
-//! Figure 11: peak Toleo usage per TB of protected data.
-
-use toleo_bench::harness::{self, mean};
-use toleo_sim::config::Protection;
+//! Figure 11: Toleo device memory per TB of protected data.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let stats = harness::run_all(Protection::Toleo);
-    println!("Figure 11. Peak Toleo Usage (GB per TB of protected data)");
-    println!(
-        "{:<12}{:>8}{:>9}{:>8}{:>8}",
-        "bench", "flat", "uneven", "full", "total"
-    );
-    let mut totals = Vec::new();
-    for s in &stats {
-        // bytes/byte -> GB/TB
-        let scale = 1000.0 / s.rss_bytes as f64;
-        // Paper accounting: the flat array is statically mapped over the
-        // whole RSS; uneven/full side entries are dynamic.
-        let flat = (s.rss_bytes / 4096 * 12) as f64 * scale;
-        let dynamic = s.peak_toleo.dynamic_bytes as f64 * scale;
-        let (_, un, fu) = s.trip_pages;
-        let uneven_gb =
-            dynamic * (un as f64 * 56.0) / (un as f64 * 56.0 + fu as f64 * 224.0).max(1.0);
-        let full_gb = dynamic - uneven_gb;
-        let total = s.toleo_gb_per_tb();
-        totals.push(total);
-        println!(
-            "{:<12}{:>8.2}{:>9.2}{:>8.2}{:>8.2}",
-            s.name, flat, uneven_gb, full_gb, total
-        );
-    }
-    println!("{:<12}{:>33}{:>8.2}", "average", "", mean(&totals));
-    println!("\n(paper: 4.27 GB/TB average; fmi worst at 7.6; 168 GB protects ~37 TB)");
+    toleo_bench::experiments::cli_main("fig11");
 }

@@ -1,22 +1,8 @@
-//! Figure 12: Toleo usage over time, by Trip format (per-benchmark series).
-
-use toleo_bench::harness;
-use toleo_sim::config::Protection;
+//! Figure 12: Toleo device usage over time.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let stats = harness::run_all(Protection::Toleo);
-    println!("Figure 12. Toleo Usage by Trip format w.r.t. Time");
-    println!("(series: instructions, flat KB, uneven+full KB, total KB)");
-    for s in &stats {
-        println!("\n== {} ==", s.name);
-        for (instr, u) in &s.usage_timeline {
-            println!(
-                "{:>12}  flat={:>8.1}KB  dyn={:>8.1}KB  total={:>8.1}KB",
-                instr,
-                u.flat_bytes as f64 / 1024.0,
-                u.dynamic_bytes as f64 / 1024.0,
-                u.total_bytes() as f64 / 1024.0
-            );
-        }
-    }
+    toleo_bench::experiments::cli_main("fig12");
 }

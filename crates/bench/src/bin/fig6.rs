@@ -1,54 +1,8 @@
-//! Figure 6: execution-time overhead of CI, Toleo and InvisiMem relative
-//! to no memory protection, per benchmark.
-
-// audit: allow-file(panic, figure binary: abort on setup/serialization failure rather than emit bad data)
-
-use toleo_bench::harness::{self, mean};
-use toleo_sim::config::Protection;
+//! Figure 6: execution-time overhead vs no protection.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let base = harness::run_all(Protection::NoProtect);
-    let ci = harness::run_all(Protection::Ci);
-    let toleo = harness::run_all(Protection::Toleo);
-    let invisimem = harness::run_all(Protection::InvisiMem);
-
-    println!("Figure 6. CI and Toleo Performance Overhead (% over NoProtect)");
-    println!(
-        "{:<12}{:>8}{:>8}{:>11}{:>13}",
-        "bench", "CI", "Toleo", "InvisiMem", "Toleo-CI"
-    );
-    let mut ci_all = Vec::new();
-    let mut toleo_all = Vec::new();
-    let mut inv_all = Vec::new();
-    for i in 0..base.len() {
-        // overhead_vs reports zero-cycle/empty-trace runs as typed errors
-        // instead of letting NaN/inf poison the table averages.
-        let overhead = |run: &toleo_sim::system::RunStats| {
-            run.overhead_vs(&base[i])
-                .unwrap_or_else(|e| panic!("fig6 {}: {e}", base[i].name))
-        };
-        let c = overhead(&ci[i]);
-        let t = overhead(&toleo[i]);
-        let v = overhead(&invisimem[i]);
-        ci_all.push(c);
-        toleo_all.push(t);
-        inv_all.push(v);
-        println!(
-            "{:<12}{:>7.1}%{:>7.1}%{:>10.1}%{:>12.1}%",
-            base[i].name,
-            c * 100.0,
-            t * 100.0,
-            v * 100.0,
-            (t - c) * 100.0
-        );
-    }
-    println!(
-        "{:<12}{:>7.1}%{:>7.1}%{:>10.1}%{:>12.1}%",
-        "average",
-        mean(&ci_all) * 100.0,
-        mean(&toleo_all) * 100.0,
-        mean(&inv_all) * 100.0,
-        (mean(&toleo_all) - mean(&ci_all)) * 100.0
-    );
-    println!("\n(paper: CI avg 18%, Toleo adds 1-2% over CI, InvisiMem avg 29%)");
+    toleo_bench::experiments::cli_main("fig6");
 }

@@ -1,30 +1,8 @@
-//! Figure 7: stealth-cache and MAC-cache hit rates under the Toleo
-//! configuration.
-
-use toleo_bench::harness::{self, mean};
-use toleo_sim::config::Protection;
+//! Figure 7: stealth-version and MAC cache hit rates.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let stats = harness::run_all(Protection::Toleo);
-    println!("Figure 7. Cache Hit Rates (Toleo configuration)");
-    println!("{:<12}{:>15}{:>12}", "bench", "Stealth Cache", "MAC Cache");
-    let mut sh = Vec::new();
-    let mut mh = Vec::new();
-    for s in &stats {
-        sh.push(s.stealth_hit_rate);
-        mh.push(s.mac_hit_rate);
-        println!(
-            "{:<12}{:>14.1}%{:>11.1}%",
-            s.name,
-            s.stealth_hit_rate * 100.0,
-            s.mac_hit_rate * 100.0
-        );
-    }
-    println!(
-        "{:<12}{:>14.1}%{:>11.1}%",
-        "average",
-        mean(&sh) * 100.0,
-        mean(&mh) * 100.0
-    );
-    println!("\n(paper: stealth 98% avg — redis 67%, memcached 85% outliers; MAC 67% avg)");
+    toleo_bench::experiments::cli_main("fig7");
 }

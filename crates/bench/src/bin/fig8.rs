@@ -1,35 +1,8 @@
-//! Figure 8: memory bandwidth overhead — bytes fetched per instruction,
-//! split into data / MAC+UV / stealth / dummy traffic.
-
-use toleo_bench::harness;
-use toleo_sim::config::Protection;
+//! Figure 8: off-chip traffic split, bytes per instruction.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    println!("Figure 8. Memory bandwidth overhead (bytes per instruction)");
-    println!(
-        "{:<12}{:>11}{:>9}{:>9}{:>9}{:>9}{:>9}",
-        "bench", "config", "data", "MAC+UV", "stealth", "dummy", "total"
-    );
-    for p in [
-        Protection::NoProtect,
-        Protection::Ci,
-        Protection::Toleo,
-        Protection::InvisiMem,
-    ] {
-        for s in harness::run_all(p) {
-            let i = s.instructions.max(1) as f64;
-            println!(
-                "{:<12}{:>11}{:>9.3}{:>9.3}{:>9.3}{:>9.3}{:>9.3}",
-                s.name,
-                p.to_string(),
-                s.bytes_data as f64 / i,
-                s.bytes_mac as f64 / i,
-                s.bytes_stealth as f64 / i,
-                s.bytes_dummy as f64 / i,
-                s.bytes_per_instruction()
-            );
-        }
-        println!();
-    }
-    println!("(paper: stealth traffic is ~1% of bytes; MAC dominates CI's overhead)");
+    toleo_bench::experiments::cli_main("fig8");
 }

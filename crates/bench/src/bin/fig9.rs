@@ -1,34 +1,8 @@
-//! Figure 9: average memory read latency, decomposed into DRAM access,
-//! decryption (C), integrity (I) and freshness (Toleo) components.
-
-use toleo_bench::harness;
-use toleo_sim::config::{Protection, SimConfig};
+//! Figure 9: read-latency decomposition per protection scheme.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    println!("Figure 9. Average Memory Read Latency (ns)");
-    println!(
-        "{:<12}{:>11}{:>9}{:>8}{:>8}{:>8}{:>9}",
-        "bench", "config", "dram", "aes", "mac", "fresh", "total"
-    );
-    for p in Protection::all() {
-        for s in harness::run_all(p) {
-            println!(
-                "{:<12}{:>11}{:>9.0}{:>8.0}{:>8.0}{:>8.0}{:>9.0}",
-                s.name,
-                p.to_string(),
-                s.avg_dram_ns,
-                s.avg_aes_ns,
-                s.avg_mac_ns,
-                s.avg_fresh_ns,
-                s.avg_read_latency_ns()
-            );
-        }
-        println!();
-    }
-    let cfg = SimConfig::scaled(Protection::NoProtect);
-    println!(
-        "Zero-load DRAM reference: {:.0} ns",
-        cfg.dram.zero_load_ns() + cfg.dram.t_rcd_ns
-    );
-    println!("(paper: AES +18.6%, integrity +36.9%, Toleo <5% except redis/memcached)");
+    toleo_bench::experiments::cli_main("fig9");
 }

@@ -1,0 +1,383 @@
+//! One-command artifact reproduction: run every registered experiment,
+//! write the `results/` tree, and gate the run against the committed
+//! references.
+//!
+//! ```sh
+//! cargo run --release -p toleo-bench --bin reproduce
+//! ```
+//!
+//! produces `results/<name>.{json,md}` for all 17 experiments plus
+//! `summary.md`, `delta.md` and `trajectory.md`, compares every
+//! functional experiment against its `expected/<name>.json` reference
+//! (exact at matching scale, structural otherwise), checks the
+//! availability correctness invariants, and — with `--compare` — holds
+//! the wall-clock experiments to tolerance floors against a committed
+//! `BENCH_*.json` baseline. Any drift, missing reference, failed
+//! invariant or missed floor exits nonzero.
+//!
+//! Flags:
+//!
+//! - `--only a,b,c`   run a subset of experiments
+//! - `--ops N`        scale override (modeled traces AND wall-clock replay)
+//! - `--out DIR`      results tree root (default `results`)
+//! - `--expected DIR` reference tree root (default `expected`)
+//! - `--update-expected`  rewrite the references from this run
+//! - `--compare FILE` gate wall-clock numbers against this baseline
+//! - `--tolerance T`  floor ratio for `--compare` (default 0.85)
+//! - `--render`       re-splice the generated blocks of EXPERIMENTS.md
+//! - `--list`         print the registry and exit
+
+// audit: allow-file(panic, reproduce harness: a reproduction run must abort loudly on bad arguments or unwritable output, never emit a partial results tree silently)
+
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use toleo_bench::experiments::{self, Experiment, RunCtx};
+use toleo_bench::json;
+use toleo_bench::report::Report;
+use toleo_bench::repro::{
+    self, check_availability_invariants, check_perf_floors, compare_reports, DeltaOutcome,
+    DeltaStatus,
+};
+use toleo_bench::trajectory;
+
+struct Args {
+    out: PathBuf,
+    expected: PathBuf,
+    only: Option<Vec<String>>,
+    ops: Option<u64>,
+    compare: Option<PathBuf>,
+    tolerance: f64,
+    update_expected: bool,
+    render: bool,
+    list: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: reproduce [--only a,b,c] [--ops N] [--out DIR] [--expected DIR] \
+         [--update-expected] [--compare BENCH.json] [--tolerance T] [--render] [--list]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        out: PathBuf::from("results"),
+        expected: PathBuf::from("expected"),
+        only: None,
+        ops: None,
+        compare: None,
+        tolerance: 0.85,
+        update_expected: false,
+        render: false,
+        list: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| it.next().unwrap_or_else(|| panic!("{flag} needs a value"));
+        match arg.as_str() {
+            "--out" => args.out = PathBuf::from(value("--out")),
+            "--expected" => args.expected = PathBuf::from(value("--expected")),
+            "--only" => {
+                args.only = Some(
+                    value("--only")
+                        .split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty())
+                        .collect(),
+                )
+            }
+            "--ops" => {
+                args.ops = Some(
+                    value("--ops")
+                        .parse()
+                        .unwrap_or_else(|e| panic!("--ops: {e}")),
+                )
+            }
+            "--compare" => args.compare = Some(PathBuf::from(value("--compare"))),
+            "--tolerance" => {
+                let t: f64 = value("--tolerance")
+                    .parse()
+                    .unwrap_or_else(|e| panic!("--tolerance: {e}"));
+                assert!(
+                    t > 0.0 && t <= 1.0,
+                    "--tolerance must be in (0, 1], got {t}"
+                );
+                args.tolerance = t;
+            }
+            "--update-expected" => args.update_expected = true,
+            "--render" => args.render = true,
+            "--list" => args.list = true,
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("unknown argument {other:?}");
+                usage();
+            }
+        }
+    }
+    args
+}
+
+fn select(only: &Option<Vec<String>>) -> Vec<&'static Experiment> {
+    let registry = experiments::registry();
+    match only {
+        None => registry.iter().collect(),
+        Some(names) => names
+            .iter()
+            .map(|n| {
+                experiments::find(n).unwrap_or_else(|| {
+                    let known: Vec<_> = registry.iter().map(|e| e.name).collect();
+                    panic!("unknown experiment {n:?}; known: {known:?}")
+                })
+            })
+            .collect(),
+    }
+}
+
+fn write(path: &Path, contents: &str) {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)
+            .unwrap_or_else(|e| panic!("mkdir {}: {e}", parent.display()));
+    }
+    std::fs::write(path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+}
+
+fn load_expected(dir: &Path, name: &str) -> Option<Result<Report, String>> {
+    let path = dir.join(format!("{name}.json"));
+    let text = std::fs::read_to_string(&path).ok()?;
+    Some(
+        json::parse(&text)
+            .map_err(|e| format!("{}: {e}", path.display()))
+            .and_then(|doc| Report::from_json(&doc).map_err(|e| format!("{name}: {e}"))),
+    )
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+    if args.list {
+        for e in experiments::registry() {
+            let kind = if e.timing { "timing" } else { "exact" };
+            println!("{:<12} {:<28} [{kind}] {}", e.name, e.paper_ref, e.about);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let ctx = match args.ops {
+        Some(ops) => RunCtx::with_ops(ops as usize, ops),
+        None => RunCtx::from_env(),
+    };
+    let selected = select(&args.only);
+    let mut failures: Vec<String> = Vec::new();
+    let mut reports: BTreeMap<&'static str, Report> = BTreeMap::new();
+    let mut deltas: Vec<DeltaOutcome> = Vec::new();
+
+    // 1. Run everything, write the per-experiment results, diff vs the
+    //    committed references.
+    for exp in &selected {
+        eprintln!("reproduce: running {} ({})", exp.name, exp.paper_ref);
+        let report = (exp.run)(&ctx);
+        write(
+            &args.out.join(format!("{}.json", exp.name)),
+            &report.to_json(),
+        );
+        write(
+            &args.out.join(format!("{}.md", exp.name)),
+            &report.render_markdown(),
+        );
+        if args.update_expected && !exp.timing {
+            write(
+                &args.expected.join(format!("{}.json", exp.name)),
+                &report.to_json(),
+            );
+        }
+        let delta = if exp.timing {
+            compare_reports(&report, &report, true)
+        } else {
+            match load_expected(&args.expected, exp.name) {
+                None => DeltaOutcome {
+                    name: exp.name.to_string(),
+                    status: DeltaStatus::MissingExpected,
+                    details: vec![format!(
+                        "no {}/{}.json — generate with --update-expected",
+                        args.expected.display(),
+                        exp.name
+                    )],
+                },
+                Some(Err(e)) => DeltaOutcome {
+                    name: exp.name.to_string(),
+                    status: DeltaStatus::Drift,
+                    details: vec![format!("reference unreadable: {e}")],
+                },
+                Some(Ok(expected)) => compare_reports(&expected, &report, false),
+            }
+        };
+        if delta.status.is_failure() {
+            failures.push(format!("{}: {}", delta.name, delta.status.label()));
+        }
+        deltas.push(delta);
+        reports.insert(exp.name, report);
+    }
+
+    // 2. Correctness invariants from the availability run.
+    let mut invariant_lines = Vec::new();
+    if let Some(availability) = reports.get("availability") {
+        match check_availability_invariants(availability) {
+            Ok(rows) => {
+                for r in &rows {
+                    invariant_lines.push(format!(
+                        "| `{}` | {} | {} | {} |",
+                        r.name,
+                        r.required,
+                        r.actual,
+                        if r.pass { "pass" } else { "**FAIL**" }
+                    ));
+                    if !r.pass {
+                        failures.push(format!(
+                            "availability invariant {} = {} (required {})",
+                            r.name, r.actual, r.required
+                        ));
+                    }
+                }
+            }
+            Err(e) => failures.push(format!("availability invariants unreadable: {e}")),
+        }
+    }
+
+    // 3. Wall-clock tolerance floors against the committed baseline.
+    let mut floor_lines = Vec::new();
+    if let Some(baseline_path) = &args.compare {
+        match reports.get("throughput") {
+            None => failures.push("--compare given but throughput was not run".to_string()),
+            Some(throughput) => {
+                let text = std::fs::read_to_string(baseline_path)
+                    .unwrap_or_else(|e| panic!("{}: {e}", baseline_path.display()));
+                match check_perf_floors(&text, args.tolerance, throughput) {
+                    Err(e) => failures.push(format!("perf floors: {e}")),
+                    Ok(rows) => {
+                        for r in &rows {
+                            floor_lines.push(format!(
+                                "| `{}` | {:.0} | {:.0} | {:.2}x | {} | {} |",
+                                r.name,
+                                r.measured,
+                                r.baseline,
+                                r.ratio,
+                                if r.higher_is_better { "≥" } else { "≤" },
+                                if r.pass { "pass" } else { "**FAIL**" }
+                            ));
+                            if !r.pass {
+                                failures.push(format!(
+                                    "floor {}: measured {:.0} vs baseline {:.0} (ratio {:.2}, tolerance {})",
+                                    r.name, r.measured, r.baseline, r.ratio, args.tolerance
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // 4. The lineage rendering (BENCH_2 → BENCH_6).
+    match trajectory::render_from_dir(Path::new(".")) {
+        Ok(section) => write(&args.out.join("trajectory.md"), &section),
+        Err(e) => eprintln!("reproduce: trajectory skipped ({e})"),
+    }
+
+    // 5. Summary and delta report.
+    let mut summary = String::from("# Reproduction summary\n\n");
+    summary.push_str(&format!(
+        "- experiments run: {} of {}\n- scale: mem_ops={}, perf_ops={}\n\n",
+        selected.len(),
+        experiments::registry().len(),
+        ctx.gen.mem_ops,
+        ctx.perf_ops
+    ));
+    summary.push_str("| experiment | paper ref | status |\n|---|---|---|\n");
+    for (exp, delta) in selected.iter().zip(&deltas) {
+        summary.push_str(&format!(
+            "| [`{}`]({}.md) | {} | {} |\n",
+            exp.name,
+            exp.name,
+            exp.paper_ref,
+            delta.status.label()
+        ));
+    }
+    write(&args.out.join("summary.md"), &summary);
+
+    let mut delta_md = String::from("# Delta report\n\n");
+    delta_md.push_str(
+        "Functional experiments against `expected/` references; wall-clock \
+         experiments against tolerance floors.\n\n",
+    );
+    for d in &deltas {
+        delta_md.push_str(&format!("## {} — {}\n\n", d.name, d.status.label()));
+        for line in &d.details {
+            delta_md.push_str(&format!("- {line}\n"));
+        }
+        if !d.details.is_empty() {
+            delta_md.push('\n');
+        }
+    }
+    if !invariant_lines.is_empty() {
+        delta_md.push_str(
+            "## Availability invariants\n\n| invariant | required | actual | verdict |\n|---|---|---|---|\n",
+        );
+        for l in &invariant_lines {
+            delta_md.push_str(l);
+            delta_md.push('\n');
+        }
+        delta_md.push('\n');
+    }
+    if !floor_lines.is_empty() {
+        delta_md.push_str(&format!(
+            "## Wall-clock floors vs `{}` (tolerance {})\n\n\
+             | metric | measured | baseline | ratio | dir | verdict |\n|---|---|---|---|---|---|\n",
+            args.compare
+                .as_ref()
+                .map_or(String::new(), |p| p.display().to_string()),
+            args.tolerance
+        ));
+        for l in &floor_lines {
+            delta_md.push_str(l);
+            delta_md.push('\n');
+        }
+        delta_md.push('\n');
+    }
+    write(&args.out.join("delta.md"), &delta_md);
+
+    // 6. --render: re-splice the generated blocks of EXPERIMENTS.md from
+    //    the committed references and lineage files.
+    if args.render {
+        let doc_path = Path::new("EXPERIMENTS.md");
+        let doc = std::fs::read_to_string(doc_path)
+            .unwrap_or_else(|e| panic!("{}: {e}", doc_path.display()));
+        let figures = repro::render_headline(&args.expected)
+            .unwrap_or_else(|e| panic!("rendering headline figures: {e}"));
+        let lineage = trajectory::render_from_dir(Path::new("."))
+            .unwrap_or_else(|e| panic!("rendering trajectory: {e}"));
+        let doc = repro::splice_generated(&doc, "figures", &figures)
+            .and_then(|d| repro::splice_generated(&d, "trajectory", &lineage))
+            .unwrap_or_else(|e| panic!("splicing EXPERIMENTS.md: {e}"));
+        write(doc_path, &doc);
+        eprintln!("reproduce: EXPERIMENTS.md regenerated");
+    }
+
+    // 7. Verdict.
+    if failures.is_empty() {
+        println!(
+            "reproduce: OK — {} experiments, results in {}/",
+            selected.len(),
+            args.out.display()
+        );
+        ExitCode::SUCCESS
+    } else {
+        println!("reproduce: FAILED ({} problems)", failures.len());
+        for f in &failures {
+            println!("  - {f}");
+        }
+        println!("see {}/delta.md", args.out.display());
+        ExitCode::FAILURE
+    }
+}

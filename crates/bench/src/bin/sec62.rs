@@ -1,41 +1,8 @@
-//! §6.2 security analysis: closed-form and Monte-Carlo bounds on stealth
-//! space exhaustion and replay success.
-
-// audit: allow-file(secret, prints Monte Carlo RNG seeds for reproducibility, not key material)
-
-use toleo_core::analysis::{monte_carlo_resets, StealthAnalysis};
+//! Section 6.2: freshness-guarantee probabilities, closed-form and Monte-Carlo.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let a = StealthAnalysis::default();
-    println!("Section 6.2: Full Version Is Non-Repeating");
-    println!("stealth bits                : {}", a.stealth_bits);
-    println!("reset probability           : 2^-{}", a.reset_log2);
-    println!(
-        "P(no reset in one interval) : {:.2e}  (paper derivation: e^-64 = 1.6e-28)",
-        a.p_no_reset_in_interval()
-    );
-    println!(
-        "P(stealth space exhaustion) : {:.2e}  (paper: 1.7e-19)",
-        a.p_exhaustion()
-    );
-    println!(
-        "P(single replay success)    : {:.2e}  (2^-27)",
-        a.p_replay_success()
-    );
-
-    println!("\nMonte-Carlo validation at scaled parameters (space 2^12, reset 2^-5,");
-    println!("same headroom ratio as the 2^27 / 2^-20 design point):");
-    for seed in [1u64, 2, 3] {
-        let mc = monte_carlo_resets(12, 5, 2_000_000, seed);
-        println!(
-            "  seed {seed}: {} resets / {} updates, longest run {}, exhausted: {}",
-            mc.resets, mc.updates, mc.longest_run, mc.exhausted
-        );
-    }
-    println!("\nNegative control (space 2^4, reset 2^-12 — resets too rare):");
-    let bad = monte_carlo_resets(4, 12, 100_000, 1);
-    println!(
-        "  {} resets, longest run {}, exhausted: {} (expected: true)",
-        bad.resets, bad.longest_run, bad.exhausted
-    );
+    toleo_bench::experiments::cli_main("sec62");
 }

@@ -1,26 +1,8 @@
-//! Table 1: memory-protection guarantee comparison.
-
-use toleo_baselines::schemes::Scheme;
+//! Table 1: guarantee matrix across protection schemes.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    println!("Table 1. Memory Protection Comparison");
-    println!(
-        "{:<28}{:>12}{:>13}{:>13}",
-        "Protects", "Client SGX", "Scalable SGX", "Toleo"
-    );
-    let schemes = Scheme::table1();
-    type GetCell = fn(&toleo_baselines::Guarantees) -> String;
-    let rows: [(&str, GetCell); 4] = [
-        ("Full Physical Memory Space", |g| g.full_space.to_string()),
-        ("Confidentiality", |g| g.confidentiality.to_string()),
-        ("Integrity", |g| g.integrity.to_string()),
-        ("Freshness", |g| g.freshness.to_string()),
-    ];
-    for (label, get) in rows {
-        let cells: Vec<String> = schemes.iter().map(|s| get(&s.guarantees())).collect();
-        println!(
-            "{:<28}{:>12}{:>13}{:>13}",
-            label, cells[0], cells[1], cells[2]
-        );
-    }
+    toleo_bench::experiments::cli_main("table1");
 }

@@ -1,25 +1,8 @@
-//! Table 2: benchmark characteristics — measured LLC MPKI and RSS of the
-//! synthetic traces, next to the paper's values for the real applications.
-
-use toleo_bench::harness;
-use toleo_sim::config::Protection;
-use toleo_workloads::Benchmark;
+//! Table 2: benchmark working sets — LLC mpki and resident size.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    let stats = harness::run_all(Protection::NoProtect);
-    println!("Table 2. Benchmarks (measured on the scaled simulator; paper values for reference)");
-    println!(
-        "{:<12}{:>14}{:>12}{:>14}{:>12}",
-        "bench", "LLC mpki", "RSS (MB)", "paper mpki", "paper RSS"
-    );
-    for (b, s) in Benchmark::all().iter().zip(&stats) {
-        println!(
-            "{:<12}{:>14.2}{:>12.1}{:>14.2}{:>10.1}GB",
-            s.name,
-            s.llc_mpki,
-            s.rss_bytes as f64 / (1 << 20) as f64,
-            b.paper_mpki(),
-            b.paper_rss_gb(),
-        );
-    }
+    toleo_bench::experiments::cli_main("table2");
 }

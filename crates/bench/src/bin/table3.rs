@@ -1,56 +1,8 @@
-//! Table 3: simulation configuration dump (paper preset + scaled preset).
-
-use toleo_sim::config::{Protection, SimConfig};
-
-fn print_cfg(label: &str, c: &SimConfig) {
-    println!("== {label} ==");
-    println!(
-        "Processor         {} GHz, {}-wide dispatch",
-        c.freq_ghz, c.dispatch_width
-    );
-    println!(
-        "L1-D cache        {} KB, {}-way, {} cycles",
-        c.l1.capacity >> 10,
-        c.l1.ways,
-        c.l1.latency_cycles
-    );
-    println!(
-        "L2 cache          {} KB, {}-way, {} cycles",
-        c.l2.capacity >> 10,
-        c.l2.ways,
-        c.l2.latency_cycles
-    );
-    println!(
-        "L3 cache          {} KB, {}-way, {} cycles",
-        c.l3.capacity >> 10,
-        c.l3.ways,
-        c.l3.latency_cycles
-    );
-    println!("Local DRAM        DDR4-3200, {} channels", c.dram.channels);
-    println!(
-        "CXL mem pool      {} GB/s, {} ns (PCIe5 x8 w/ re-timer), DDR4 x{}",
-        c.pool_link.bytes_per_ns, c.pool_link.latency_ns, c.pool_dram.channels
-    );
-    println!(
-        "Toleo link        {} GB/s, {} ns (CXL2.0 IDE x2)",
-        c.toleo_link.bytes_per_ns, c.toleo_link.latency_ns
-    );
-    println!("Toleo DRAM        HMC-style, {} ns", c.toleo_dram_ns);
-    println!("AES engine        {} cycles", c.aes_cycles);
-    println!("MAC cache         {} KB/core, 16-way", c.mac_cache_kib);
-    println!("Remote pages      {:.1}%", c.remote_page_fraction * 100.0);
-    println!("Stealth caches    L2-TLB ext 256 entries + 28 KB overflow buffer");
-    println!();
-}
+//! Table 3: simulated system configuration (paper and scaled presets).
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    println!("Table 3. Simulation Configuration");
-    print_cfg(
-        "paper preset (Table 3)",
-        &SimConfig::paper(Protection::Toleo),
-    );
-    print_cfg(
-        "scaled preset (used for figures; caches 1:16)",
-        &SimConfig::scaled(Protection::Toleo),
-    );
+    toleo_bench::experiments::cli_main("table3");
 }

@@ -1,53 +1,8 @@
-//! Table 4: freshness-protected version size comparison. Static rows from
-//! the entry layouts; Toleo's average row measured from the 12 workloads'
-//! Trip-format mix.
-
-use toleo_baselines::schemes::VersionScheme;
-use toleo_bench::harness;
-use toleo_sim::config::Protection;
+//! Table 4: version storage per scheme, plus the measured Trip mix.
+//!
+//! Thin wrapper: the implementation lives in
+//! `toleo_bench::experiments`, shared with the `reproduce` harness.
 
 fn main() {
-    println!("Table 4. Freshness Protected Version Size Comparison");
-    println!(
-        "{:<24}{:>14}{:>16}{:>18}",
-        "Representation", "Version Size", "Data Protected", "Data:Version"
-    );
-    for r in VersionScheme::table4_static() {
-        println!(
-            "{:<24}{:>13}B{:>15}B{:>15.1}:1",
-            r.name,
-            r.version_bytes,
-            r.data_bytes,
-            r.ratio()
-        );
-    }
-    // Measured average across the 12 workloads: weight each page's entry
-    // size by the final Trip-format mix.
-    let stats = harness::run_all(Protection::Toleo);
-    let (mut flat, mut uneven, mut full) = (0u64, 0u64, 0u64);
-    for s in &stats {
-        flat += s.trip_pages.0;
-        uneven += s.trip_pages.1;
-        full += s.trip_pages.2;
-    }
-    let pages = (flat + uneven + full) as f64;
-    let avg_bytes = (flat as f64 * 12.0 + uneven as f64 * 68.0 + full as f64 * 228.0) / pages;
-    let avg = VersionScheme {
-        name: "Toleo Stealth Avg. (measured)",
-        version_bytes: avg_bytes,
-        data_bytes: 4096,
-    };
-    println!(
-        "{:<24}{:>12.2}B{:>15}B{:>15.1}:1",
-        avg.name,
-        avg.version_bytes,
-        avg.data_bytes,
-        avg.ratio()
-    );
-    println!(
-        "\n(paper: avg 17.08 B -> 240:1; page mix here: {:.1}% flat, {:.1}% uneven, {:.2}% full)",
-        flat as f64 / pages * 100.0,
-        uneven as f64 / pages * 100.0,
-        full as f64 / pages * 100.0
-    );
+    toleo_bench::experiments::cli_main("table4");
 }

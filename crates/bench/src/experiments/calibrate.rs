@@ -1,0 +1,58 @@
+//! Calibration dashboard: per-benchmark measured vs paper targets.
+
+// audit: allow-file(panic, figure experiment: abort on degenerate runs rather than emit bad data)
+
+use super::RunCtx;
+use crate::report::{Cell, Report, Table};
+use toleo_sim::config::Protection;
+use toleo_workloads::Benchmark;
+
+/// Builds the calibration dashboard.
+pub fn run(ctx: &RunCtx) -> Report {
+    let base = ctx.run_all(Protection::NoProtect);
+    let ci = ctx.run_all(Protection::Ci);
+    let toleo = ctx.run_all(Protection::Toleo);
+    let mut report = Report::new(
+        "calibrate",
+        "Calibration dashboard: measured vs paper targets",
+        ctx.gen.mem_ops as u64,
+    );
+    let mut table = Table::new(
+        "",
+        &[
+            "bench", "mpki", "target", "st-hit", "mac-hit", "CI-ovh", "T-ovh", "T-CI", "flat%",
+            "unev%", "full%",
+        ],
+    );
+    let mut mpki_err = Vec::new();
+    for (i, b) in Benchmark::all().iter().enumerate() {
+        let (f, u, fl) = toleo[i].trip_pages;
+        let tot = (f + u + fl).max(1) as f64;
+        // Typed-error overhead math: degenerate (zero-cycle) runs abort
+        // with a message instead of printing NaN rows.
+        let overhead = |run: &toleo_sim::system::RunStats, base: &toleo_sim::system::RunStats| {
+            run.overhead_vs(base)
+                .unwrap_or_else(|e| panic!("calibrate {}: {e}", b.name()))
+        };
+        mpki_err.push((base[i].llc_mpki - b.paper_mpki()).abs());
+        table.row(vec![
+            Cell::text(b.name()),
+            Cell::num(base[i].llc_mpki, 2),
+            Cell::num(b.paper_mpki(), 2),
+            Cell::pct(toleo[i].stealth_hit_rate, 1),
+            Cell::pct(toleo[i].mac_hit_rate, 1),
+            Cell::pct(overhead(&ci[i], &base[i]), 1),
+            Cell::pct(overhead(&toleo[i], &base[i]), 1),
+            Cell::pct(overhead(&toleo[i], &ci[i]), 1),
+            Cell::pct(f as f64 / tot, 1),
+            Cell::pct(u as f64 / tot, 1),
+            Cell::pct(fl as f64 / tot, 2),
+        ]);
+    }
+    report.tables.push(table);
+    report.metric(
+        "mpki.mean_abs_error",
+        mpki_err.iter().sum::<f64>() / mpki_err.len() as f64,
+    );
+    report
+}

@@ -1,0 +1,43 @@
+//! Figure 10: pages classified by their final Trip format.
+
+use super::RunCtx;
+use crate::report::{Cell, Report, Table};
+use toleo_sim::config::Protection;
+
+/// Measures the Trip-format page mix.
+pub fn run(ctx: &RunCtx) -> Report {
+    let stats = ctx.run_all(Protection::Toleo);
+    let mut report = Report::new(
+        "fig10",
+        "Figure 10. Pages classified by their Trip format (%)",
+        ctx.gen.mem_ops as u64,
+    );
+    let mut table = Table::new("", &["bench", "flat", "uneven", "full"]);
+    let (mut tf, mut tu, mut tfu) = (0u64, 0u64, 0u64);
+    for s in stats.iter() {
+        let (f, u, fl) = s.trip_pages;
+        let total = (f + u + fl).max(1) as f64;
+        tf += f;
+        tu += u;
+        tfu += fl;
+        table.row(vec![
+            Cell::text(&s.name),
+            Cell::pct(f as f64 / total, 1),
+            Cell::pct(u as f64 / total, 1),
+            Cell::pct(fl as f64 / total, 2),
+        ]);
+    }
+    let total = (tf + tu + tfu) as f64;
+    table.row(vec![
+        Cell::text("overall"),
+        Cell::pct(tf as f64 / total, 1),
+        Cell::pct(tu as f64 / total, 1),
+        Cell::pct(tfu as f64 / total, 2),
+    ]);
+    report.tables.push(table);
+    report.metric("overall.flat_fraction", tf as f64 / total);
+    report.metric("overall.uneven_fraction", tu as f64 / total);
+    report.metric("overall.full_fraction", tfu as f64 / total);
+    report.note("paper: 92% flat, 7.5% uneven, 0.32% full; fmi most uneven at 33%");
+    report
+}

@@ -1,0 +1,37 @@
+//! Figure 12: Toleo usage over time, by Trip format (per-benchmark
+//! series).
+
+use super::RunCtx;
+use crate::report::{Cell, Report, Table};
+use toleo_sim::config::Protection;
+
+/// Emits each benchmark's usage timeline.
+pub fn run(ctx: &RunCtx) -> Report {
+    let stats = ctx.run_all(Protection::Toleo);
+    let mut report = Report::new(
+        "fig12",
+        "Figure 12. Toleo Usage by Trip format w.r.t. Time",
+        ctx.gen.mem_ops as u64,
+    );
+    for s in stats.iter() {
+        let mut table = Table::new(
+            s.name.clone(),
+            &["instructions", "flat KB", "dyn KB", "total KB"],
+        );
+        for (instr, u) in &s.usage_timeline {
+            table.row(vec![
+                Cell::int(*instr),
+                Cell::num(u.flat_bytes as f64 / 1024.0, 1),
+                Cell::num(u.dynamic_bytes as f64 / 1024.0, 1),
+                Cell::num(u.total_bytes() as f64 / 1024.0, 1),
+            ]);
+        }
+        report.metric(
+            format!("{}.peak_total_kb", s.name),
+            s.peak_toleo.total_bytes() as f64 / 1024.0,
+        );
+        report.tables.push(table);
+    }
+    report.note("series: instructions, flat KB, uneven+full KB, total KB");
+    report
+}

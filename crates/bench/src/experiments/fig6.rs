@@ -1,0 +1,65 @@
+//! Figure 6: execution-time overhead of CI, Toleo and InvisiMem relative
+//! to no memory protection, per benchmark.
+
+// audit: allow-file(panic, figure experiment: abort on degenerate runs rather than emit bad data)
+
+use super::RunCtx;
+use crate::harness::mean;
+use crate::report::{Cell, Report, Table};
+use toleo_sim::config::Protection;
+
+/// Measures the overhead table and per-protection averages.
+pub fn run(ctx: &RunCtx) -> Report {
+    let base = ctx.run_all(Protection::NoProtect);
+    let ci = ctx.run_all(Protection::Ci);
+    let toleo = ctx.run_all(Protection::Toleo);
+    let invisimem = ctx.run_all(Protection::InvisiMem);
+
+    let mut report = Report::new(
+        "fig6",
+        "Figure 6. CI and Toleo Performance Overhead (% over NoProtect)",
+        ctx.gen.mem_ops as u64,
+    );
+    let mut table = Table::new("", &["bench", "CI", "Toleo", "InvisiMem", "Toleo-CI"]);
+    let mut ci_all = Vec::new();
+    let mut toleo_all = Vec::new();
+    let mut inv_all = Vec::new();
+    for i in 0..base.len() {
+        // overhead_vs reports zero-cycle/empty-trace runs as typed errors
+        // instead of letting NaN/inf poison the table averages.
+        let overhead = |run: &toleo_sim::system::RunStats| {
+            run.overhead_vs(&base[i])
+                .unwrap_or_else(|e| panic!("fig6 {}: {e}", base[i].name))
+        };
+        let c = overhead(&ci[i]);
+        let t = overhead(&toleo[i]);
+        let v = overhead(&invisimem[i]);
+        ci_all.push(c);
+        toleo_all.push(t);
+        inv_all.push(v);
+        table.row(vec![
+            Cell::text(&base[i].name),
+            Cell::pct(c, 1),
+            Cell::pct(t, 1),
+            Cell::pct(v, 1),
+            Cell::pct(t - c, 1),
+        ]);
+    }
+    table.row(vec![
+        Cell::text("average"),
+        Cell::pct(mean(&ci_all), 1),
+        Cell::pct(mean(&toleo_all), 1),
+        Cell::pct(mean(&inv_all), 1),
+        Cell::pct(mean(&toleo_all) - mean(&ci_all), 1),
+    ]);
+    report.tables.push(table);
+    report.metric("overhead.ci.avg", mean(&ci_all));
+    report.metric("overhead.toleo.avg", mean(&toleo_all));
+    report.metric("overhead.invisimem.avg", mean(&inv_all));
+    report.metric(
+        "overhead.toleo_minus_ci.avg",
+        mean(&toleo_all) - mean(&ci_all),
+    );
+    report.note("paper: CI avg 18%, Toleo adds 1-2% over CI, InvisiMem avg 29%");
+    report
+}

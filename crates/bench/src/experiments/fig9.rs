@@ -1,0 +1,42 @@
+//! Figure 9: average memory read latency, decomposed into DRAM access,
+//! decryption (C), integrity (I) and freshness (Toleo) components.
+
+use super::RunCtx;
+use crate::harness::mean;
+use crate::report::{Cell, Report, Table};
+use toleo_sim::config::{Protection, SimConfig};
+
+/// Measures the latency decomposition for every protection.
+pub fn run(ctx: &RunCtx) -> Report {
+    let mut report = Report::new(
+        "fig9",
+        "Figure 9. Average Memory Read Latency (ns)",
+        ctx.gen.mem_ops as u64,
+    );
+    for p in Protection::all() {
+        let mut table = Table::new(
+            format!("{p}"),
+            &["bench", "dram", "aes", "mac", "fresh", "total"],
+        );
+        let mut totals = Vec::new();
+        for s in ctx.run_all(p).iter() {
+            totals.push(s.avg_read_latency_ns());
+            table.row(vec![
+                Cell::text(&s.name),
+                Cell::num(s.avg_dram_ns, 0),
+                Cell::num(s.avg_aes_ns, 0),
+                Cell::num(s.avg_mac_ns, 0),
+                Cell::num(s.avg_fresh_ns, 0),
+                Cell::num(s.avg_read_latency_ns(), 0),
+            ]);
+        }
+        report.metric(format!("read_latency_ns.{p}.avg"), mean(&totals));
+        report.tables.push(table);
+    }
+    let cfg = SimConfig::scaled(Protection::NoProtect);
+    let zero_load = cfg.dram.zero_load_ns() + cfg.dram.t_rcd_ns;
+    report.metric("zero_load_dram_ns", zero_load);
+    report.note(format!("Zero-load DRAM reference: {zero_load:.0} ns"));
+    report.note("paper: AES +18.6%, integrity +36.9%, Toleo <5% except redis/memcached");
+    report
+}

@@ -1,0 +1,318 @@
+//! The experiment registry: every paper figure/table plus the wall-clock
+//! harnesses as library entry points.
+//!
+//! Each `src/bin/*.rs` figure binary used to own its experiment logic;
+//! the logic now lives here as a module returning a structured
+//! [`Report`], and the binaries are thin wrappers over [`cli_main`].
+//! That gives the `reproduce` harness (and the test suite) the same
+//! entry points the binaries use: run one experiment, get back machine-
+//! comparable tables and metrics instead of stdout text.
+//!
+//! A [`RunCtx`] carries the scale knobs and memoizes the expensive
+//! simulator sweeps: several experiments need "all 12 workloads under
+//! protection P", and the cache means each (protection, scale) pair is
+//! simulated once per process instead of once per experiment.
+//!
+//! # Example
+//!
+//! Run one experiment at a tiny scale and inspect its output:
+//!
+//! ```
+//! use toleo_bench::experiments;
+//!
+//! let ctx = experiments::RunCtx::with_ops(2_000, 2_000);
+//! let exp = experiments::find("fig10").expect("registered");
+//! let report = (exp.run)(&ctx);
+//! assert_eq!(report.name, "fig10");
+//! assert!(report.get_metric("overall.flat_fraction").is_some());
+//! // Machine-readable form parses under the workspace JSON reader.
+//! assert!(toleo_bench::json::parse(&report.to_json()).is_ok());
+//! ```
+
+pub mod ablations;
+pub mod availability;
+pub mod calibrate;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod sec62;
+pub mod sim_summary;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod throughput;
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use crate::perf;
+use crate::report::Report;
+use toleo_sim::config::Protection;
+use toleo_sim::system::RunStats;
+use toleo_workloads::GenConfig;
+
+/// One registered experiment.
+pub struct Experiment {
+    /// Registry name; also the binary name and the `results/<name>.*`
+    /// stem.
+    pub name: &'static str,
+    /// Which paper element it reproduces ("Figure 6", "Table 2", …).
+    pub paper_ref: &'static str,
+    /// One-line description for `reproduce --list` and the summary.
+    pub about: &'static str,
+    /// `true` for wall-clock measurements (throughput, availability):
+    /// their numbers vary run-to-run, so the delta report checks them
+    /// structurally and gates them with tolerance floors instead of
+    /// exact reference comparison.
+    pub timing: bool,
+    /// The entry point.
+    pub run: fn(&RunCtx) -> Report,
+}
+
+/// Scale knobs plus the memoized simulator sweeps shared by every
+/// experiment in one `reproduce` run.
+pub struct RunCtx {
+    /// Trace-generation config for the modeled-cycles experiments.
+    pub gen: GenConfig,
+    /// Ops per workload for the wall-clock harnesses.
+    pub perf_ops: u64,
+    /// Iterations per AES timing window (reduced in smoke mode).
+    pub aes_iters: u32,
+    cache: RefCell<HashMap<&'static str, Rc<Vec<RunStats>>>>,
+}
+
+fn protection_key(p: Protection) -> &'static str {
+    match p {
+        Protection::NoProtect => "NoProtect",
+        Protection::C => "C",
+        Protection::Ci => "CI",
+        Protection::Toleo => "Toleo",
+        Protection::InvisiMem => "InvisiMem",
+    }
+}
+
+impl RunCtx {
+    /// The standard context: paper-scale defaults, overridden by the
+    /// `TOLEO_BENCH_OPS` environment variable (which scales the modeled
+    /// traces and the wall-clock replay together — the CI smoke job sets
+    /// it to drive the whole registry in seconds).
+    pub fn from_env() -> RunCtx {
+        let gen = crate::harness::gen_config();
+        let perf_ops = std::env::var("TOLEO_BENCH_OPS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(perf::DEFAULT_OPS);
+        RunCtx::with_gen(gen, perf_ops)
+    }
+
+    /// A context at explicit scales (used by tests and `--ops`).
+    pub fn with_ops(mem_ops: usize, perf_ops: u64) -> RunCtx {
+        let gen = GenConfig {
+            mem_ops,
+            ..Default::default()
+        };
+        RunCtx::with_gen(gen, perf_ops)
+    }
+
+    fn with_gen(gen: GenConfig, perf_ops: u64) -> RunCtx {
+        RunCtx {
+            gen,
+            perf_ops,
+            // Full AES windows take ~seconds; smoke runs shrink them.
+            aes_iters: if perf_ops < 50_000 {
+                2_000
+            } else {
+                perf::AES_ITERS
+            },
+            cache: RefCell::new(HashMap::new()),
+        }
+    }
+
+    /// All 12 workloads under `protection`, memoized per protection for
+    /// the lifetime of this context.
+    pub fn run_all(&self, protection: Protection) -> Rc<Vec<RunStats>> {
+        let key = protection_key(protection);
+        if let Some(hit) = self.cache.borrow().get(key) {
+            return Rc::clone(hit);
+        }
+        let stats = Rc::new(crate::harness::run_all_with(protection, &self.gen));
+        self.cache.borrow_mut().insert(key, Rc::clone(&stats));
+        stats
+    }
+}
+
+/// Every experiment, in reporting order: the paper's tables, its
+/// figures, the security analysis and ablations, the raw simulator
+/// summary, then the wall-clock harnesses.
+pub static REGISTRY: [Experiment; 17] = [
+    Experiment {
+        name: "table1",
+        paper_ref: "Table 1",
+        about: "memory-protection guarantee comparison",
+        timing: false,
+        run: table1::run,
+    },
+    Experiment {
+        name: "table2",
+        paper_ref: "Table 2",
+        about: "benchmark characteristics: measured LLC MPKI and RSS vs paper",
+        timing: false,
+        run: table2::run,
+    },
+    Experiment {
+        name: "table3",
+        paper_ref: "Table 3",
+        about: "simulation configuration (paper preset and scaled preset)",
+        timing: false,
+        run: table3::run,
+    },
+    Experiment {
+        name: "table4",
+        paper_ref: "Table 4",
+        about: "freshness-protected version size comparison",
+        timing: false,
+        run: table4::run,
+    },
+    Experiment {
+        name: "fig6",
+        paper_ref: "Figure 6",
+        about: "execution-time overhead of CI/Toleo/InvisiMem vs NoProtect",
+        timing: false,
+        run: fig6::run,
+    },
+    Experiment {
+        name: "fig7",
+        paper_ref: "Figure 7",
+        about: "stealth-cache and MAC-cache hit rates",
+        timing: false,
+        run: fig7::run,
+    },
+    Experiment {
+        name: "fig8",
+        paper_ref: "Figure 8",
+        about: "memory bandwidth overhead: bytes per instruction by traffic class",
+        timing: false,
+        run: fig8::run,
+    },
+    Experiment {
+        name: "fig9",
+        paper_ref: "Figure 9",
+        about: "average memory read latency decomposition",
+        timing: false,
+        run: fig9::run,
+    },
+    Experiment {
+        name: "fig10",
+        paper_ref: "Figure 10",
+        about: "pages classified by final Trip format",
+        timing: false,
+        run: fig10::run,
+    },
+    Experiment {
+        name: "fig11",
+        paper_ref: "Figure 11",
+        about: "peak Toleo usage per TB of protected data",
+        timing: false,
+        run: fig11::run,
+    },
+    Experiment {
+        name: "fig12",
+        paper_ref: "Figure 12",
+        about: "Toleo usage by Trip format over time",
+        timing: false,
+        run: fig12::run,
+    },
+    Experiment {
+        name: "sec62",
+        paper_ref: "Section 6.2",
+        about: "stealth exhaustion / replay probability bounds + Monte-Carlo",
+        timing: false,
+        run: sec62::run,
+    },
+    Experiment {
+        name: "ablations",
+        paper_ref: "Section 7 (design choices)",
+        about: "reset policy, Trip dynamism, stealth width, tree walks, hot writes",
+        timing: false,
+        run: ablations::run,
+    },
+    Experiment {
+        name: "calibrate",
+        paper_ref: "Table 2 + Figures 6/7/10",
+        about: "calibration dashboard: measured vs paper targets",
+        timing: false,
+        run: calibrate::run,
+    },
+    Experiment {
+        name: "sim-summary",
+        paper_ref: "Section 5 (methodology)",
+        about: "raw modeled cycles/traffic for all 12 workloads x 5 protections",
+        timing: false,
+        run: sim_summary::run,
+    },
+    Experiment {
+        name: "throughput",
+        paper_ref: "BENCH_* lineage",
+        about: "wall-clock engine/AES/sharded/scheme throughput harness",
+        timing: true,
+        run: throughput::run,
+    },
+    Experiment {
+        name: "availability",
+        paper_ref: "BENCH_6 availability section",
+        about: "goodput under injected faults + one-shard quarantine containment",
+        timing: true,
+        run: availability::run,
+    },
+];
+
+/// The full registry.
+pub fn registry() -> &'static [Experiment] {
+    &REGISTRY
+}
+
+/// Looks up one experiment by name.
+pub fn find(name: &str) -> Option<&'static Experiment> {
+    REGISTRY.iter().find(|e| e.name == name)
+}
+
+/// Entry point for the thin figure binaries: run `name` at the
+/// environment-controlled scale and print the text rendering.
+pub fn cli_main(name: &str) {
+    // audit: allow(panic, figure binaries abort on a registry mismatch rather than print nothing)
+    let exp = find(name).unwrap_or_else(|| panic!("experiment {name:?} is not registered"));
+    let ctx = RunCtx::from_env();
+    let report = (exp.run)(&ctx);
+    print!("{}", report.render_text());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_names_are_unique_and_findable() {
+        for e in registry() {
+            assert!(std::ptr::eq(find(e.name).unwrap(), e));
+        }
+        let mut names: Vec<_> = registry().iter().map(|e| e.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), registry().len());
+    }
+
+    #[test]
+    fn run_all_memoizes_per_protection() {
+        let ctx = RunCtx::with_ops(500, 500);
+        let a = ctx.run_all(Protection::NoProtect);
+        let b = ctx.run_all(Protection::NoProtect);
+        assert!(Rc::ptr_eq(&a, &b), "second call must hit the cache");
+        assert_eq!(a.len(), 12);
+    }
+}

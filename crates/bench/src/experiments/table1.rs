@@ -1,0 +1,26 @@
+//! Table 1: memory-protection guarantee comparison.
+
+use super::RunCtx;
+use crate::report::{Cell, Report, Table};
+use toleo_baselines::schemes::Scheme;
+
+/// Builds the guarantee matrix (scale-independent).
+pub fn run(_ctx: &RunCtx) -> Report {
+    let mut report = Report::new("table1", "Table 1. Memory Protection Comparison", 0);
+    let schemes = Scheme::table1();
+    let mut table = Table::new("", &["Protects", "Client SGX", "Scalable SGX", "Toleo"]);
+    type GetCell = fn(&toleo_baselines::Guarantees) -> String;
+    let rows: [(&str, GetCell); 4] = [
+        ("Full Physical Memory Space", |g| g.full_space.to_string()),
+        ("Confidentiality", |g| g.confidentiality.to_string()),
+        ("Integrity", |g| g.integrity.to_string()),
+        ("Freshness", |g| g.freshness.to_string()),
+    ];
+    for (label, get) in rows {
+        let mut cells = vec![Cell::text(label)];
+        cells.extend(schemes.iter().map(|s| Cell::text(get(&s.guarantees()))));
+        table.row(cells);
+    }
+    report.tables.push(table);
+    report
+}

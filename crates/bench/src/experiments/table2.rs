@@ -1,0 +1,42 @@
+//! Table 2: benchmark characteristics — measured LLC MPKI and RSS of the
+//! synthetic traces, next to the paper's values for the real
+//! applications.
+
+use super::RunCtx;
+use crate::report::{Cell, Report, Table};
+use toleo_sim::config::Protection;
+use toleo_workloads::Benchmark;
+
+/// Measures the NoProtect characteristics of every trace.
+pub fn run(ctx: &RunCtx) -> Report {
+    let stats = ctx.run_all(Protection::NoProtect);
+    let mut report = Report::new(
+        "table2",
+        "Table 2. Benchmarks (measured on the scaled simulator; paper values for reference)",
+        ctx.gen.mem_ops as u64,
+    );
+    let mut table = Table::new(
+        "",
+        &[
+            "bench",
+            "LLC mpki",
+            "RSS (MB)",
+            "paper mpki",
+            "paper RSS (GB)",
+        ],
+    );
+    for (b, s) in Benchmark::all().iter().zip(stats.iter()) {
+        let rss_mb = s.rss_bytes as f64 / (1 << 20) as f64;
+        report.metric(format!("{}.llc_mpki", s.name), s.llc_mpki);
+        report.metric(format!("{}.rss_mb", s.name), rss_mb);
+        table.row(vec![
+            Cell::text(&s.name),
+            Cell::num(s.llc_mpki, 2),
+            Cell::num(rss_mb, 1),
+            Cell::num(b.paper_mpki(), 2),
+            Cell::num(b.paper_rss_gb(), 1),
+        ]);
+    }
+    report.tables.push(table);
+    report
+}

@@ -34,6 +34,106 @@ pub fn engine_blocks_per_sec(baseline: &Value, workload: &str) -> Result<f64, St
         .ok_or_else(|| format!("baseline workload {workload:?} has no usable blocks_per_sec"))
 }
 
+/// Looks up a scheme's single-op `blocks_per_sec` on `workload` in a
+/// v4+ baseline (the `schemes` array of per-scheme workload tables).
+///
+/// # Errors
+///
+/// A description of what is missing or malformed.
+pub fn scheme_blocks_per_sec(
+    baseline: &Value,
+    scheme: &str,
+    workload: &str,
+) -> Result<f64, String> {
+    let schemes = baseline
+        .get("schemes")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "baseline has no schemes array (needs schema v4+)".to_string())?;
+    let entry = schemes
+        .iter()
+        .find(|s| s.get("scheme").and_then(Value::as_str) == Some(scheme))
+        .ok_or_else(|| format!("baseline has no scheme {scheme:?}"))?;
+    let row = entry
+        .get("workloads")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("baseline scheme {scheme:?} has no workloads array"))?
+        .iter()
+        .find(|w| w.get("workload").and_then(Value::as_str) == Some(workload))
+        .ok_or_else(|| format!("baseline scheme {scheme:?} has no workload {workload:?}"))?;
+    row.get("blocks_per_sec")
+        .and_then(Value::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("baseline {scheme:?}/{workload:?} has no usable blocks_per_sec"))
+}
+
+/// Looks up a backend's 8-wide encrypt cost in ns/block in a v3+
+/// baseline (the `aes_backends` array). Lower is better: the floor on
+/// this metric is inverted.
+///
+/// # Errors
+///
+/// A description of what is missing or malformed.
+pub fn backend_encrypt8_ns(baseline: &Value, backend: &str) -> Result<f64, String> {
+    let backends = baseline
+        .get("aes_backends")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "baseline has no aes_backends array (needs schema v3+)".to_string())?;
+    let entry = backends
+        .iter()
+        .find(|b| b.get("name").and_then(Value::as_str) == Some(backend))
+        .ok_or_else(|| format!("baseline has no aes backend {backend:?}"))?;
+    entry
+        .get("encrypt8_ns_per_block")
+        .and_then(Value::as_f64)
+        .filter(|v| v.is_finite() && *v > 0.0)
+        .ok_or_else(|| format!("baseline backend {backend:?} has no usable encrypt8_ns_per_block"))
+}
+
+/// One floor verdict, generalizing [`GateRow`] to both directions: a
+/// throughput must clear `tolerance * baseline` from above, a latency
+/// must stay under `baseline / tolerance` from below.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FloorRow {
+    /// Metric name (e.g. `engine.random.blocks_per_sec`).
+    pub name: String,
+    /// Measured value.
+    pub measured: f64,
+    /// Baseline value.
+    pub baseline: f64,
+    /// `measured / baseline`.
+    pub ratio: f64,
+    /// Whether bigger measurements are better (throughput) or worse
+    /// (latency).
+    pub higher_is_better: bool,
+    /// Whether the row clears its floor at the given tolerance.
+    pub pass: bool,
+}
+
+/// Builds one floor verdict. `tolerance` in `(0, 1]`: a throughput row
+/// passes at `measured >= tolerance * baseline`, a latency row passes at
+/// `measured <= baseline / tolerance`.
+pub fn floor_row(
+    name: impl Into<String>,
+    measured: f64,
+    baseline: f64,
+    tolerance: f64,
+    higher_is_better: bool,
+) -> FloorRow {
+    let pass = if higher_is_better {
+        measured >= baseline * tolerance
+    } else {
+        measured <= baseline / tolerance
+    };
+    FloorRow {
+        name: name.into(),
+        measured,
+        baseline,
+        ratio: measured / baseline,
+        higher_is_better,
+        pass,
+    }
+}
+
 /// One gate verdict: a workload's measured throughput against its
 /// baseline floor.
 #[derive(Debug, Clone, PartialEq)]
@@ -162,6 +262,62 @@ mod tests {
     }
 
     #[test]
+    fn scheme_and_backend_lookups_key_structurally() {
+        let text = r#"
+        {
+          "schema": "toleo-bench-throughput/v5",
+          "aes_backends": [
+            {"name": "software", "encrypt8_ns_per_block": 54.3},
+            {"name": "aes-ni", "encrypt8_ns_per_block": 3.4}
+          ],
+          "schemes": [
+            {"scheme": "vault", "workloads": [
+              {"workload": "random", "batch_blocks_per_sec": 7, "blocks_per_sec": 500}
+            ]},
+            {"scheme": "toleo", "workloads": [
+              {"workload": "random", "blocks_per_sec": 900}
+            ]}
+          ]
+        }"#;
+        let base = json::parse(text).unwrap();
+        assert_eq!(
+            scheme_blocks_per_sec(&base, "toleo", "random").unwrap(),
+            900.0
+        );
+        assert_eq!(
+            scheme_blocks_per_sec(&base, "vault", "random").unwrap(),
+            500.0
+        );
+        assert!(scheme_blocks_per_sec(&base, "morph", "random")
+            .unwrap_err()
+            .contains("no scheme"));
+        assert!(scheme_blocks_per_sec(&base, "toleo", "sequential")
+            .unwrap_err()
+            .contains("no workload"));
+        assert_eq!(backend_encrypt8_ns(&base, "aes-ni").unwrap(), 3.4);
+        assert!(backend_encrypt8_ns(&base, "vaes")
+            .unwrap_err()
+            .contains("no aes backend"));
+        // v1 baselines lack both sections and must say so, not pass.
+        let v1 = json::parse(r#"{"engine": []}"#).unwrap();
+        assert!(scheme_blocks_per_sec(&v1, "toleo", "random").is_err());
+        assert!(backend_encrypt8_ns(&v1, "aes-ni").is_err());
+    }
+
+    #[test]
+    fn floor_rows_invert_for_latency() {
+        // Throughput: 0.9x baseline clears a 0.85 floor, 0.8x does not.
+        assert!(floor_row("t", 90.0, 100.0, 0.85, true).pass);
+        assert!(!floor_row("t", 80.0, 100.0, 0.85, true).pass);
+        // Latency: 1.1x baseline is fine at 0.85 (limit ~1.176x), 1.3x is not.
+        assert!(floor_row("l", 110.0, 100.0, 0.85, false).pass);
+        assert!(!floor_row("l", 130.0, 100.0, 0.85, false).pass);
+        let r = floor_row("l", 130.0, 100.0, 0.85, false);
+        assert!((r.ratio - 1.3).abs() < 1e-9);
+        assert!(!r.higher_is_better);
+    }
+
+    #[test]
     fn committed_baselines_satisfy_the_gate_reader() {
         for name in ["BENCH_2.json", "BENCH_3.json", "BENCH_4.json"] {
             let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
@@ -173,5 +329,16 @@ mod tests {
                 assert!(v > 0.0, "{name}/{workload}");
             }
         }
+        // The newest baseline also feeds the scheme and backend floors.
+        let path = format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+        let base = json::parse(&text).unwrap();
+        for scheme in ["toleo", "toleo-sharded", "sgx-tree", "vault", "morph"] {
+            for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
+                scheme_blocks_per_sec(&base, scheme, workload)
+                    .unwrap_or_else(|e| panic!("BENCH_6 {scheme}/{workload}: {e}"));
+            }
+        }
+        backend_encrypt8_ns(&base, "software").expect("BENCH_6 software backend");
     }
 }

@@ -1,26 +1,58 @@
 //! # toleo-bench
 //!
 //! Harness regenerating every table and figure of the Toleo paper's
-//! evaluation. Each `src/bin/tableN.rs` / `src/bin/figN.rs` binary prints
-//! the rows/series of its table or figure; `EXPERIMENTS.md` records
-//! paper-vs-measured values.
+//! evaluation (Section 6), plus two wall-clock harnesses over the
+//! functional engine. The single entry point is the `reproduce` binary:
 //!
-//! The [`harness`] module provides the shared machinery: generate all 12
-//! workload traces once, run them under any protection configuration (in
-//! parallel across workloads), and format aligned text tables.
+//! ```sh
+//! cargo run --release -p toleo-bench --bin reproduce
+//! ```
 //!
-//! The [`json`] module is a minimal JSON reader (the workspace vendors no
-//! `serde_json`), and [`gate`] builds the CI perf gate on top of it: the
-//! committed `BENCH_*.json` baseline is parsed *structurally* and keyed
-//! by workload name, so reordered workloads or adjacent
-//! `batch_blocks_per_sec`/`wall_blocks_per_sec` keys can never mis-pair
-//! a floor with the wrong measurement.
+//! which runs every experiment in [`experiments::REGISTRY`], writes a
+//! `results/` tree (JSON + Markdown per experiment), diffs it against
+//! the committed `expected/` references and `BENCH_*.json` perf floors,
+//! and exits nonzero on any divergence. Each `src/bin/tableN.rs` /
+//! `src/bin/figN.rs` binary is a thin wrapper over the same registry
+//! entry via [`experiments::cli_main`], so a scoped single-figure run
+//! and the full reproduction can never disagree.
+//!
+//! Module map:
+//!
+//! - [`experiments`] — the registry: every table/figure/harness as a
+//!   named [`experiments::Experiment`] returning a [`report::Report`],
+//!   with a shared memoizing [`experiments::RunCtx`].
+//! - [`report`] — the experiment output model (`toleo-experiment/v1`
+//!   schema): metrics + tables, deterministic 9-significant-digit JSON,
+//!   Markdown/text renderers.
+//! - [`repro`] — delta machinery: exact or structural comparison vs
+//!   `expected/`, perf-floor checks vs a `BENCH_*.json` baseline,
+//!   availability invariants, and the `EXPERIMENTS.md` generated-block
+//!   splicer.
+//! - [`perf`] — the wall-clock throughput and availability harnesses
+//!   (engine workloads, AES backends, sharded scaling, scheme arena,
+//!   fault injection, quarantine).
+//! - [`trajectory`] — renders the committed `BENCH_2 → BENCH_6`
+//!   performance lineage.
+//! - [`harness`] — shared trace machinery: generate all 12 workload
+//!   traces once, run them under any protection configuration (in
+//!   parallel across workloads).
+//! - [`json`] / [`gate`] — minimal JSON reader (the workspace vendors no
+//!   `serde_json`) and the baseline readers built on it: `BENCH_*.json`
+//!   is parsed *structurally* and keyed by workload/scheme/backend name,
+//!   so reordered rows or adjacent `batch_blocks_per_sec` /
+//!   `wall_blocks_per_sec` keys can never mis-pair a floor with the
+//!   wrong measurement.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod experiments;
 pub mod gate;
 pub mod json;
+pub mod perf;
+pub mod report;
+pub mod repro;
+pub mod trajectory;
 
 pub mod harness {
     //! Shared run-everything machinery for the per-figure binaries.

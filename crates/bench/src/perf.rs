@@ -1,0 +1,1216 @@
+//! The wall-clock performance machinery behind the `throughput` binary
+//! and the `reproduce` harness's timing experiments.
+//!
+//! Everything here used to live inside `src/bin/throughput.rs`; it is a
+//! library module so the `reproduce` registry can drive the same
+//! measurements (engine workloads, per-backend AES microbenchmarks, the
+//! sharded scaling sweep, the five-scheme head-to-head arena, the
+//! availability/quarantine experiments) without shelling out to the
+//! binary, and so the emitted `BENCH_*.json` stays byte-compatible with
+//! the committed lineage.
+//!
+//! Unlike the modeled-cycles experiments, every number here is a real
+//! `Instant`-clocked measurement on the current host: results vary run
+//! to run and host to host, which is why the reproduce harness gates
+//! them with tolerance floors ([`crate::gate`]) instead of exact
+//! reference comparison.
+
+// audit: allow-file(panic, perf harness: abort on setup/serialization failure rather than emit bad data)
+// audit: allow-file(secret, seed here names seed-commit perf baselines in the emitted JSON, not key material)
+
+use std::time::Instant;
+use toleo_baselines::{MorphEngine, SgxEngine, VaultEngine};
+use toleo_core::channel::RetryPolicy;
+use toleo_core::config::ToleoConfig;
+use toleo_core::engine::ProtectionEngine;
+use toleo_core::error::ToleoError;
+use toleo_core::fault::FaultPlanConfig;
+use toleo_core::protected::ProtectedMemory;
+use toleo_core::sharded::ShardedEngine;
+use toleo_crypto::aes::Aes128;
+use toleo_crypto::backend::{
+    available_backends, default_backend, set_default_backend, BackendKind,
+};
+use toleo_workloads::campaign::{tamper_schedule, FAULT_RATE_SWEEP};
+use toleo_workloads::concurrent::{multi_tenant, partition_by_page};
+use toleo_workloads::pattern::{engine_pattern, homogeneous_runs, EnginePattern};
+use toleo_workloads::{Op, Trace};
+
+/// Engine blocks/sec measured on the seed (pre-T-table, pre-arena)
+/// implementation at 200k ops, recorded when this harness was introduced.
+/// Keys are `EnginePattern::name()` order: sequential, random, hot-reset.
+pub const SEED_ENGINE_BLOCKS_PER_SEC: [f64; 3] = [606_917.0, 734_070.0, 355_539.0];
+/// AES-128 per-block encrypt cost of the seed byte-oriented
+/// implementation, measured by this harness's own 8-lane timing loop.
+pub const SEED_AES_ENCRYPT_NS: f64 = 167.0;
+/// AES-128 per-block decrypt cost of the seed implementation.
+pub const SEED_AES_DECRYPT_NS: f64 = 318.9;
+
+/// Default memory operations replayed per workload.
+pub const DEFAULT_OPS: u64 = 200_000;
+/// Footprint each pattern is confined to (1024 pages).
+pub const FOOTPRINT_BYTES: u64 = 4 << 20;
+/// Shard count for the sharded-engine sweep.
+pub const SHARDS: usize = 8;
+/// Worker-thread sweep for the scaling curve.
+pub const THREAD_SWEEP: [usize; 4] = [1, 2, 4, 8];
+/// Tenants in the multi-tenant workload (each runs its pattern in its own
+/// footprint window).
+pub const TENANTS: usize = 8;
+/// Max ops handed to one engine-batch call during batched replay.
+pub const BATCH_OPS: usize = 256;
+/// Timed iterations per AES measurement window at full scale.
+pub const AES_ITERS: u32 = 50_000;
+
+/// Every scheme in the head-to-head arena, in reporting order. Names are
+/// the [`ProtectedMemory::scheme`] identifiers.
+pub const SCHEMES: [&str; 5] = ["toleo", "toleo-sharded", "sgx-tree", "vault", "morph"];
+
+/// One engine workload's measured throughput, three ways.
+pub struct WorkloadResult {
+    /// `EnginePattern::name()` of the replayed pattern.
+    pub name: &'static str,
+    /// Blocks (reads + writes) replayed.
+    pub blocks: u64,
+    /// Single-op replay wall time.
+    pub seconds: f64,
+    /// Single-op replay throughput on the selected backend.
+    pub blocks_per_sec: f64,
+    /// `blocks_per_sec` over the seed implementation's number.
+    pub speedup_vs_seed: f64,
+    /// Same trace replayed through `read_batch`/`write_batch` in
+    /// homogeneous runs of up to [`BATCH_OPS`] ops (selected backend).
+    pub batch_blocks_per_sec: f64,
+    /// Same trace, single ops, engine forced onto the software AES
+    /// fallback — the portable floor every host is guaranteed.
+    pub software_blocks_per_sec: f64,
+}
+
+/// Per-backend AES-128 microbenchmark numbers.
+pub struct BackendAes {
+    /// Which backend was measured.
+    pub kind: BackendKind,
+    /// Single-block encrypt, ns/block.
+    pub encrypt_ns: f64,
+    /// Single-block decrypt, ns/block.
+    pub decrypt_ns: f64,
+    /// ns/block through the 8-wide pipelined `encrypt_blocks8` API.
+    pub encrypt8_ns: f64,
+    /// ns/block through the 8-wide pipelined `decrypt_blocks8` API.
+    pub decrypt8_ns: f64,
+}
+
+/// Runs `f` with the process-default AES backend pinned to `kind`,
+/// restoring the prior default afterwards (the harness is single-threaded,
+/// so this cannot race engine constructions).
+pub fn with_default_backend<T>(kind: BackendKind, f: impl FnOnce() -> T) -> T {
+    let prior = default_backend();
+    set_default_backend(Some(kind));
+    let out = f();
+    set_default_backend(Some(prior));
+    out
+}
+
+/// One thread count of a scaling curve.
+pub struct ScalePoint {
+    /// Worker-thread count.
+    pub threads: usize,
+    /// Blocks replayed across all workers.
+    pub blocks: u64,
+    /// Longest worker-group replay — the modeled wall-clock on >= threads
+    /// cores.
+    pub critical_path_seconds: f64,
+    /// `blocks / critical_path_seconds`.
+    pub blocks_per_sec: f64,
+    /// Real `std::thread::scope` execution on this host.
+    pub wall_seconds: f64,
+    /// `blocks / wall_seconds`.
+    pub wall_blocks_per_sec: f64,
+}
+
+/// One workload's thread-scaling curve over [`THREAD_SWEEP`].
+pub struct ScalingCurve {
+    /// Workload name.
+    pub workload: String,
+    /// One point per sweep thread count.
+    pub points: Vec<ScalePoint>,
+    /// Critical-path speedup of the 4-thread point over 1 thread.
+    pub speedup_4t_vs_1t: f64,
+}
+
+/// One scheme × workload cell of the head-to-head table.
+pub struct SchemeWorkload {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Blocks replayed.
+    pub blocks: u64,
+    /// Single-op replay through the `ProtectedMemory` trait.
+    pub blocks_per_sec: f64,
+    /// Same trace through the trait's batch entry points in homogeneous
+    /// runs of up to [`BATCH_OPS`] ops.
+    pub batch_blocks_per_sec: f64,
+    /// Version-store traffic reported by the scheme for the single-op
+    /// replay (device READ/UPDATEs for Toleo; uncached tree-node fetches
+    /// for the Merkle schemes).
+    pub version_fetches: u64,
+    /// Bulk re-encryption events (stealth resets / overflow resets /
+    /// leaf re-bases) during the single-op replay.
+    pub reencryption_events: u64,
+}
+
+/// One scheme's full row of the head-to-head table.
+pub struct SchemeResult {
+    /// `ProtectedMemory::scheme` identifier.
+    pub scheme: &'static str,
+    /// One cell per workload, in [`availability_workloads`] order.
+    pub workloads: Vec<SchemeWorkload>,
+}
+
+/// Constructs a fresh engine for `scheme`. Toleo engines take the
+/// workload-tuned config; the baseline engines protect the same
+/// footprint the traces are confined to.
+pub fn build_scheme(scheme: &'static str, cfg: &ToleoConfig) -> Box<dyn ProtectedMemory> {
+    match scheme {
+        "toleo" => {
+            Box::new(ProtectionEngine::try_new(cfg.clone(), [0x42u8; 48]).expect("valid config"))
+        }
+        "toleo-sharded" => {
+            Box::new(ShardedEngine::new(cfg.clone(), SHARDS, [0x42u8; 48]).expect("valid config"))
+        }
+        "sgx-tree" => Box::new(SgxEngine::new(FOOTPRINT_BYTES)),
+        "vault" => Box::new(VaultEngine::new(FOOTPRINT_BYTES)),
+        "morph" => Box::new(MorphEngine::new(FOOTPRINT_BYTES)),
+        other => unreachable!("unknown scheme {other}"),
+    }
+}
+
+/// Replays `trace` op-at-a-time through any scheme; returns
+/// (blocks, seconds).
+pub fn replay_single_dyn(trace: &Trace, mem: &mut dyn ProtectedMemory) -> (u64, f64) {
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for op in &trace.ops {
+        match op {
+            Op::Write(addr) => {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                mem.write(*addr, &[fill; 64]).expect("protected write");
+                blocks += 1;
+            }
+            Op::Read(addr) => {
+                let block = mem.read(*addr).expect("protected read");
+                checksum = checksum.wrapping_add(block[0] as u64);
+                blocks += 1;
+            }
+            Op::Compute(_) => {}
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    (blocks, seconds)
+}
+
+/// Replays `trace` through any scheme's batch entry points in homogeneous
+/// runs of up to [`BATCH_OPS`] ops; returns (blocks, seconds).
+pub fn replay_batched_dyn(trace: &Trace, mem: &mut dyn ProtectedMemory) -> (u64, f64) {
+    let runs = homogeneous_runs(trace, BATCH_OPS);
+    let mut write_buf: Vec<(u64, [u8; 64])> = Vec::with_capacity(BATCH_OPS);
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for (is_write, addrs) in &runs {
+        if *is_write {
+            write_buf.clear();
+            write_buf.extend(addrs.iter().map(|addr| {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                blocks += 1;
+                (*addr, [fill; 64])
+            }));
+            mem.write_batch(&write_buf).expect("protected write batch");
+        } else {
+            let out = mem.read_batch(addrs).expect("protected read batch");
+            for block in &out {
+                checksum = checksum.wrapping_add(block[0] as u64);
+            }
+            blocks += addrs.len() as u64;
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    (blocks, seconds)
+}
+
+/// The head-to-head sweep: every scheme replays the same four traces
+/// (same seeds, same footprint) through the shared trait, single-op and
+/// batched.
+pub fn run_scheme_sweep(ops: u64) -> Vec<SchemeResult> {
+    // (name, trace, toleo config) — baselines ignore the config.
+    let workloads = availability_workloads(ops);
+
+    SCHEMES
+        .iter()
+        .map(|&scheme| {
+            let rows = workloads
+                .iter()
+                .map(|(name, trace, cfg)| {
+                    let mut single = build_scheme(scheme, cfg);
+                    let (blocks, seconds) = replay_single_dyn(trace, single.as_mut());
+                    let stats = single.stats();
+                    let mut batched = build_scheme(scheme, cfg);
+                    let (batch_blocks, batch_seconds) = replay_batched_dyn(trace, batched.as_mut());
+                    assert_eq!(
+                        batch_blocks, blocks,
+                        "{scheme}/{name}: batched replay lost ops"
+                    );
+                    SchemeWorkload {
+                        workload: name,
+                        blocks,
+                        blocks_per_sec: blocks as f64 / seconds,
+                        batch_blocks_per_sec: batch_blocks as f64 / batch_seconds,
+                        version_fetches: stats.version_fetches,
+                        reencryption_events: stats.reencryption_events,
+                    }
+                })
+                .collect();
+            SchemeResult {
+                scheme,
+                workloads: rows,
+            }
+        })
+        .collect()
+}
+
+/// One fault rate of a workload's availability curve.
+pub struct AvailabilityPoint {
+    /// Injected transient-fault rate.
+    pub fault_rate: f64,
+    /// Blocks replayed.
+    pub blocks: u64,
+    /// Throughput at this fault rate.
+    pub blocks_per_sec: f64,
+    /// Throughput relative to the fault-free (rate 0) run of the same
+    /// workload — the goodput-vs-injected-fault-rate curve.
+    pub goodput_vs_fault_free: f64,
+    /// Faults the plan injected.
+    pub faults_injected: u64,
+    /// Faults absorbed by retry.
+    pub faults_absorbed: u64,
+    /// Channel retries issued.
+    pub retries: u64,
+    /// Cumulative modeled backoff.
+    pub backoff_nanos: u64,
+    /// Whether the run's observation checksum is bit-identical to the
+    /// fault-free run's (retries must be invisible to the application).
+    pub observations_match: bool,
+    /// Shard quarantines + world-kills during the run; any non-zero value
+    /// is a false kill, since injected transients are never integrity
+    /// failures.
+    pub false_kills: u64,
+}
+
+/// One workload's availability curve over [`FAULT_RATE_SWEEP`].
+pub struct AvailabilityWorkload {
+    /// Workload name.
+    pub workload: &'static str,
+    /// One point per fault rate.
+    pub points: Vec<AvailabilityPoint>,
+}
+
+/// The one-shard-tampered-under-traffic experiment.
+pub struct QuarantineExperiment {
+    /// Workload name.
+    pub workload: &'static str,
+    /// Trace op index at which the tamper was mounted.
+    pub tamper_at_op: u64,
+    /// Shard owning the tampered address.
+    pub tampered_shard: usize,
+    /// Shards quarantined by the end of the run (must be 1).
+    pub quarantined_shards: u64,
+    /// Whether the engine world-killed (must be false).
+    pub world_killed: bool,
+    /// Ops served by healthy shards after the quarantine engaged.
+    pub healthy_blocks: u64,
+    /// Healthy-shard throughput after quarantine.
+    pub healthy_blocks_per_sec: f64,
+    /// Trace ops refused with `ShardQuarantined` after detection.
+    pub refused_blocks: u64,
+    /// Total ops the engine served.
+    pub ops_served_total: u64,
+    /// Ops served when the quarantine engaged.
+    pub ops_at_quarantine: u64,
+}
+
+/// One faulted replay's raw outcome.
+pub struct FaultedRun {
+    /// Blocks replayed.
+    pub blocks: u64,
+    /// Wall time.
+    pub seconds: f64,
+    /// FNV fold of every read byte: two runs match iff the application
+    /// observed bit-identical data.
+    pub checksum: u64,
+    /// Engine robustness counters after the run.
+    pub stats: toleo_core::sharded::RobustnessStats,
+}
+
+/// Replays `trace` single-op through a sharded engine under `plan`. The
+/// channel's fault plan is salted per shard from the engine seed, so one
+/// campaign config fans out to [`SHARDS`] independent fault streams.
+pub fn replay_sharded_faulted(
+    trace: &Trace,
+    cfg: &ToleoConfig,
+    plan: Option<FaultPlanConfig>,
+) -> FaultedRun {
+    let engine = ShardedEngine::new_with_robustness(
+        cfg.clone(),
+        SHARDS,
+        [0x42u8; 48],
+        plan,
+        RetryPolicy::default(),
+    )
+    .expect("sharded engine");
+    let start = Instant::now();
+    let mut blocks = 0u64;
+    let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+    for op in &trace.ops {
+        match op {
+            Op::Write(addr) => {
+                let fill = (addr >> 6) as u8 ^ blocks as u8;
+                engine.write(*addr, &[fill; 64]).expect("protected write");
+                blocks += 1;
+            }
+            Op::Read(addr) => {
+                let block = engine.read(*addr).expect("protected read");
+                for b in block {
+                    checksum = (checksum ^ b as u64).wrapping_mul(0x100_0000_01b3);
+                }
+                blocks += 1;
+            }
+            Op::Compute(_) => {}
+        }
+    }
+    let seconds = start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    FaultedRun {
+        blocks,
+        seconds,
+        checksum,
+        stats: engine.robustness_stats(),
+    }
+}
+
+/// The four workload traces the availability sweep (and the scheme sweep)
+/// replays, with their tuned configs.
+pub fn availability_workloads(ops: u64) -> Vec<(&'static str, Trace, ToleoConfig)> {
+    let mut workloads: Vec<(&'static str, Trace, ToleoConfig)> = EnginePattern::all()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| {
+            (
+                p.name(),
+                engine_pattern(*p, ops, FOOTPRINT_BYTES, 0xBE2C + i as u64),
+                engine_cfg(Some(*p)),
+            )
+        })
+        .collect();
+    workloads.push((
+        "multi-tenant",
+        multi_tenant(
+            TENANTS,
+            ops / TENANTS as u64,
+            FOOTPRINT_BYTES / TENANTS as u64,
+            0xBE2F,
+        ),
+        engine_cfg(None),
+    ));
+    workloads
+}
+
+/// The availability sweep: each workload replayed under every fault rate
+/// of [`FAULT_RATE_SWEEP`] through the fault-injected device channel,
+/// reporting goodput vs the fault-free run and proving the injected
+/// transients were fully absorbed (identical observations, zero kills).
+pub fn run_availability(ops: u64) -> Vec<AvailabilityWorkload> {
+    availability_workloads(ops)
+        .into_iter()
+        .map(|(name, trace, cfg)| {
+            let mut points: Vec<AvailabilityPoint> = Vec::with_capacity(FAULT_RATE_SWEEP.len());
+            let mut reference: Option<(u64, f64, u64)> = None;
+            for (i, &rate) in FAULT_RATE_SWEEP.iter().enumerate() {
+                let plan = if rate > 0.0 {
+                    // Per-point seeds so the curve's rates don't share one
+                    // fault stream.
+                    Some(FaultPlanConfig::uniform(0xFA01 + i as u64, rate))
+                } else {
+                    None
+                };
+                let run = replay_sharded_faulted(&trace, &cfg, plan);
+                let blocks_per_sec = run.blocks as f64 / run.seconds;
+                let (ref_blocks, ref_rate, ref_checksum) =
+                    *reference.get_or_insert((run.blocks, blocks_per_sec, run.checksum));
+                assert_eq!(run.blocks, ref_blocks, "{name}: faulted run lost ops");
+                let false_kills = run.stats.quarantined_shards
+                    + u64::from(run.stats.world_killed)
+                    + run.stats.channel.retry_exhaustions;
+                assert_eq!(false_kills, 0, "{name}: transients at rate {rate} killed");
+                points.push(AvailabilityPoint {
+                    fault_rate: rate,
+                    blocks: run.blocks,
+                    blocks_per_sec,
+                    goodput_vs_fault_free: blocks_per_sec / ref_rate,
+                    faults_injected: run.stats.channel.faults_injected,
+                    faults_absorbed: run.stats.channel.faults_absorbed,
+                    retries: run.stats.channel.retries,
+                    backoff_nanos: run.stats.channel.backoff_nanos,
+                    observations_match: run.checksum == ref_checksum,
+                    false_kills,
+                });
+            }
+            AvailabilityWorkload {
+                workload: name,
+                points,
+            }
+        })
+        .collect()
+}
+
+/// Tamper one shard mid-traffic (at a `tamper_schedule` point) and measure
+/// what the remaining shards still deliver: the quarantine containment
+/// number the availability story rests on.
+pub fn run_quarantine_experiment(ops: u64) -> QuarantineExperiment {
+    let trace = engine_pattern(EnginePattern::Random, ops, FOOTPRINT_BYTES, 0xBE2D);
+    let cfg = engine_cfg(Some(EnginePattern::Random));
+    let engine = ShardedEngine::new(cfg, SHARDS, [0x42u8; 48]).expect("sharded engine");
+    let event = tamper_schedule(&trace, 1, 0xFA17)
+        .first()
+        .copied()
+        .expect("random trace has writes to tamper");
+    let tampered_shard = engine.shard_of_addr(event.addr);
+
+    let mut blocks = 0u64;
+    let mut healthy_blocks = 0u64;
+    let mut refused_blocks = 0u64;
+    let mut tampered = false;
+    let mut after_start = Instant::now();
+    let mut checksum = 0u64;
+    for op in &trace.ops {
+        let addr = match op {
+            Op::Write(addr) | Op::Read(addr) => *addr,
+            Op::Compute(_) => continue,
+        };
+        if !tampered && blocks == event.at_op {
+            // Mount the corruption, then act as the victim's next access
+            // to the block: detection quarantines the owning shard.
+            engine.with_adversary(event.addr, |dram| dram.corrupt_data(event.addr, 11, 0x5a));
+            match engine.read(event.addr) {
+                Err(ToleoError::IntegrityViolation { .. }) => {}
+                other => panic!("tamper must be detected, got {other:?}"),
+            }
+            assert!(engine.is_shard_quarantined(tampered_shard));
+            tampered = true;
+            after_start = Instant::now();
+        }
+        let result = match op {
+            Op::Write(_) => engine.write(addr, &[(addr >> 6) as u8 ^ blocks as u8; 64]),
+            Op::Read(addr) => engine.read(*addr).map(|block| {
+                checksum = checksum.wrapping_add(block[0] as u64);
+            }),
+            Op::Compute(_) => unreachable!(),
+        };
+        blocks += 1;
+        match result {
+            Ok(()) => {
+                if tampered {
+                    healthy_blocks += 1;
+                }
+            }
+            Err(ToleoError::ShardQuarantined { shard, .. }) => {
+                assert_eq!(shard, tampered_shard, "only the tampered shard refuses");
+                assert!(tampered);
+                refused_blocks += 1;
+            }
+            Err(e) => panic!("unexpected error under quarantine: {e}"),
+        }
+    }
+    let after_seconds = after_start.elapsed().as_secs_f64();
+    std::hint::black_box(checksum);
+    assert!(!engine.is_killed(), "a tamper must never world-kill");
+    assert_eq!(engine.quarantined_shard_count(), 1);
+    let rs = engine.robustness_stats();
+    QuarantineExperiment {
+        workload: "random",
+        tamper_at_op: event.at_op,
+        tampered_shard,
+        quarantined_shards: rs.quarantined_shards,
+        world_killed: rs.world_killed,
+        healthy_blocks,
+        healthy_blocks_per_sec: healthy_blocks as f64 / after_seconds,
+        refused_blocks,
+        ops_served_total: rs.ops_served,
+        ops_at_quarantine: rs.ops_at_last_quarantine,
+    }
+}
+
+/// The Toleo config each engine pattern runs under (hot-reset gets a
+/// fast-firing probabilistic reset so the re-encryption path dominates).
+pub fn engine_cfg(pattern: Option<EnginePattern>) -> ToleoConfig {
+    let mut cfg = ToleoConfig::small();
+    if pattern == Some(EnginePattern::HotReset) {
+        // Make the probabilistic stealth reset fire roughly every 256 hot
+        // writes so the page re-encryption slab walk dominates.
+        cfg.reset_log2 = 8;
+    }
+    cfg
+}
+
+/// Replays `trace` op-at-a-time through a fresh engine; returns
+/// (blocks, seconds).
+pub fn replay_single(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
+    let mut engine = ProtectionEngine::try_new(cfg.clone(), [0x42u8; 48]).unwrap();
+    replay_single_dyn(trace, &mut engine)
+}
+
+/// Replays `trace` through the engine's batched entry points in
+/// homogeneous runs of up to [`BATCH_OPS`] ops; returns (blocks, seconds).
+pub fn replay_batched(trace: &Trace, cfg: &ToleoConfig) -> (u64, f64) {
+    let mut engine = ProtectionEngine::try_new(cfg.clone(), [0x42u8; 48]).unwrap();
+    replay_batched_dyn(trace, &mut engine)
+}
+
+/// Measures one engine pattern three ways (single-op, batched, software
+/// fallback).
+pub fn run_workload(pattern: EnginePattern, idx: usize, ops: u64) -> WorkloadResult {
+    let trace = engine_pattern(pattern, ops, FOOTPRINT_BYTES, 0xBE2C + idx as u64);
+    let cfg = engine_cfg(Some(pattern));
+    let (blocks, seconds) = replay_single(&trace, &cfg);
+    let blocks_per_sec = blocks as f64 / seconds;
+    let (batch_blocks, batch_seconds) = replay_batched(&trace, &cfg);
+    assert_eq!(batch_blocks, blocks, "batched replay lost ops");
+    let (soft_blocks, soft_seconds) =
+        with_default_backend(BackendKind::Software, || replay_single(&trace, &cfg));
+    assert_eq!(soft_blocks, blocks, "software replay lost ops");
+    WorkloadResult {
+        name: pattern.name(),
+        blocks,
+        seconds,
+        blocks_per_sec,
+        speedup_vs_seed: blocks_per_sec / SEED_ENGINE_BLOCKS_PER_SEC[idx],
+        batch_blocks_per_sec: batch_blocks as f64 / batch_seconds,
+        software_blocks_per_sec: soft_blocks as f64 / soft_seconds,
+    }
+}
+
+/// Measures every engine pattern.
+pub fn run_engine_workloads(ops: u64) -> Vec<WorkloadResult> {
+    EnginePattern::all()
+        .iter()
+        .enumerate()
+        .map(|(i, p)| run_workload(*p, i, ops))
+        .collect()
+}
+
+/// Replays a set of per-shard sub-traces through the sharded handle,
+/// returning the block count.
+fn replay_parts(engine: &ShardedEngine, parts: &[&Trace]) -> u64 {
+    let mut blocks = 0u64;
+    let mut checksum = 0u64;
+    for part in parts {
+        for op in &part.ops {
+            match op {
+                Op::Write(addr) => {
+                    let fill = (addr >> 6) as u8;
+                    engine.write(*addr, &[fill; 64]).expect("protected write");
+                    blocks += 1;
+                }
+                Op::Read(addr) => {
+                    let block = engine.read(*addr).expect("protected read");
+                    checksum = checksum.wrapping_add(block[0] as u64);
+                    blocks += 1;
+                }
+                Op::Compute(_) => {}
+            }
+        }
+    }
+    std::hint::black_box(checksum);
+    blocks
+}
+
+/// Shards assigned to worker group `g` of `threads` (round-robin).
+fn group(parts: &[Trace], g: usize, threads: usize) -> Vec<&Trace> {
+    parts
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| s % threads == g)
+        .map(|(_, t)| t)
+        .collect()
+}
+
+/// Measures one thread count of the scaling curve for a pre-partitioned
+/// trace: the per-group critical path (each group replayed in isolation on
+/// a fresh engine) plus the real scoped-thread execution.
+fn sweep_point(cfg: &ToleoConfig, parts: &[Trace], threads: usize) -> ScalePoint {
+    // Critical path: time each worker group's stream by itself. Groups
+    // touch disjoint shards, so their times compose as max() under true
+    // parallelism.
+    let engine = ShardedEngine::new(cfg.clone(), SHARDS, [0x42u8; 48]).expect("sharded engine");
+    let mut blocks = 0u64;
+    let mut critical = 0f64;
+    for g in 0..threads {
+        let members = group(parts, g, threads);
+        let start = Instant::now();
+        blocks += replay_parts(&engine, &members);
+        critical = critical.max(start.elapsed().as_secs_f64());
+    }
+
+    // Validation run: the same decomposition on real scoped threads (on a
+    // host with >= `threads` cores this is the headline number; on fewer
+    // cores the workers time-slice).
+    let engine = ShardedEngine::new(cfg.clone(), SHARDS, [0x42u8; 48]).expect("sharded engine");
+    let start = Instant::now();
+    let wall_blocks: u64 = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|g| {
+                let engine = &engine;
+                let members = group(parts, g, threads);
+                s.spawn(move || replay_parts(engine, &members))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker")).sum()
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+    assert_eq!(wall_blocks, blocks, "threaded replay lost ops");
+
+    ScalePoint {
+        threads,
+        blocks,
+        critical_path_seconds: critical,
+        blocks_per_sec: blocks as f64 / critical,
+        wall_seconds,
+        wall_blocks_per_sec: blocks as f64 / wall_seconds,
+    }
+}
+
+/// Measures one workload's full thread-scaling curve.
+pub fn sweep_curve(name: &str, cfg: &ToleoConfig, trace: &Trace) -> ScalingCurve {
+    let parts = partition_by_page(trace, SHARDS);
+    let points: Vec<ScalePoint> = THREAD_SWEEP
+        .iter()
+        .map(|&t| sweep_point(cfg, &parts, t))
+        .collect();
+    let at = |points: &[ScalePoint], threads: usize| {
+        points
+            .iter()
+            .find(|p| p.threads == threads)
+            .expect("sweep point")
+            .blocks_per_sec
+    };
+    let one_thread = at(&points, 1);
+    ScalingCurve {
+        workload: name.to_string(),
+        speedup_4t_vs_1t: at(&points, 4) / one_thread,
+        points,
+    }
+}
+
+/// Measures the thread-scaling curves for every workload (sequential,
+/// random, hot-reset, multi-tenant).
+pub fn run_scaling_curves(ops: u64) -> Vec<ScalingCurve> {
+    let mut curves = Vec::new();
+    for pattern in [EnginePattern::Sequential, EnginePattern::Random] {
+        let trace = engine_pattern(pattern, ops, FOOTPRINT_BYTES, 0xBE2C);
+        curves.push(sweep_curve(
+            pattern.name(),
+            &engine_cfg(Some(pattern)),
+            &trace,
+        ));
+    }
+    {
+        let trace = engine_pattern(EnginePattern::HotReset, ops, FOOTPRINT_BYTES, 0xBE2E);
+        curves.push(sweep_curve(
+            EnginePattern::HotReset.name(),
+            &engine_cfg(Some(EnginePattern::HotReset)),
+            &trace,
+        ));
+    }
+    {
+        let trace = multi_tenant(
+            TENANTS,
+            ops / TENANTS as u64,
+            FOOTPRINT_BYTES / TENANTS as u64,
+            0xBE2F,
+        );
+        curves.push(sweep_curve("multi-tenant", &engine_cfg(None), &trace));
+    }
+    curves
+}
+
+/// Micro-measures one AES block operation in ns (median of 5 windows of
+/// `iters` iterations). Eight independent lanes are processed per
+/// iteration, mirroring how the engine's XTS mode feeds the cipher
+/// independent sectors, so the number reflects achievable throughput
+/// rather than serial-chain latency.
+pub fn measure_aes_ns(aes: &Aes128, iters: u32, f: impl Fn(&Aes128, &[u8; 16]) -> [u8; 16]) -> f64 {
+    const LANES: usize = 8;
+    let mut lanes = [[0x5au8; 16]; LANES];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        lane[0] = i as u8;
+    }
+    let mut windows: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                for lane in lanes.iter_mut() {
+                    *lane = f(aes, std::hint::black_box(lane));
+                }
+            }
+            start.elapsed().as_secs_f64() * 1e9 / (iters as f64 * LANES as f64)
+        })
+        .collect();
+    std::hint::black_box(lanes);
+    windows.sort_by(|a, b| a.total_cmp(b));
+    windows[windows.len() / 2]
+}
+
+/// Micro-measures the pipelined 8-wide multi-block API in ns/block
+/// (median of 5 windows of `iters` iterations): one `*_blocks8` call per
+/// iteration over eight independent lanes — the shape the XTS line path
+/// and the batched tweak precompute actually issue.
+pub fn measure_aes8_ns(aes: &Aes128, iters: u32, f: impl Fn(&Aes128, &mut [[u8; 16]; 8])) -> f64 {
+    let mut lanes = [[0x5au8; 16]; 8];
+    for (i, lane) in lanes.iter_mut().enumerate() {
+        lane[0] = i as u8;
+    }
+    let mut windows: Vec<f64> = (0..5)
+        .map(|_| {
+            let start = Instant::now();
+            for _ in 0..iters {
+                f(aes, std::hint::black_box(&mut lanes));
+            }
+            start.elapsed().as_secs_f64() * 1e9 / (iters as f64 * 8.0)
+        })
+        .collect();
+    std::hint::black_box(lanes);
+    windows.sort_by(|a, b| a.total_cmp(b));
+    windows[windows.len() / 2]
+}
+
+/// Measures every backend this host can construct, `iters` iterations per
+/// timing window ([`AES_ITERS`] at full scale; smoke runs pass less).
+pub fn measure_backends(iters: u32) -> Vec<BackendAes> {
+    available_backends()
+        .into_iter()
+        .map(|kind| {
+            let aes = Aes128::with_backend(b"throughput-key!!", kind);
+            BackendAes {
+                kind,
+                encrypt_ns: measure_aes_ns(&aes, iters, |a, b| a.encrypt_block(b)),
+                decrypt_ns: measure_aes_ns(&aes, iters, |a, b| a.decrypt_block(b)),
+                encrypt8_ns: measure_aes8_ns(&aes, iters, |a, b| a.encrypt_blocks8(b)),
+                decrypt8_ns: measure_aes8_ns(&aes, iters, |a, b| a.decrypt_blocks8(b)),
+            }
+        })
+        .collect()
+}
+
+/// Serializes the full measurement set as the committed `BENCH_*.json`
+/// schema (`toleo-bench-throughput/v5`).
+// One parameter per emitted JSON section; bundling them into a struct
+// would just move the same list behind a constructor.
+#[allow(clippy::too_many_arguments)]
+pub fn emit_json(
+    ops: u64,
+    results: &[WorkloadResult],
+    curves: &[ScalingCurve],
+    backends: &[BackendAes],
+    selected: BackendKind,
+    schemes: &[SchemeResult],
+    availability: &[AvailabilityWorkload],
+    quarantine: &QuarantineExperiment,
+) -> String {
+    let sel = backends
+        .iter()
+        .find(|b| b.kind == selected)
+        .expect("selected backend was measured");
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"toleo-bench-throughput/v5\",\n");
+    out.push_str("  \"pr\": 7,\n");
+    out.push_str(&format!("  \"ops_per_workload\": {ops},\n"));
+    out.push_str(&format!(
+        "  \"host_cores\": {},\n",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    ));
+    out.push_str(&format!(
+        "  \"selected_backend\": \"{}\",\n",
+        selected.name()
+    ));
+    out.push_str("  \"aes_backends\": [\n");
+    for (i, b) in backends.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"selected\": {}, \"encrypt_ns_per_block\": {:.1}, \
+             \"decrypt_ns_per_block\": {:.1}, \"encrypt8_ns_per_block\": {:.1}, \
+             \"decrypt8_ns_per_block\": {:.1}}}{}\n",
+            b.kind.name(),
+            b.kind == selected,
+            b.encrypt_ns,
+            b.decrypt_ns,
+            b.encrypt8_ns,
+            b.decrypt8_ns,
+            if i + 1 == backends.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    // v2-compatible block: the selected backend's single-block numbers.
+    let (enc_ns, dec_ns) = (sel.encrypt_ns, sel.decrypt_ns);
+    out.push_str("  \"aes128\": {\n");
+    out.push_str(&format!("    \"backend\": \"{}\",\n", selected.name()));
+    out.push_str(&format!("    \"encrypt_ns_per_block\": {enc_ns:.1},\n"));
+    out.push_str(&format!("    \"decrypt_ns_per_block\": {dec_ns:.1},\n"));
+    out.push_str(&format!(
+        "    \"seed_encrypt_ns_per_block\": {SEED_AES_ENCRYPT_NS:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"seed_decrypt_ns_per_block\": {SEED_AES_DECRYPT_NS:.1},\n"
+    ));
+    out.push_str(&format!(
+        "    \"encrypt_speedup_vs_seed\": {:.2},\n",
+        SEED_AES_ENCRYPT_NS / enc_ns
+    ));
+    out.push_str(&format!(
+        "    \"decrypt_speedup_vs_seed\": {:.2}\n",
+        SEED_AES_DECRYPT_NS / dec_ns
+    ));
+    out.push_str("  },\n");
+    out.push_str("  \"engine\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workload\": \"{}\",\n", r.name));
+        out.push_str(&format!("      \"blocks\": {},\n", r.blocks));
+        out.push_str(&format!("      \"seconds\": {:.4},\n", r.seconds));
+        out.push_str(&format!(
+            "      \"blocks_per_sec\": {:.0},\n",
+            r.blocks_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"batch_blocks_per_sec\": {:.0},\n",
+            r.batch_blocks_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"software_blocks_per_sec\": {:.0},\n",
+            r.software_blocks_per_sec
+        ));
+        out.push_str(&format!(
+            "      \"seed_blocks_per_sec\": {:.0},\n",
+            SEED_ENGINE_BLOCKS_PER_SEC[i]
+        ));
+        out.push_str(&format!(
+            "      \"speedup_vs_seed\": {:.2}\n",
+            r.speedup_vs_seed
+        ));
+        out.push_str(if i + 1 == results.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"sharded\": {\n");
+    out.push_str(&format!("    \"shards\": {SHARDS},\n"));
+    out.push_str(&format!(
+        "    \"thread_sweep\": [{}],\n",
+        THREAD_SWEEP.map(|t| t.to_string()).join(", ")
+    ));
+    out.push_str(
+        "    \"scaling_model\": \"critical-path: each worker group's disjoint shard stream \
+         timed in isolation; blocks_per_sec = blocks / max(group seconds). Equals wall-clock \
+         on a host with >= threads idle cores; wall_* fields are the real scoped-thread run \
+         on this host.\",\n",
+    );
+    out.push_str("    \"curves\": [\n");
+    for (ci, curve) in curves.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"workload\": \"{}\",\n", curve.workload));
+        out.push_str(&format!(
+            "        \"speedup_4t_vs_1t\": {:.2},\n",
+            curve.speedup_4t_vs_1t
+        ));
+        out.push_str("        \"points\": [\n");
+        for (pi, p) in curve.points.iter().enumerate() {
+            out.push_str(&format!(
+                "          {{\"threads\": {}, \"blocks\": {}, \"critical_path_seconds\": {:.4}, \
+                 \"blocks_per_sec\": {:.0}, \"wall_seconds\": {:.4}, \"wall_blocks_per_sec\": {:.0}}}{}\n",
+                p.threads,
+                p.blocks,
+                p.critical_path_seconds,
+                p.blocks_per_sec,
+                p.wall_seconds,
+                p.wall_blocks_per_sec,
+                if pi + 1 == curve.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("        ]\n");
+        out.push_str(if ci + 1 == curves.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    ]\n");
+    out.push_str("  },\n");
+    // v4: the head-to-head scheme arena — every ProtectedMemory scheme
+    // over every workload pattern, single-op and batched.
+    out.push_str("  \"schemes\": [\n");
+    for (si, s) in schemes.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"scheme\": \"{}\",\n", s.scheme));
+        out.push_str("      \"workloads\": [\n");
+        for (wi, w) in s.workloads.iter().enumerate() {
+            out.push_str(&format!(
+                "        {{\"workload\": \"{}\", \"blocks\": {}, \"blocks_per_sec\": {:.0}, \
+                 \"batch_blocks_per_sec\": {:.0}, \"version_fetches\": {}, \
+                 \"reencryption_events\": {}}}{}\n",
+                w.workload,
+                w.blocks,
+                w.blocks_per_sec,
+                w.batch_blocks_per_sec,
+                w.version_fetches,
+                w.reencryption_events,
+                if wi + 1 == s.workloads.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("      ]\n");
+        out.push_str(if si + 1 == schemes.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ],\n");
+    // v5: the availability section — goodput vs injected transient-fault
+    // rate for every workload through the fault-injected device channel,
+    // plus the one-shard-tampered quarantine containment experiment.
+    let policy = RetryPolicy::default();
+    out.push_str("  \"availability\": {\n");
+    out.push_str(&format!(
+        "    \"fault_rates\": [{}],\n",
+        FAULT_RATE_SWEEP.map(|r| format!("{r}")).join(", ")
+    ));
+    out.push_str(&format!(
+        "    \"retry_policy\": {{\"max_attempts\": {}, \"base_backoff_nanos\": {}, \
+         \"max_backoff_nanos\": {}}},\n",
+        policy.max_attempts, policy.base_backoff_nanos, policy.max_backoff_nanos
+    ));
+    out.push_str("    \"workloads\": [\n");
+    for (ai, a) in availability.iter().enumerate() {
+        out.push_str("      {\n");
+        out.push_str(&format!("        \"workload\": \"{}\",\n", a.workload));
+        out.push_str("        \"points\": [\n");
+        for (pi, p) in a.points.iter().enumerate() {
+            out.push_str(&format!(
+                "          {{\"fault_rate\": {}, \"blocks\": {}, \"blocks_per_sec\": {:.0}, \
+                 \"goodput_vs_fault_free\": {:.3}, \"faults_injected\": {}, \
+                 \"faults_absorbed\": {}, \"retries\": {}, \"backoff_nanos\": {}, \
+                 \"observations_match\": {}, \"false_kills\": {}}}{}\n",
+                p.fault_rate,
+                p.blocks,
+                p.blocks_per_sec,
+                p.goodput_vs_fault_free,
+                p.faults_injected,
+                p.faults_absorbed,
+                p.retries,
+                p.backoff_nanos,
+                p.observations_match,
+                p.false_kills,
+                if pi + 1 == a.points.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("        ]\n");
+        out.push_str(if ai + 1 == availability.len() {
+            "      }\n"
+        } else {
+            "      },\n"
+        });
+    }
+    out.push_str("    ],\n");
+    out.push_str("    \"quarantine\": {\n");
+    out.push_str(&format!(
+        "      \"workload\": \"{}\",\n",
+        quarantine.workload
+    ));
+    out.push_str(&format!(
+        "      \"tamper_at_op\": {},\n",
+        quarantine.tamper_at_op
+    ));
+    out.push_str(&format!(
+        "      \"tampered_shard\": {},\n",
+        quarantine.tampered_shard
+    ));
+    out.push_str(&format!(
+        "      \"quarantined_shards\": {},\n",
+        quarantine.quarantined_shards
+    ));
+    out.push_str(&format!(
+        "      \"world_killed\": {},\n",
+        quarantine.world_killed
+    ));
+    out.push_str(&format!(
+        "      \"healthy_blocks\": {},\n",
+        quarantine.healthy_blocks
+    ));
+    out.push_str(&format!(
+        "      \"healthy_blocks_per_sec\": {:.0},\n",
+        quarantine.healthy_blocks_per_sec
+    ));
+    out.push_str(&format!(
+        "      \"refused_blocks\": {},\n",
+        quarantine.refused_blocks
+    ));
+    out.push_str(&format!(
+        "      \"ops_served_total\": {},\n",
+        quarantine.ops_served_total
+    ));
+    out.push_str(&format!(
+        "      \"ops_at_quarantine\": {}\n",
+        quarantine.ops_at_quarantine
+    ));
+    out.push_str("    }\n");
+    out.push_str("  }\n");
+    out.push_str("}\n");
+    out
+}
+
+/// Well-formedness check: the emitted file must parse as JSON (with the
+/// same reader the perf gate uses) and carry every section and key the
+/// perf-trajectory tooling reads, including one scheme × workload row
+/// per arena cell.
+///
+/// # Errors
+///
+/// What is missing or malformed in the file at `path`.
+pub fn check_emitted(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    let root = crate::json::parse(&text).map_err(|e| format!("{path}: {e}"))?;
+    for key in [
+        "schema",
+        "selected_backend",
+        "aes_backends",
+        "aes128",
+        "engine",
+        "sharded",
+        "schemes",
+        "availability",
+    ] {
+        if root.get(key).is_none() {
+            return Err(format!("{path}: missing key {key:?}"));
+        }
+    }
+    for key in [
+        "\"encrypt8_ns_per_block\"",
+        "\"encrypt_speedup_vs_seed\"",
+        "\"batch_blocks_per_sec\"",
+        "\"software_blocks_per_sec\"",
+        "\"blocks_per_sec\"",
+        "\"speedup_vs_seed\"",
+        "\"thread_sweep\"",
+        "\"critical_path_seconds\"",
+        "\"speedup_4t_vs_1t\"",
+        "\"version_fetches\"",
+        "\"reencryption_events\"",
+        "\"fault_rates\"",
+        "\"retry_policy\"",
+        "\"goodput_vs_fault_free\"",
+        "\"faults_injected\"",
+        "\"observations_match\"",
+        "\"false_kills\"",
+        "\"quarantine\"",
+        "\"ops_at_quarantine\"",
+    ] {
+        if !text.contains(key) {
+            return Err(format!("{path}: missing key {key}"));
+        }
+    }
+    let schemes = root
+        .get("schemes")
+        .and_then(crate::json::Value::as_array)
+        .ok_or_else(|| format!("{path}: schemes is not an array"))?;
+    for scheme in SCHEMES {
+        let entry = schemes
+            .iter()
+            .find(|s| s.get("scheme").and_then(crate::json::Value::as_str) == Some(scheme))
+            .ok_or_else(|| format!("{path}: schemes missing {scheme:?}"))?;
+        let rows = entry
+            .get("workloads")
+            .and_then(crate::json::Value::as_array)
+            .ok_or_else(|| format!("{path}: {scheme} has no workloads array"))?;
+        for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
+            if !rows
+                .iter()
+                .any(|r| r.get("workload").and_then(crate::json::Value::as_str) == Some(workload))
+            {
+                return Err(format!("{path}: {scheme} missing workload {workload:?}"));
+            }
+        }
+    }
+    let avail_rows = root
+        .get("availability")
+        .and_then(|a| a.get("workloads"))
+        .and_then(crate::json::Value::as_array)
+        .ok_or_else(|| format!("{path}: availability.workloads is not an array"))?;
+    for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
+        let row = avail_rows
+            .iter()
+            .find(|r| r.get("workload").and_then(crate::json::Value::as_str) == Some(workload))
+            .ok_or_else(|| format!("{path}: availability missing workload {workload:?}"))?;
+        let points = row
+            .get("points")
+            .and_then(crate::json::Value::as_array)
+            .ok_or_else(|| format!("{path}: availability/{workload} has no points array"))?;
+        if points.len() != FAULT_RATE_SWEEP.len() {
+            return Err(format!(
+                "{path}: availability/{workload} has {} points, expected {}",
+                points.len(),
+                FAULT_RATE_SWEEP.len()
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The CI perf gate: every single-thread workload must hold at least
+/// `tolerance` × the committed baseline's blocks/s. The baseline is
+/// parsed structurally and paired by workload *name*
+/// ([`crate::gate::compare`]), so baseline row order and adjacent
+/// `batch_`/`wall_blocks_per_sec` keys cannot mis-pair a floor.
+///
+/// # Errors
+///
+/// An unreadable baseline or a workload below its floor.
+pub fn compare_against_baseline(
+    baseline_path: &str,
+    tolerance: f64,
+    results: &[WorkloadResult],
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("read baseline {baseline_path}: {e}"))?;
+    let measured: Vec<(&str, f64)> = results.iter().map(|r| (r.name, r.blocks_per_sec)).collect();
+    let rows = crate::gate::compare(&text, tolerance, &measured)
+        .map_err(|e| format!("baseline {baseline_path}: {e}"))?;
+    let mut failures = Vec::new();
+    for row in &rows {
+        println!(
+            "gate engine/{:<10} {:>10.0} blocks/s vs baseline {:>10.0} ({:>5.2}x, floor {:.2})",
+            row.workload, row.measured, row.baseline, row.ratio, tolerance
+        );
+        if !row.pass {
+            failures.push(format!(
+                "{}: {:.0} blocks/s < {tolerance} x baseline {:.0}",
+                row.workload, row.measured, row.baseline
+            ));
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("perf regression: {}", failures.join("; ")))
+    }
+}

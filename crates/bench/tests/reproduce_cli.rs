@@ -1,0 +1,209 @@
+//! End-to-end tests of the `reproduce` binary: the results tree is
+//! written, a clean run exits zero, and a doctored reference or a
+//! doctored perf baseline exits nonzero.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn reproduce() -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_reproduce"));
+    // Run from the repo root so `--compare BENCH_6.json`-style relative
+    // paths behave exactly as documented.
+    cmd.current_dir(Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."));
+    cmd
+}
+
+fn scratch(test: &str) -> PathBuf {
+    let dir = std::env::temp_dir()
+        .join("toleo-reproduce-tests")
+        .join(format!("{test}-{}", std::process::id()));
+    // A retry with the same pid must not see a previous run's files.
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+#[test]
+fn clean_run_writes_results_and_exits_zero() {
+    let dir = scratch("clean");
+    let out = dir.join("results");
+    let expected = dir.join("expected");
+
+    // First run bootstraps the references, second run must match them.
+    let status = reproduce()
+        .args(["--ops", "2000", "--only", "fig10,table2,sec62"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--expected")
+        .arg(&expected)
+        .arg("--update-expected")
+        .status()
+        .expect("spawn reproduce");
+    assert!(status.success(), "bootstrap run failed");
+
+    let status = reproduce()
+        .args(["--ops", "2000", "--only", "fig10,table2,sec62"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--expected")
+        .arg(&expected)
+        .status()
+        .expect("spawn reproduce");
+    assert!(status.success(), "verification run failed");
+
+    for stem in ["fig10", "table2", "sec62", "summary", "delta"] {
+        for ext in ["json", "md"] {
+            let path = out.join(format!("{stem}.{ext}"));
+            let wanted = (stem != "summary" && stem != "delta") || ext == "md";
+            assert_eq!(path.exists(), wanted, "{}", path.display());
+        }
+    }
+    let delta = std::fs::read_to_string(out.join("delta.md")).expect("delta.md");
+    assert_eq!(delta.matches("— match").count(), 3, "{delta}");
+}
+
+#[test]
+fn doctored_reference_fails_the_run() {
+    let dir = scratch("doctored-ref");
+    let out = dir.join("results");
+    let expected = dir.join("expected");
+
+    let status = reproduce()
+        .args(["--ops", "2000", "--only", "fig10"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--expected")
+        .arg(&expected)
+        .arg("--update-expected")
+        .status()
+        .expect("spawn reproduce");
+    assert!(status.success());
+
+    // Doctor the committed reference: nudge one metric.
+    let ref_path = expected.join("fig10.json");
+    let text = std::fs::read_to_string(&ref_path).expect("reference");
+    let needle = "\"overall.flat_fraction\": ";
+    let at = text.find(needle).expect("metric present") + needle.len();
+    let doctored = format!(
+        "{}0.123456{}",
+        &text[..at],
+        &text[text[at..].find(',').map(|i| at + i).unwrap()..]
+    );
+    std::fs::write(&ref_path, doctored).expect("write doctored reference");
+
+    let status = reproduce()
+        .args(["--ops", "2000", "--only", "fig10"])
+        .arg("--out")
+        .arg(&out)
+        .arg("--expected")
+        .arg(&expected)
+        .status()
+        .expect("spawn reproduce");
+    assert!(
+        !status.success(),
+        "a doctored reference must fail the reproduction"
+    );
+    let delta = std::fs::read_to_string(out.join("delta.md")).expect("delta.md");
+    assert!(delta.contains("DRIFT"), "{delta}");
+    assert!(delta.contains("overall.flat_fraction"), "{delta}");
+}
+
+#[test]
+fn missing_reference_fails_the_run() {
+    let dir = scratch("missing-ref");
+    let status = reproduce()
+        .args(["--ops", "2000", "--only", "fig10"])
+        .arg("--out")
+        .arg(dir.join("results"))
+        .arg("--expected")
+        .arg(dir.join("empty-expected"))
+        .status()
+        .expect("spawn reproduce");
+    assert!(!status.success(), "a missing reference must fail the run");
+}
+
+#[test]
+fn perf_floor_gate_fails_on_inflated_baseline() {
+    let dir = scratch("floors");
+    let out = dir.join("results");
+
+    // A baseline no host can match vs one any host clears.
+    let impossible = dir.join("impossible.json");
+    std::fs::write(
+        &impossible,
+        r#"{"pr": 99, "engine": [
+            {"workload": "sequential", "blocks_per_sec": 1e15},
+            {"workload": "random", "blocks_per_sec": 1e15},
+            {"workload": "hot-reset", "blocks_per_sec": 1e15}
+        ]}"#,
+    )
+    .expect("write baseline");
+    let trivial = dir.join("trivial.json");
+    std::fs::write(
+        &trivial,
+        r#"{"pr": 99, "engine": [
+            {"workload": "sequential", "blocks_per_sec": 1.0},
+            {"workload": "random", "blocks_per_sec": 1.0},
+            {"workload": "hot-reset", "blocks_per_sec": 1.0}
+        ]}"#,
+    )
+    .expect("write baseline");
+
+    let run = |baseline: &Path| {
+        reproduce()
+            .args(["--ops", "2000", "--only", "throughput"])
+            .arg("--out")
+            .arg(&out)
+            .arg("--compare")
+            .arg(baseline)
+            .status()
+            .expect("spawn reproduce")
+    };
+    assert!(
+        !run(&impossible).success(),
+        "an unreachable baseline floor must fail the gate"
+    );
+    let delta = std::fs::read_to_string(out.join("delta.md")).expect("delta.md");
+    assert!(delta.contains("FAIL"), "{delta}");
+    assert!(run(&trivial).success(), "a trivial floor must pass");
+}
+
+#[test]
+fn availability_invariants_are_always_gated() {
+    // No --compare needed: the correctness invariants (zero false kills,
+    // matching observations, single-shard quarantine) gate every run
+    // that includes the availability experiment.
+    let dir = scratch("invariants");
+    let out = dir.join("results");
+    let status = reproduce()
+        .args(["--ops", "2000", "--only", "availability"])
+        .arg("--out")
+        .arg(&out)
+        .status()
+        .expect("spawn reproduce");
+    assert!(status.success());
+    let delta = std::fs::read_to_string(out.join("delta.md")).expect("delta.md");
+    assert!(delta.contains("Availability invariants"), "{delta}");
+    assert_eq!(delta.matches("| pass |").count(), 4, "{delta}");
+}
+
+#[test]
+fn list_names_every_registered_experiment() {
+    let output = reproduce().arg("--list").output().expect("spawn reproduce");
+    assert!(output.status.success());
+    let stdout = String::from_utf8(output.stdout).expect("utf8");
+    for name in [
+        "table1",
+        "table4",
+        "fig6",
+        "fig12",
+        "sec62",
+        "ablations",
+        "calibrate",
+        "sim-summary",
+        "throughput",
+        "availability",
+    ] {
+        assert!(stdout.contains(name), "--list lacks {name}:\n{stdout}");
+    }
+}
