@@ -6,11 +6,11 @@
 //! cargo run --release -p toleo-bench --bin reproduce
 //! ```
 //!
-//! produces `results/<name>.{json,md}` for all 17 experiments plus
+//! produces `results/<name>.{json,md}` for all 18 experiments plus
 //! `summary.md`, `delta.md` and `trajectory.md`, compares every
 //! functional experiment against its `expected/<name>.json` reference
 //! (exact at matching scale, structural otherwise), checks the
-//! availability correctness invariants, and — with `--compare` — holds
+//! availability and recovery correctness invariants, and — with `--compare` — holds
 //! the wall-clock experiments to tolerance floors against a committed
 //! `BENCH_*.json` baseline. Any drift, missing reference, failed
 //! invariant or missed floor exits nonzero.
@@ -37,8 +37,8 @@ use toleo_bench::experiments::{self, Experiment, RunCtx};
 use toleo_bench::json;
 use toleo_bench::report::Report;
 use toleo_bench::repro::{
-    self, check_availability_invariants, check_perf_floors, compare_reports, DeltaOutcome,
-    DeltaStatus,
+    self, check_availability_invariants, check_perf_floors, check_recovery_invariants,
+    compare_reports, DeltaOutcome, DeltaStatus,
 };
 use toleo_bench::trajectory;
 
@@ -220,28 +220,49 @@ fn main() -> ExitCode {
         reports.insert(exp.name, report);
     }
 
-    // 2. Correctness invariants from the availability run.
+    // 2. Correctness invariants from the availability and recovery runs.
     let mut invariant_lines = Vec::new();
-    if let Some(availability) = reports.get("availability") {
-        match check_availability_invariants(availability) {
-            Ok(rows) => {
-                for r in &rows {
-                    invariant_lines.push(format!(
-                        "| `{}` | {} | {} | {} |",
-                        r.name,
-                        r.required,
-                        r.actual,
-                        if r.pass { "pass" } else { "**FAIL**" }
-                    ));
-                    if !r.pass {
-                        failures.push(format!(
-                            "availability invariant {} = {} (required {})",
-                            r.name, r.actual, r.required
+    let mut recovery_invariant_lines = Vec::new();
+    {
+        // (experiment, checker, rendered-line sink) — both experiments
+        // share one invariant-table shape.
+        type Checker = fn(&Report) -> Result<Vec<repro::InvariantRow>, String>;
+        let suites: [(&str, Checker, &mut Vec<String>); 2] = [
+            (
+                "availability",
+                check_availability_invariants,
+                &mut invariant_lines,
+            ),
+            (
+                "recovery",
+                check_recovery_invariants,
+                &mut recovery_invariant_lines,
+            ),
+        ];
+        for (name, check, lines) in suites {
+            let Some(report) = reports.get(name) else {
+                continue;
+            };
+            match check(report) {
+                Ok(rows) => {
+                    for r in &rows {
+                        lines.push(format!(
+                            "| `{}` | {} | {} | {} |",
+                            r.name,
+                            r.required,
+                            r.actual,
+                            if r.pass { "pass" } else { "**FAIL**" }
                         ));
+                        if !r.pass {
+                            failures.push(format!(
+                                "{name} invariant {} = {} (required {})",
+                                r.name, r.actual, r.required
+                            ));
+                        }
                     }
                 }
+                Err(e) => failures.push(format!("{name} invariants unreadable: {e}")),
             }
-            Err(e) => failures.push(format!("availability invariants unreadable: {e}")),
         }
     }
 
@@ -325,6 +346,18 @@ fn main() -> ExitCode {
             "## Availability invariants\n\n| invariant | required | actual | verdict |\n|---|---|---|---|\n",
         );
         for l in &invariant_lines {
+            delta_md.push_str(l);
+            delta_md.push('\n');
+        }
+        delta_md.push('\n');
+    }
+    if !recovery_invariant_lines.is_empty() {
+        delta_md.push_str(
+            "## Recovery invariants (required is a minimum for \
+             `recoveries.completed` and the goodput ratio)\n\n\
+             | invariant | required | actual | verdict |\n|---|---|---|---|\n",
+        );
+        for l in &recovery_invariant_lines {
             delta_md.push_str(l);
             delta_md.push('\n');
         }

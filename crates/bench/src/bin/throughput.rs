@@ -8,8 +8,8 @@
 //!
 //! ```sh
 //! cargo run --release -p toleo-bench --bin throughput -- \
-//!     --ops 400000 --out BENCH_6.json --check \
-//!     --compare BENCH_5.json --tolerance 0.85
+//!     --ops 400000 --out BENCH_7.json --check \
+//!     --compare BENCH_6.json --tolerance 0.85
 //! ```
 //!
 //! `--check` re-reads the emitted file and fails (non-zero exit) unless it
@@ -27,7 +27,7 @@ use toleo_crypto::backend::default_backend;
 
 fn main() {
     let mut ops = DEFAULT_OPS;
-    let mut out_path = String::from("BENCH_6.json");
+    let mut out_path = String::from("BENCH_7.json");
     let mut check = false;
     let mut compare: Option<String> = None;
     let mut tolerance = 0.85f64;
@@ -166,6 +166,33 @@ fn main() {
         quarantine.world_killed,
     );
 
+    // The recovery campaign: detection latency, MTTR and healthy-shard
+    // goodput through the full quarantine -> scrub -> re-key -> re-admit
+    // cycle.
+    let recovery = perf::run_recovery_experiment(ops);
+    for s in &recovery.best.steps {
+        println!(
+            "recovery/{:<9} step {} shard {}: detected in {:>3} ops, MTTR {:>6} ops, \
+             {} block(s) lost, generation {}",
+            recovery.workload,
+            s.step,
+            s.shard,
+            s.detection_latency_ops,
+            s.mttr_ops,
+            s.blocks_lost,
+            s.generation,
+        );
+    }
+    println!(
+        "recovery/{:<9} goodput during recovery {:.3}x fault-free (spread {:.3}), \
+         {} recoveries, {} blocks still lost",
+        recovery.workload,
+        recovery.goodput_during_recovery_vs_fault_free,
+        recovery.goodput_spread,
+        recovery.best.recovery.recoveries,
+        recovery.best.recovery.blocks_still_lost,
+    );
+
     let json = perf::emit_json(
         ops,
         &results,
@@ -175,6 +202,7 @@ fn main() {
         &schemes,
         &availability,
         &quarantine,
+        &recovery,
     );
     std::fs::write(&out_path, &json).expect("write BENCH json");
     println!("wrote {out_path}");

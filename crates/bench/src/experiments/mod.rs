@@ -39,6 +39,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig8;
 pub mod fig9;
+pub mod recovery;
 pub mod sec62;
 pub mod sim_summary;
 pub mod table1;
@@ -150,7 +151,7 @@ impl RunCtx {
 /// Every experiment, in reporting order: the paper's tables, its
 /// figures, the security analysis and ablations, the raw simulator
 /// summary, then the wall-clock harnesses.
-pub static REGISTRY: [Experiment; 17] = [
+pub static REGISTRY: [Experiment; 18] = [
     Experiment {
         name: "table1",
         paper_ref: "Table 1",
@@ -269,6 +270,13 @@ pub static REGISTRY: [Experiment; 17] = [
         about: "goodput under injected faults + one-shard quarantine containment",
         timing: true,
         run: availability::run,
+    },
+    Experiment {
+        name: "recovery",
+        paper_ref: "BENCH_7 availability section",
+        about: "adversary campaign: detection latency, MTTR, goodput during recovery",
+        timing: true,
+        run: recovery::run,
     },
 ];
 

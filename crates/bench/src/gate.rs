@@ -329,16 +329,34 @@ mod tests {
                 assert!(v > 0.0, "{name}/{workload}");
             }
         }
-        // The newest baseline also feeds the scheme and backend floors.
-        let path = format!("{}/../../BENCH_6.json", env!("CARGO_MANIFEST_DIR"));
-        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
-        let base = json::parse(&text).unwrap();
-        for scheme in ["toleo", "toleo-sharded", "sgx-tree", "vault", "morph"] {
-            for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
-                scheme_blocks_per_sec(&base, scheme, workload)
-                    .unwrap_or_else(|e| panic!("BENCH_6 {scheme}/{workload}: {e}"));
+        // The newer baselines also feed the scheme and backend floors.
+        for name in ["BENCH_6.json", "BENCH_7.json"] {
+            let path = format!("{}/../../{name}", env!("CARGO_MANIFEST_DIR"));
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+            let base = json::parse(&text).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for scheme in ["toleo", "toleo-sharded", "sgx-tree", "vault", "morph"] {
+                for workload in ["sequential", "random", "hot-reset", "multi-tenant"] {
+                    scheme_blocks_per_sec(&base, scheme, workload)
+                        .unwrap_or_else(|e| panic!("{name} {scheme}/{workload}: {e}"));
+                }
             }
+            backend_encrypt8_ns(&base, "software")
+                .unwrap_or_else(|e| panic!("{name} software backend: {e}"));
         }
-        backend_encrypt8_ns(&base, "software").expect("BENCH_6 software backend");
+        // BENCH_7 is the first baseline with the recovery subsection.
+        let path = format!("{}/../../BENCH_7.json", env!("CARGO_MANIFEST_DIR"));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let base = json::parse(&text).unwrap();
+        let rec = base
+            .get("availability")
+            .and_then(|a| a.get("recovery"))
+            .expect("BENCH_7 availability.recovery");
+        for key in [
+            "detection_latency_max_ops",
+            "mttr_max_ops",
+            "goodput_during_recovery_vs_fault_free",
+        ] {
+            assert!(rec.get(key).is_some(), "BENCH_7 recovery missing {key}");
+        }
     }
 }

@@ -341,6 +341,58 @@ pub fn check_availability_invariants(availability: &Report) -> Result<Vec<Invari
         .collect()
 }
 
+/// Checks the recovery experiment's correctness invariants: the adversary
+/// campaign never false-kills or world-kills, observations on
+/// never-attacked addresses stay bit-identical across every
+/// quarantine → recover → re-serve cycle, lost blocks surface only as
+/// typed errors, every step is detected within the kill-poll bound and
+/// ends re-admitted, and healthy shards keep at least 0.9× the
+/// fault-free goodput while a recovery runs.
+///
+/// # Errors
+///
+/// The report is missing one of the invariant metrics.
+pub fn check_recovery_invariants(recovery: &Report) -> Result<Vec<InvariantRow>, String> {
+    /// Exact invariants: `actual == required`.
+    const EXACT: [(&str, f64); 6] = [
+        ("false_kills.total", 0.0),
+        ("world_killed", 0.0),
+        ("observations.mismatches", 0.0),
+        ("pages_lost.unaccounted", 0.0),
+        ("detection.within_poll_bound", 1.0),
+        ("recovery.readmitted_all", 1.0),
+    ];
+    /// Floor invariants: `actual >= required`.
+    const FLOORS: [(&str, f64); 2] = [
+        ("recoveries.completed", 2.0),
+        ("goodput.during_recovery_vs_fault_free", 0.9),
+    ];
+    let row = |name: &'static str, required: f64, exact: bool| {
+        let actual = recovery
+            .get_metric(name)
+            .ok_or_else(|| format!("recovery report has no metric {name}"))?;
+        Ok(InvariantRow {
+            name,
+            required,
+            actual,
+            pass: if exact {
+                actual == required
+            } else {
+                actual >= required
+            },
+        })
+    };
+    EXACT
+        .iter()
+        .map(|&(name, required)| row(name, required, true))
+        .chain(
+            FLOORS
+                .iter()
+                .map(|&(name, required)| row(name, required, false)),
+        )
+        .collect()
+}
+
 /// The experiments whose reference tables `reproduce --render` inlines
 /// into `EXPERIMENTS.md` (the headline paper-vs-measured results; the
 /// rest live under `expected/` and `results/`).
@@ -659,6 +711,52 @@ mod tests {
 
         let empty = Report::new("availability", "d", 10);
         assert!(check_availability_invariants(&empty)
+            .unwrap_err()
+            .contains("false_kills.total"));
+    }
+
+    #[test]
+    fn recovery_invariants_mix_exact_and_floor_checks() {
+        let mut ok = Report::new("recovery", "d", 10);
+        ok.metric("false_kills.total", 0.0);
+        ok.metric("world_killed", 0.0);
+        ok.metric("observations.mismatches", 0.0);
+        ok.metric("pages_lost.unaccounted", 0.0);
+        ok.metric("detection.within_poll_bound", 1.0);
+        ok.metric("recovery.readmitted_all", 1.0);
+        ok.metric("recoveries.completed", 2.0);
+        ok.metric("goodput.during_recovery_vs_fault_free", 0.97);
+        let rows = check_recovery_invariants(&ok).unwrap();
+        assert_eq!(rows.len(), 8);
+        assert!(rows.iter().all(|r| r.pass));
+
+        // Floors pass above their requirement but fail below it.
+        let mut more = ok.clone();
+        more.metrics.retain(|(k, _)| k != "recoveries.completed");
+        more.metric("recoveries.completed", 3.0);
+        assert!(check_recovery_invariants(&more)
+            .unwrap()
+            .iter()
+            .all(|r| r.pass));
+        let mut slow = ok.clone();
+        slow.metrics
+            .retain(|(k, _)| k != "goodput.during_recovery_vs_fault_free");
+        slow.metric("goodput.during_recovery_vs_fault_free", 0.5);
+        let rows = check_recovery_invariants(&slow).unwrap();
+        let goodput = rows
+            .iter()
+            .find(|r| r.name == "goodput.during_recovery_vs_fault_free")
+            .unwrap();
+        assert!(!goodput.pass);
+
+        // Exact invariants fail on ANY deviation, including "too big".
+        let mut killed = ok.clone();
+        killed.metrics.retain(|(k, _)| k != "false_kills.total");
+        killed.metric("false_kills.total", 1.0);
+        assert!(!check_recovery_invariants(&killed).unwrap()[0].pass);
+
+        let empty = Report::new("recovery", "d", 10);
+        assert!(check_recovery_invariants(&empty)
             .unwrap_err()
             .contains("false_kills.total"));
     }

@@ -1,4 +1,4 @@
-//! The BENCH_2 → BENCH_6 lineage renderer: turns the committed
+//! The BENCH_2 → BENCH_7 lineage renderer: turns the committed
 //! `BENCH_*.json` baselines into the Markdown trajectory tables that
 //! `EXPERIMENTS.md` and `results/trajectory.md` carry.
 //!
@@ -12,14 +12,15 @@
 use crate::json::{self, Value};
 
 /// The committed baseline files, oldest first, with the PR labels the
-/// tables use. (BENCH_6 was emitted by PR 7; there was no BENCH file for
-/// PR 6, the audit PR.)
-pub const LINEAGE: [&str; 5] = [
+/// tables use. (BENCH_6 was emitted by PR 7 and BENCH_7 by PR 9; there
+/// was no BENCH file for PR 6, the audit PR, or PR 8, the reproduce PR.)
+pub const LINEAGE: [&str; 6] = [
     "BENCH_2.json",
     "BENCH_3.json",
     "BENCH_4.json",
     "BENCH_5.json",
     "BENCH_6.json",
+    "BENCH_7.json",
 ];
 
 /// One parsed baseline with its display label.

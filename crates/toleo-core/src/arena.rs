@@ -275,6 +275,13 @@ impl UntrustedDram {
     pub fn resident_blocks(&self) -> usize {
         self.slots.iter().map(PageSlot::resident).sum()
     }
+
+    /// Iterates over every touched page and its slot id in unspecified
+    /// order — the walk a recovery scrub uses to re-verify a quarantined
+    /// shard's entire untrusted state.
+    pub fn pages(&self) -> impl Iterator<Item = (u64, SlotId)> + '_ {
+        self.index.iter().map(|(page, id)| (page, SlotId(id)))
+    }
 }
 
 #[cfg(test)]
@@ -426,6 +433,21 @@ mod tests {
         let ct = arena.ciphertext(0).unwrap();
         assert_eq!(ct[17], 0xff);
         assert!(ct.iter().enumerate().all(|(i, &b)| i == 17 || b == 0));
+    }
+
+    #[test]
+    fn pages_walk_visits_every_touched_page_once() {
+        let mut arena = UntrustedDram::default();
+        for page in [3u64, 9, 1000, 7] {
+            let id = arena.ensure_slot(page);
+            arena.slot_mut(id).set_block(1, [page as u8; 64]);
+        }
+        let mut seen: Vec<u64> = arena.pages().map(|(page, _)| page).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![3, 7, 9, 1000]);
+        for (page, id) in arena.pages() {
+            assert_eq!(arena.slot(id).block(1), Some(&[page as u8; 64]));
+        }
     }
 
     #[test]

@@ -63,6 +63,16 @@ pub enum ToleoError {
         /// What the validation rejected.
         detail: String,
     },
+    /// The block was unrecoverable when its shard was scrubbed after a
+    /// quarantine: its ciphertext/MAC/version no longer verified, so the
+    /// re-keyed shard refuses the address instead of serving silent
+    /// zeroes. A fresh write to the address clears the marker.
+    PageLost {
+        /// Shard that lost the block during recovery.
+        shard: usize,
+        /// Physical address of the unrecoverable cache block.
+        address: u64,
+    },
 }
 
 impl std::fmt::Display for ToleoError {
@@ -98,6 +108,13 @@ impl std::fmt::Display for ToleoError {
             }
             ToleoError::InvalidConfig { detail } => {
                 write!(f, "invalid ToleoConfig: {detail}")
+            }
+            ToleoError::PageLost { shard, address } => {
+                write!(
+                    f,
+                    "block {address:#x} lost during shard {shard} recovery: \
+                     rewrite it before reading"
+                )
             }
         }
     }
@@ -179,6 +196,12 @@ mod tests {
         }
         .to_string()
         .contains("quarantined"));
+        assert!(ToleoError::PageLost {
+            shard: 5,
+            address: 0x1040,
+        }
+        .to_string()
+        .contains("lost during shard 5 recovery"));
     }
 
     #[test]

@@ -397,7 +397,9 @@ impl FaultPlan {
 }
 
 /// The splitmix64 finalizer (same constants as the shard-seed derivation).
-fn splitmix64(x: u64) -> u64 {
+/// Also used by [`RetryPolicy`](crate::channel::RetryPolicy) to derive
+/// deterministic backoff jitter.
+pub(crate) fn splitmix64(x: u64) -> u64 {
     let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -533,6 +535,50 @@ mod tests {
                 "spec {bad:?} must be rejected"
             );
         }
+    }
+
+    /// One fixture per malformed shape the `TOLEO_FAULT_PLAN` grammar can
+    /// produce: each must yield a typed [`ToleoError::InvalidConfig`]
+    /// whose detail names the offending token — never a panic, and never
+    /// a silently fault-free plan.
+    #[test]
+    fn parse_reports_the_offending_token_per_malformed_shape() {
+        let fixtures: [(&str, &str); 15] = [
+            // key=value framing
+            ("seed", "is not key=value"),
+            ("seed=7,, burst", "is not key=value"),
+            ("=3", "unknown key \"\""),
+            ("frobnicate=1", "unknown key \"frobnicate\""),
+            // seed shapes
+            ("seed=x", "seed=\"x\""),
+            ("seed=-1", "seed=\"-1\""),
+            ("seed=1.5", "seed=\"1.5\""),
+            // rate shapes
+            ("rate=abc", "rate=\"abc\""),
+            ("rate=1e", "rate=\"1e\""),
+            ("rate=nan", "outside 0..=1"),
+            ("dropped=2", "outside 0..=1"),
+            ("timeout=0.6,busy=0.6", "sum to 1.2 > 1"),
+            // burst shapes
+            ("burst=10", "missing len"),
+            ("burst=ten:2:1", "burst period \"ten\""),
+            ("burst=10:2:x", "burst multiplier=\"x\""),
+        ];
+        for (spec, expected) in fixtures {
+            match FaultPlanConfig::parse(spec) {
+                Err(ToleoError::InvalidConfig { detail }) => assert!(
+                    detail.contains(expected),
+                    "spec {spec:?}: detail {detail:?} must mention {expected:?}"
+                ),
+                other => panic!("spec {spec:?} must fail typed, got {other:?}"),
+            }
+        }
+        // The complement of "never silently fault-free": a well-formed
+        // spec arms exactly what it says.
+        let ok = FaultPlanConfig::parse("seed=3,timeout=0.2").unwrap();
+        assert_eq!(ok.seed, 3);
+        assert_eq!(ok.read.timeout, 0.2);
+        assert!(ok.read.total() > 0.0);
     }
 
     #[test]

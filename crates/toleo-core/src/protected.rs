@@ -97,6 +97,10 @@ impl From<ToleoError> for MemoryError {
             ToleoError::PageOutOfRange { page, .. } => MemoryError::OutOfRange {
                 address: page * crate::config::PAGE_BYTES as u64,
             },
+            // A block the scrub could not re-verify is data the adversary
+            // destroyed: the harness must see the integrity failure, not a
+            // retryable resource hiccup.
+            ToleoError::PageLost { address, .. } => MemoryError::IntegrityViolation { address },
             other => MemoryError::Resource {
                 detail: other.to_string(),
             },
@@ -488,6 +492,13 @@ mod tests {
         assert!(matches!(
             MemoryError::from(ToleoError::PageOutOfRange { page: 9, pages: 4 }),
             MemoryError::OutOfRange { .. }
+        ));
+        assert!(matches!(
+            MemoryError::from(ToleoError::PageLost {
+                shard: 1,
+                address: 0x40
+            }),
+            MemoryError::IntegrityViolation { address: 0x40 }
         ));
         let be = MemoryBatchError {
             index: 4,

@@ -17,7 +17,7 @@
 //! per-shard op queues and drain them with [`std::thread::scope`] workers,
 //! one per occupied shard.
 //!
-//! Failure containment is a two-level ladder:
+//! Failure containment is an escalation ladder:
 //!
 //! * **Quarantine** — a shard whose engine detects tampering or replay is
 //!   frozen *alone*: its engine's kill switch engages (so the shard is
@@ -28,11 +28,17 @@
 //!   deny service to every other tenant in the pool. In-flight batch
 //!   workers on healthy shards observe the quarantine within one
 //!   kill-poll interval and simply keep draining their own queues.
+//! * **Recover** — a quarantined shard can be scrubbed, re-keyed under a
+//!   fresh key generation, and re-admitted to service by
+//!   [`ShardedEngine::recover_shard`] (see the [`recovery`] module);
+//!   blocks the scrub could not re-verify refuse with
+//!   [`ToleoError::PageLost`] until rewritten.
 //! * **World-kill** — a *device-level* failure (the freshness device
 //!   unreachable after the [`DeviceChannel`](crate::channel::DeviceChannel)
-//!   retry budget) means freshness can no longer be verified for anyone:
-//!   the global flag flips, in-flight batch workers abort, and every peer
-//!   shard is force-killed so each is individually inert thereafter.
+//!   retry budget), or a shard tampered *again* after exhausting its
+//!   per-shard recovery budget, means containment is over: the global
+//!   flag flips, in-flight batch workers abort, and every peer shard is
+//!   force-killed so each is individually inert thereafter.
 
 // audit: allow-file(indexing, shard and queue indices come from shard_of_addr and the queue builder, bounded by the shard count)
 
@@ -46,6 +52,12 @@ use crate::layout;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
 use toleo_crypto::aes::Aes128;
+
+pub mod recovery;
+
+pub use recovery::{RecoveryOutcome, RecoveryStats, DEFAULT_RECOVERY_BUDGET};
+
+use recovery::RecoveryPlane;
 
 // The shards are driven from scoped worker threads; this fails to compile
 // if `ProtectionEngine` ever grows a non-Send member.
@@ -101,6 +113,21 @@ impl QuarantineMap {
         newly
     }
 
+    /// Clears `shard`'s bit after a completed recovery; returns `true` if
+    /// it was set. Bumps the epoch just like [`mark`](Self::mark), so
+    /// in-flight batch workers observe the re-admission at their next
+    /// poll — the only thing peers ever see of a recovery.
+    fn clear(&self, shard: usize) -> bool {
+        let bit = 1u64 << (shard % 64);
+        let quarantine_word = &self.words[shard / 64];
+        let was_set = quarantine_word.fetch_and(!bit, Ordering::SeqCst) & bit != 0;
+        if was_set {
+            let quarantine_epoch = &self.epoch;
+            quarantine_epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        was_set
+    }
+
     fn is_quarantined(&self, shard: usize) -> bool {
         let bit = 1u64 << (shard % 64);
         let quarantine_word = &self.words[shard / 64];
@@ -146,6 +173,9 @@ pub struct RobustnessStats {
     /// observed it — the realized detection latency, bounded by
     /// [`kill_poll_ops`](ShardedEngine::kill_poll_ops).
     pub max_poll_lag_ops: u64,
+    /// Recovery-plane counters: scrubs, re-keys, lost blocks, and
+    /// budget-exhaustion kills. See [`RecoveryStats`].
+    pub recovery: RecoveryStats,
 }
 
 /// A sharded, thread-safe protection engine: N independent
@@ -186,6 +216,10 @@ pub struct ShardedEngine {
     ops_at_last_quarantine: AtomicU64,
     /// Worst observed poll lag (see [`RobustnessStats::max_poll_lag_ops`]).
     max_poll_lag_ops: AtomicU64,
+    /// The recovery plane: retained root key material + robustness config
+    /// for re-keying, per-shard recovery generations and budget, and the
+    /// lost-block ledger. See the [`recovery`] module.
+    recovery: RecoveryPlane,
     cfg: ToleoConfig,
 }
 
@@ -250,6 +284,7 @@ impl ShardedEngine {
             ops_served: AtomicU64::new(0),
             ops_at_last_quarantine: AtomicU64::new(0),
             max_poll_lag_ops: AtomicU64::new(0),
+            recovery: RecoveryPlane::new(shards, root_key, fault_plan, policy),
             cfg,
         })
     }
@@ -358,22 +393,34 @@ impl ShardedEngine {
 
     /// Classifies an engine-kill observed after an operation: a channel
     /// retry-budget exhaustion escalates to the world-kill; anything else
-    /// (tamper, replay) quarantines only this shard. Returns `true` when
-    /// the caller must finish the world-kill (after releasing the lock).
+    /// (tamper, replay) quarantines only this shard — unless the shard
+    /// has already consumed its recovery budget, in which case a repeat
+    /// tamper is a determined adversary parked on one address range and
+    /// containment gives way to the world-kill. Returns `true` when the
+    /// caller must finish the world-kill (after releasing the lock).
     fn escalate_after_kill(&self, shard: usize, error: &ToleoError) -> bool {
         if matches!(error, ToleoError::DeviceUnavailable { .. }) {
-            true
-        } else {
-            self.note_quarantine(shard);
-            false
+            return true;
         }
+        self.note_quarantine(shard);
+        if self.recovery.budget_consumed(shard) {
+            self.recovery.note_budget_kill();
+            return true;
+        }
+        false
     }
 
     /// Runs `f` on the shard owning `address`, then applies the
-    /// escalation ladder if the shard's engine died doing it.
+    /// escalation ladder if the shard's engine died doing it. `access`
+    /// decides how the op interacts with the lost-block ledger a recovery
+    /// may have left behind: reads refuse lost addresses with
+    /// [`ToleoError::PageLost`], successful writes repopulate them
+    /// (clearing the marker), and page frees discard every marker on the
+    /// page.
     fn run_on_shard<R>(
         &self,
         address: u64,
+        access: Access,
         f: impl FnOnce(&mut ProtectionEngine) -> Result<R>,
     ) -> Result<R> {
         self.check_alive(address)?;
@@ -384,7 +431,17 @@ impl ShardedEngine {
             if self.quarantine.is_quarantined(shard) {
                 return Err(Self::quarantine_refusal(shard, address, &engine));
             }
+            if matches!(access, Access::Read) && self.recovery.is_lost(shard, address) {
+                return Err(ToleoError::PageLost { shard, address });
+            }
             let result = f(&mut engine);
+            if result.is_ok() {
+                match access {
+                    Access::Read => {}
+                    Access::Write => self.recovery.clear_lost(shard, address),
+                    Access::Free => self.recovery.clear_lost_page(shard, address),
+                }
+            }
             if engine.is_killed() && !self.is_killed() {
                 if let Err(e) = &result {
                     escalate_world = self.escalate_after_kill(shard, e);
@@ -410,7 +467,7 @@ impl ShardedEngine {
     /// quarantined, and [`ToleoError::IntegrityViolation`] once the
     /// world-kill has engaged.
     pub fn write(&self, addr: u64, plaintext: &Block) -> Result<()> {
-        self.run_on_shard(addr, |engine| engine.write(addr, plaintext))
+        self.run_on_shard(addr, Access::Write, |engine| engine.write(addr, plaintext))
     }
 
     /// Reads the 64-byte block at `addr` through the owning shard.
@@ -419,9 +476,11 @@ impl ShardedEngine {
     ///
     /// As [`ProtectionEngine::read`]; a tamper detection on this shard
     /// quarantines it (healthy shards keep serving), while a device-level
-    /// failure escalates to the world-kill.
+    /// failure escalates to the world-kill. An address a recovery scrub
+    /// classified lost refuses with [`ToleoError::PageLost`] until a
+    /// fresh write repopulates it.
     pub fn read(&self, addr: u64) -> Result<Block> {
-        self.run_on_shard(addr, |engine| engine.read(addr))
+        self.run_on_shard(addr, Access::Read, |engine| engine.read(addr))
     }
 
     /// OS page free / remap, routed to the owning shard.
@@ -430,7 +489,9 @@ impl ShardedEngine {
     ///
     /// As [`ProtectionEngine::free_page`].
     pub fn free_page(&self, page: u64) -> Result<()> {
-        self.run_on_shard(page * PAGE_BYTES as u64, |engine| engine.free_page(page))
+        self.run_on_shard(page * PAGE_BYTES as u64, Access::Free, |engine| {
+            engine.free_page(page)
+        })
     }
 
     /// Writes a batch of blocks, fanned out across shards with one scoped
@@ -471,6 +532,7 @@ impl ShardedEngine {
         self.run_batch(
             ops.len(),
             (),
+            Access::Write,
             |i| ops[i].0,
             move |engine, chunk| {
                 scratch.clear();
@@ -511,6 +573,7 @@ impl ShardedEngine {
         self.run_batch(
             addrs.len(),
             [0u8; CACHE_BLOCK_BYTES],
+            Access::Read,
             |i| addrs[i],
             move |engine, chunk| {
                 scratch.clear();
@@ -532,6 +595,7 @@ impl ShardedEngine {
         &self,
         len: usize,
         fill: T,
+        access: Access,
         addr_of: impl Fn(usize) -> u64 + Sync,
         exec_chunk: impl FnMut(
                 &mut ProtectionEngine,
@@ -598,26 +662,58 @@ impl ShardedEngine {
                                 self.max_poll_lag_ops
                                     .fetch_max(ops_since_poll as u64, Ordering::SeqCst);
                             }
-                            match exec_chunk(&mut engine, chunk) {
-                                Ok(values) => {
-                                    self.ops_served
-                                        .fetch_add(chunk.len() as u64, Ordering::Relaxed);
-                                    done.extend(chunk.iter().copied().zip(values));
-                                    ops_since_poll = chunk.len();
+                            // Recovery may have left lost-block markers on
+                            // this shard: a read chunk stops at the first
+                            // lost address (ops before it are served,
+                            // exactly as op-at-a-time) and a write chunk
+                            // clears the markers it repopulates.
+                            let mut chunk = chunk;
+                            let mut lost_hit: Option<usize> = None;
+                            if matches!(access, Access::Read) {
+                                if let Some(pos) = chunk
+                                    .iter()
+                                    .position(|&i| self.recovery.is_lost(shard, addr_of(i)))
+                                {
+                                    lost_hit = Some(chunk[pos]);
+                                    chunk = &chunk[..pos];
                                 }
-                                Err((local, e)) => {
-                                    if engine.is_killed()
-                                        && !self.is_killed()
-                                        && self.escalate_after_kill(shard, &e)
-                                    {
-                                        // Only the flag here: trip_kill()
-                                        // locks every shard and we hold
-                                        // this one. The coordinator
-                                        // finishes the kill after join.
-                                        self.killed.store(true, Ordering::SeqCst);
+                            }
+                            if !chunk.is_empty() {
+                                match exec_chunk(&mut engine, chunk) {
+                                    Ok(values) => {
+                                        self.ops_served
+                                            .fetch_add(chunk.len() as u64, Ordering::Relaxed);
+                                        if matches!(access, Access::Write) {
+                                            for &i in chunk {
+                                                self.recovery.clear_lost(shard, addr_of(i));
+                                            }
+                                        }
+                                        done.extend(chunk.iter().copied().zip(values));
+                                        ops_since_poll = chunk.len();
                                     }
-                                    return Err((chunk[local], e));
+                                    Err((local, e)) => {
+                                        if engine.is_killed()
+                                            && !self.is_killed()
+                                            && self.escalate_after_kill(shard, &e)
+                                        {
+                                            // Only the flag here: trip_kill()
+                                            // locks every shard and we hold
+                                            // this one. The coordinator
+                                            // finishes the kill after join.
+                                            self.killed.store(true, Ordering::SeqCst);
+                                        }
+                                        return Err((chunk[local], e));
+                                    }
                                 }
+                            }
+                            if let Some(index) = lost_hit {
+                                return Err((
+                                    index,
+                                    ToleoError::PageLost {
+                                        shard,
+                                        address: addr_of(index),
+                                    },
+                                ));
                             }
                         }
                         // Tail poll: a quarantine landing during the final
@@ -758,6 +854,7 @@ impl ShardedEngine {
             ops_served: self.ops_served.load(Ordering::Relaxed),
             ops_at_last_quarantine: self.ops_at_last_quarantine.load(Ordering::SeqCst),
             max_poll_lag_ops: self.max_poll_lag_ops.load(Ordering::SeqCst),
+            recovery: self.recovery.stats(),
         }
     }
 
@@ -785,15 +882,27 @@ impl ShardedEngine {
     }
 }
 
+/// How an operation interacts with the lost-block ledger a recovery may
+/// have left behind (see [`recovery`]): reads refuse lost addresses,
+/// writes repopulate them, page frees discard every marker on the page.
+#[derive(Debug, Clone, Copy)]
+enum Access {
+    Read,
+    Write,
+    Free,
+}
+
 /// Whether `e` is security-relevant (must never be masked by a benign
-/// failure earlier in a batch): tampering, a quarantined shard, or an
-/// unreachable freshness device.
+/// failure earlier in a batch): tampering, a quarantined shard, an
+/// unreachable freshness device, or a block lost to a recovery scrub
+/// (data the adversary destroyed).
 fn error_is_severe(e: &ToleoError) -> bool {
     matches!(
         e,
         ToleoError::IntegrityViolation { .. }
             | ToleoError::ShardQuarantined { .. }
             | ToleoError::DeviceUnavailable { .. }
+            | ToleoError::PageLost { .. }
     )
 }
 
@@ -802,6 +911,14 @@ fn error_is_severe(e: &ToleoError) -> bool {
 /// encoding the shard index and the subkey's role, so no two shards — and
 /// no shard and the root — ever share a key.
 fn derive_shard_key(root: &[u8; 48], shard: u64) -> [u8; 48] {
+    derive_shard_key_gen(root, shard, 0)
+}
+
+/// Generation-salted variant of [`derive_shard_key`]: the recovery
+/// generation joins the PRF block, so a shard re-keyed after a quarantine
+/// shares no key material with its compromised predecessor. Generation 0
+/// is byte-identical to the original derivation.
+fn derive_shard_key_gen(root: &[u8; 48], shard: u64, generation: u8) -> [u8; 48] {
     let mut out = [0u8; 48];
     for (role, subkey) in crate::engine::split_key_material(root)
         .into_iter()
@@ -811,6 +928,7 @@ fn derive_shard_key(root: &[u8; 48], shard: u64) -> [u8; 48] {
         block[..8].copy_from_slice(&shard.to_le_bytes());
         block[8] = role as u8;
         block[9..15].copy_from_slice(b"shard/");
+        block[15] = generation;
         out[role * 16..(role + 1) * 16]
             .copy_from_slice(&Aes128::new(&subkey).encrypt_block(&block));
     }
@@ -825,6 +943,15 @@ fn derive_shard_seed(root_seed: u64, shard: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
+}
+
+/// Generation-salted variant of [`derive_shard_seed`]: a re-keyed shard's
+/// device draws a fresh stealth-base stream. `shard` is below
+/// [`MAX_SHARDS`] and the generation fits a byte, so distinct
+/// (shard, generation) pairs map to distinct derivation inputs.
+/// Generation 0 is identical to the original derivation.
+fn derive_shard_seed_gen(root_seed: u64, shard: u64, generation: u64) -> u64 {
+    derive_shard_seed(root_seed, shard ^ (generation << 32))
 }
 
 #[cfg(test)]
