@@ -3,14 +3,18 @@
 //! The reproduction's security argument rests on invariants that rustc
 //! does not check: protection-engine code must fail closed instead of
 //! panicking, the two intrinsics carve-outs must stay the only unsafe
-//! code and carry `SAFETY:` proofs, the kill flag's `SeqCst` (and the
-//! backend tag's `Relaxed`) must not silently weaken, and key material
-//! must never reach a format string. This crate lexes every `.rs` file
-//! under `crates/`, `src/` and `tests/` (no external parser — the
-//! workspace vendors offline) and enforces those invariants as CI-fatal
-//! findings, with an annotation/baseline system (`// audit: allow`,
-//! `AUDIT.json`) that makes every exception explicit, justified and
-//! diff-reviewed.
+//! code and carry `SAFETY:` proofs, key material must never reach a
+//! format string, and the quarantine/recovery handshake's concurrency
+//! protocol must hold — every atomic site pairs orderings per its
+//! declared role (`atomic-protocol`), mutexes respect the declared
+//! lock order and critical-section hygiene (`lock-discipline`), and
+//! every kill-poll loop observes the kill flag and quarantine epoch
+//! within its chunk bound (`blocking-in-poll`). This crate lexes every
+//! `.rs` file under `crates/`, `src/` and `tests/` (no external parser
+//! — the workspace vendors offline) and enforces those invariants as
+//! CI-fatal findings, with an annotation/baseline system
+//! (`// audit: allow`, `AUDIT.json` schema v2) that makes every
+//! exception explicit, justified and diff-reviewed.
 
 pub mod baseline;
 pub mod json;
@@ -102,32 +106,107 @@ impl Report {
 pub fn run_audit(root: &Path) -> Result<Report, String> {
     let baseline = Baseline::load(&root.join("AUDIT.json"))?;
     let files = discover(root)?;
+    let mut parsed = Vec::with_capacity(files.len());
+    for (abs, rel) in &files {
+        let text = std::fs::read_to_string(abs).map_err(|e| format!("{rel}: {e}"))?;
+        parsed.push(SourceFile::parse(rel, &text));
+    }
     let mut report = Report {
-        files_scanned: files.len(),
+        files_scanned: parsed.len(),
         ..Report::default()
     };
     let mut atomic_used: BTreeSet<String> = BTreeSet::new();
-    for (abs, rel) in &files {
-        let text = std::fs::read_to_string(abs).map_err(|e| format!("{rel}: {e}"))?;
-        let file = SourceFile::parse(rel, &text);
-        audit_file(&file, &baseline, &mut report, &mut atomic_used);
+    let mut lock_used: BTreeSet<String> = BTreeSet::new();
+    let mut poll_used: BTreeSet<usize> = BTreeSet::new();
+
+    // Lock discipline is a workspace pass: inversions propagate through
+    // calls, so the rule needs every policy-tier file at once. Its
+    // findings are routed back to their files for annotation handling.
+    let policy_files: Vec<&SourceFile> = parsed
+        .iter()
+        .filter(|f| tier(&f.rel_path) == Tier::Policy)
+        .collect();
+    let mut lock_by_file: BTreeMap<String, Vec<Finding>> = BTreeMap::new();
+    for finding in rules::locks::scan_workspace(&policy_files, &baseline.locks, &mut lock_used) {
+        lock_by_file
+            .entry(finding.file.clone())
+            .or_default()
+            .push(finding);
+    }
+
+    for file in &parsed {
+        let extra = lock_by_file.remove(&file.rel_path).unwrap_or_default();
+        audit_file(
+            file,
+            &baseline,
+            &mut report,
+            &mut atomic_used,
+            &mut poll_used,
+            extra,
+        );
     }
     diff_unsafe_inventory(&baseline, &report.unsafe_inventory, &mut report.findings);
     diff_allow_inventory(&baseline, &report.allowances, &mut report.findings);
     for policy in &baseline.atomics {
         if !atomic_used.contains(&policy.atomic) {
             report.findings.push(Finding::new(
-                "atomic-ordering",
+                "atomic-protocol",
                 "AUDIT.json",
                 0,
                 0,
                 format!(
-                    "policy entry `{}` matches no atomic operation in the tree: remove the \
+                    "protocol row `{}` matches no atomic operation in the tree: remove the \
                      stale row",
                     policy.atomic
                 ),
             ));
         }
+    }
+    for class in &baseline.locks {
+        if !lock_used.contains(&class.class) {
+            report.findings.push(Finding::new(
+                "lock-discipline",
+                "AUDIT.json",
+                0,
+                0,
+                format!(
+                    "locks class `{}` matches no acquisition in the tree: remove the stale row",
+                    class.class
+                ),
+            ));
+        }
+    }
+    for (ri, poll) in baseline.polls.iter().enumerate() {
+        if !poll_used.contains(&ri) {
+            report.findings.push(Finding::new(
+                "blocking-in-poll",
+                "AUDIT.json",
+                0,
+                0,
+                format!(
+                    "polls row for `{}` (chunker `{}`) matches no loop in the tree: remove \
+                     the stale row",
+                    poll.file, poll.chunker
+                ),
+            ));
+        }
+    }
+    report
+        .findings
+        .extend(rules::atomics::validate_policy(&baseline.atomics));
+    if baseline.migrated_from_v1 {
+        report.findings.push(Finding::new(
+            "baseline-schema",
+            "AUDIT.json",
+            0,
+            0,
+            format!(
+                "AUDIT.json uses schema `{}`: run `toleo-audit --fix-inventory` to migrate \
+                 it to `{}` (roles are inferred, then hand-review the protocol table)",
+                baseline::SCHEMA_V1,
+                baseline::SCHEMA
+            ),
+        ));
     }
     report
         .findings
@@ -135,13 +214,16 @@ pub fn run_audit(root: &Path) -> Result<Report, String> {
     Ok(report)
 }
 
-/// Audits one parsed file: runs every rule, applies annotations, and
+/// Audits one parsed file: runs every per-file rule, merges in any
+/// workspace-pass findings for this file, applies annotations, and
 /// reports stale or malformed annotations.
 fn audit_file(
     file: &SourceFile,
     baseline: &Baseline,
     report: &mut Report,
     atomic_used: &mut BTreeSet<String>,
+    poll_used: &mut BTreeSet<usize>,
+    extra: Vec<Finding>,
 ) {
     let tier = tier(&file.rel_path);
     for (line, msg) in &file.annotation_errors {
@@ -154,7 +236,7 @@ fn audit_file(
         ));
     }
 
-    let mut raw = Vec::new();
+    let mut raw = extra;
     raw.extend(rules::no_panic::scan(file, tier));
     raw.extend(rules::secrets::scan(file, tier));
     raw.extend(rules::unsafe_code::scan(file, &mut report.unsafe_inventory));
@@ -164,6 +246,7 @@ fn audit_file(
         &baseline.atomics,
         atomic_used,
     ));
+    raw.extend(rules::poll::scan(file, tier, &baseline.polls, poll_used));
 
     let mut used = vec![false; file.allowances.len()];
     for finding in raw {

@@ -8,8 +8,9 @@
 //!   allowance inventory, exit 1 on any finding (CI mode).
 //! * `--json` — machine-readable report on stdout (same exit code).
 //! * `--fix-inventory` — regenerate the `unsafe`/`allow` sections of
-//!   `AUDIT.json` from the tree (atomic policy preserved), then re-run
-//!   the audit so remaining findings are still visible.
+//!   `AUDIT.json` from the tree (protocol tables preserved; a v1 file
+//!   is migrated to schema v2), then re-run the audit so remaining
+//!   findings are still visible.
 //! * `--root PATH` — workspace root (default: current directory).
 
 use std::path::PathBuf;
@@ -43,7 +44,8 @@ fn parse_args() -> Result<Options, String> {
                 println!(
                     "toleo-audit [--check] [--json] [--fix-inventory] [--root PATH]\n\
                      Enforces the workspace security/concurrency invariants: no-panic \
-                     policy, unsafe inventory, atomic-ordering policy, secret hygiene.\n\
+                     policy, unsafe inventory, atomic-protocol table, lock discipline, \
+                     kill-poll probe coverage, secret hygiene.\n\
                      See README.md \"Static analysis\" for rules and annotation syntax."
                 );
                 std::process::exit(0);
@@ -67,7 +69,7 @@ fn main() -> ExitCode {
             eprintln!("toleo-audit: {e}");
             return ExitCode::from(2);
         }
-        println!("AUDIT.json regenerated (atomic policy table preserved).");
+        println!("AUDIT.json regenerated (protocol tables preserved, schema v2).");
     }
     let report = match toleo_audit::run_audit(&opts.root) {
         Ok(r) => r,

@@ -1,13 +1,17 @@
-//! Rule 3 — **atomic-ordering policy**.
+//! Rule 3 — **atomic-protocol policy**.
 //!
-//! The cross-shard kill flag and the crypto backend tag are the only
-//! lock-free shared state in the workspace, and their memory orderings
-//! are load-bearing: the kill flag must be `SeqCst` so a tamper verdict
-//! is totally ordered with the stats freeze it triggers, while the
-//! backend tag tolerates `Relaxed` because it is an idempotent cache.
-//! Every `Ordering::X` use must therefore match the policy table in
-//! `AUDIT.json`, keyed by the atomic's name — an undocumented atomic or
-//! a changed ordering is a finding, not a silent merge.
+//! The quarantine/recovery handshake coordinates lock-free state —
+//! quarantine bitmap word, quarantine epoch, the world-kill flag,
+//! telemetry counters — whose memory orderings are load-bearing: a
+//! `Relaxed` store on the epoch would pass every test on x86 and
+//! silently break the detection-latency bound on ARM. `AUDIT.json`
+//! therefore declares a *protocol table*: every atomic names its role
+//! (`flag` / `epoch` / `counter` / `guard` / `cache`) and the orderings
+//! it permits per operation kind (load / store / rmw). This rule checks
+//! every `Ordering::X` call site against the declared row, flags
+//! undeclared atomics, and validates the table itself against each
+//! role's legality rules (Release-store ↔ Acquire-load pairing; no
+//! `Relaxed` on synchronizing roles).
 
 use crate::lexer::TokenKind;
 use crate::rules::{Finding, Tier};
@@ -16,11 +20,11 @@ use std::collections::BTreeSet;
 
 /// `std::sync::atomic::Ordering` variants. `std::cmp::Ordering`'s
 /// `Less`/`Equal`/`Greater` deliberately don't match.
-const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+pub const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
 
 /// Methods that take an `Ordering`; used to walk from an `Ordering::X`
 /// token back to the atomic it orders.
-const ATOMIC_METHODS: [&str; 13] = [
+const ATOMIC_METHODS: [&str; 15] = [
     "load",
     "store",
     "swap",
@@ -34,22 +38,160 @@ const ATOMIC_METHODS: [&str; 13] = [
     "fetch_max",
     "fetch_update",
     "compare_exchange",
+    "compare_exchange_weak",
+    "compare_and_swap",
 ];
 
 /// How far (in code tokens) the receiver search walks back from an
 /// `Ordering::` use before giving up.
 const SEARCH_WINDOW: usize = 48;
 
-/// One documented atomic: its name and permitted orderings.
+/// What an atomic operation does to memory, for protocol purposes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    Load,
+    Store,
+    Rmw,
+}
+
+impl OpKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Rmw => "rmw",
+        }
+    }
+}
+
+/// The declared role of an atomic in the concurrency protocol. Roles
+/// bound which orderings a row may even declare: synchronizing roles
+/// (`flag`, `epoch`, `guard`) publish or observe other state and may
+/// never be `Relaxed`; `counter` and `cache` carry no happens-before
+/// obligations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// A latching decision bit other threads act on (world-kill flag).
+    Flag,
+    /// A monotonic change counter pollers watch (quarantine epoch).
+    Epoch,
+    /// Pure telemetry; no decision hangs on its ordering.
+    Counter,
+    /// Guards other data: its store publishes state a reader then
+    /// dereferences (quarantine word, recovery generation, lost count).
+    Guard,
+    /// A write-once idempotent cache (detected crypto backend).
+    Cache,
+}
+
+impl Role {
+    pub fn parse(s: &str) -> Option<Role> {
+        match s {
+            "flag" => Some(Role::Flag),
+            "epoch" => Some(Role::Epoch),
+            "counter" => Some(Role::Counter),
+            "guard" => Some(Role::Guard),
+            "cache" => Some(Role::Cache),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Role::Flag => "flag",
+            Role::Epoch => "epoch",
+            Role::Counter => "counter",
+            Role::Guard => "guard",
+            Role::Cache => "cache",
+        }
+    }
+
+    /// Orderings this role may declare for `kind`; `None` means the
+    /// role is unconstrained (counters and caches).
+    fn legal(self, kind: OpKind) -> Option<&'static [&'static str]> {
+        match self {
+            Role::Counter | Role::Cache => None,
+            Role::Flag | Role::Epoch | Role::Guard => Some(match kind {
+                OpKind::Load => &["Acquire", "SeqCst"],
+                OpKind::Store => &["Release", "SeqCst"],
+                OpKind::Rmw => &["Release", "AcqRel", "SeqCst"],
+            }),
+        }
+    }
+}
+
+/// One protocol table row: the atomic's role and its permitted
+/// orderings per operation kind. An empty list forbids that kind.
 #[derive(Debug, Clone)]
 pub struct AtomicPolicy {
     pub atomic: String,
-    pub orderings: Vec<String>,
+    pub role: Role,
+    pub load: Vec<String>,
+    pub store: Vec<String>,
+    pub rmw: Vec<String>,
 }
 
-/// Scans `file` for `Ordering::X` uses, checking each against `policy`.
-/// Names of policy entries that matched are added to `used` so stale
-/// table rows can be reported at the end of the run.
+impl AtomicPolicy {
+    fn permitted(&self, kind: OpKind) -> &[String] {
+        match kind {
+            OpKind::Load => &self.load,
+            OpKind::Store => &self.store,
+            OpKind::Rmw => &self.rmw,
+        }
+    }
+}
+
+/// Validates the protocol table itself: every declared ordering must be
+/// a real `Ordering` variant and legal for the row's role. Run once per
+/// audit; findings anchor to `AUDIT.json`.
+pub fn validate_policy(policy: &[AtomicPolicy]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for row in policy {
+        for kind in [OpKind::Load, OpKind::Store, OpKind::Rmw] {
+            for o in row.permitted(kind) {
+                if !ORDERINGS.contains(&o.as_str()) {
+                    out.push(Finding::new(
+                        "atomic-protocol",
+                        "AUDIT.json",
+                        0,
+                        0,
+                        format!(
+                            "protocol row `{}` lists unknown ordering `{o}` for {}s",
+                            row.atomic,
+                            kind.as_str()
+                        ),
+                    ));
+                    continue;
+                }
+                if let Some(legal) = row.role.legal(kind) {
+                    if !legal.contains(&o.as_str()) {
+                        out.push(Finding::new(
+                            "atomic-protocol",
+                            "AUDIT.json",
+                            0,
+                            0,
+                            format!(
+                                "protocol row `{}` has role `{}` but permits `Ordering::{o}` \
+                                 for {}s; `{}` roles synchronize and allow only [{}] there \
+                                 (Release store ↔ Acquire load, never Relaxed)",
+                                row.atomic,
+                                row.role.as_str(),
+                                kind.as_str(),
+                                row.role.as_str(),
+                                legal.join(", ")
+                            ),
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scans `file` for `Ordering::X` uses, checking each against the
+/// protocol table. Names of rows that matched are added to `used` so
+/// stale table rows can be reported at the end of the run.
 pub fn scan(
     file: &SourceFile,
     tier: Tier,
@@ -76,9 +218,9 @@ pub fn scan(
         let Some(ordering) = ordering_name(file, i) else {
             continue; // `Ordering::Less` etc.
         };
-        match receiver_of(file, i) {
-            None => out.push(Finding::new(
-                "atomic-ordering",
+        let Some(site) = attribute(file, i) else {
+            out.push(Finding::new(
+                "atomic-protocol",
                 &file.rel_path,
                 tok.line,
                 tok.col,
@@ -86,35 +228,56 @@ pub fn scan(
                     "`Ordering::{ordering}` could not be attributed to an atomic operation: \
                      keep orderings at the call site of load/store/rmw methods"
                 ),
+            ));
+            continue;
+        };
+        let kind = site.kind;
+        match policy.iter().find(|p| p.atomic == site.receiver) {
+            None => out.push(Finding::new(
+                "atomic-protocol",
+                &file.rel_path,
+                tok.line,
+                tok.col,
+                format!(
+                    "atomic `{}` is not declared in AUDIT.json's protocol table: add a row \
+                     naming its role and permitted load/store/rmw orderings",
+                    site.receiver
+                ),
             )),
-            Some(receiver) => match policy.iter().find(|p| p.atomic == receiver) {
-                None => out.push(Finding::new(
-                    "atomic-ordering",
-                    &file.rel_path,
-                    tok.line,
-                    tok.col,
-                    format!(
-                        "atomic `{receiver}` is not documented in AUDIT.json: add a policy \
-                             entry naming its permitted orderings and why they are sound"
-                    ),
-                )),
-                Some(entry) => {
-                    used.insert(receiver.clone());
-                    if !entry.orderings.iter().any(|o| o == ordering) {
-                        out.push(Finding::new(
-                            "atomic-ordering",
-                            &file.rel_path,
-                            tok.line,
-                            tok.col,
-                            format!(
-                                "`{receiver}` used with `Ordering::{ordering}` but AUDIT.json \
-                                     permits only [{}]: fix the call or re-justify the policy",
-                                entry.orderings.join(", ")
-                            ),
-                        ));
-                    }
+            Some(entry) => {
+                used.insert(site.receiver.clone());
+                let permitted = entry.permitted(kind);
+                if permitted.is_empty() {
+                    out.push(Finding::new(
+                        "atomic-protocol",
+                        &file.rel_path,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "`{}` declares no {} orderings in AUDIT.json but `{}` performs \
+                             one: extend the protocol row or remove the operation",
+                            site.receiver,
+                            kind.as_str(),
+                            site.method
+                        ),
+                    ));
+                } else if !permitted.iter().any(|o| o == ordering) {
+                    out.push(Finding::new(
+                        "atomic-protocol",
+                        &file.rel_path,
+                        tok.line,
+                        tok.col,
+                        format!(
+                            "`{}` {} uses `Ordering::{ordering}` but its `{}` protocol row \
+                             permits [{}]: fix the call site or re-justify the row",
+                            site.receiver,
+                            kind.as_str(),
+                            entry.role.as_str(),
+                            permitted.join(", ")
+                        ),
+                    ));
                 }
-            },
+            }
         }
     }
     out
@@ -134,23 +297,36 @@ fn ordering_name(file: &SourceFile, i: usize) -> Option<&str> {
     ORDERINGS.iter().find(|o| name.is_ident(o)).copied()
 }
 
-/// Walks back from the `Ordering` token to find `<receiver>.<method>(`,
-/// returning the receiver's final path/field segment (`killed`,
-/// `DEFAULT_BACKEND`).
-fn receiver_of(file: &SourceFile, ordering_idx: usize) -> Option<String> {
+/// An attributed `Ordering` use: the atomic's final path/field segment,
+/// the method called on it, and the protocol kind of *this* ordering
+/// argument (the failure ordering of `compare_exchange` and the fetch
+/// ordering of `fetch_update` are loads).
+struct Site {
+    receiver: String,
+    method: String,
+    kind: OpKind,
+}
+
+/// Walks back from the `Ordering` token to find `<receiver>.<method>(`.
+fn attribute(file: &SourceFile, ordering_idx: usize) -> Option<Site> {
     let mut walked = 0usize;
     let mut idx = ordering_idx;
     while walked < SEARCH_WINDOW {
         let (prev_idx, prev) = file.prev_code_token(idx)?;
         if prev.kind == TokenKind::Ident && ATOMIC_METHODS.contains(&prev.text.as_str()) {
-            let called = file
-                .next_code_token(prev_idx + 1)
-                .is_some_and(|(_, t)| t.is_punct('('));
+            let open = file.next_code_token(prev_idx + 1);
             let (dot_idx, dot) = file.prev_code_token(prev_idx)?;
-            if called && dot.is_punct('.') {
-                let (_, recv) = file.prev_code_token(dot_idx)?;
-                if recv.kind == TokenKind::Ident {
-                    return Some(recv.text.clone());
+            if let Some((open_idx, t)) = open {
+                if t.is_punct('(') && dot.is_punct('.') {
+                    let (_, recv) = file.prev_code_token(dot_idx)?;
+                    if recv.kind == TokenKind::Ident {
+                        let arg = arg_index(file, open_idx, ordering_idx);
+                        return Some(Site {
+                            receiver: recv.text.clone(),
+                            method: prev.text.clone(),
+                            kind: kind_of(&prev.text, arg),
+                        });
+                    }
                 }
             }
         }
@@ -160,16 +336,63 @@ fn receiver_of(file: &SourceFile, ordering_idx: usize) -> Option<String> {
     None
 }
 
+/// Zero-based argument position of the token at `at` within the call
+/// whose opening paren is at `open_idx` (top-level commas only).
+fn arg_index(file: &SourceFile, open_idx: usize, at: usize) -> usize {
+    let mut depth = 0i32;
+    let mut arg = 0usize;
+    for tok in file.tokens.iter().take(at).skip(open_idx + 1) {
+        if tok.is_punct('(') || tok.is_punct('[') || tok.is_punct('{') {
+            depth += 1;
+        } else if tok.is_punct(')') || tok.is_punct(']') || tok.is_punct('}') {
+            depth -= 1;
+        } else if tok.is_punct(',') && depth == 0 {
+            arg += 1;
+        }
+    }
+    arg
+}
+
+/// The protocol kind of the ordering in argument position `arg` of
+/// `method`: dual-ordering methods take a load (failure/fetch) ordering
+/// in their final position.
+fn kind_of(method: &str, arg: usize) -> OpKind {
+    match method {
+        "load" => OpKind::Load,
+        "store" => OpKind::Store,
+        "compare_exchange" | "compare_exchange_weak" => {
+            if arg >= 3 {
+                OpKind::Load
+            } else {
+                OpKind::Rmw
+            }
+        }
+        "fetch_update" => {
+            if arg == 1 {
+                OpKind::Load
+            } else {
+                OpKind::Rmw
+            }
+        }
+        _ => OpKind::Rmw,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    fn policy(entries: &[(&str, &[&str])]) -> Vec<AtomicPolicy> {
+    type PolicyRow<'a> = (&'a str, Role, &'a [&'a str], &'a [&'a str], &'a [&'a str]);
+
+    fn policy(entries: &[PolicyRow]) -> Vec<AtomicPolicy> {
         entries
             .iter()
-            .map(|(a, os)| AtomicPolicy {
+            .map(|(a, role, load, store, rmw)| AtomicPolicy {
                 atomic: a.to_string(),
-                orderings: os.iter().map(|s| s.to_string()).collect(),
+                role: *role,
+                load: load.iter().map(|s| s.to_string()).collect(),
+                store: store.iter().map(|s| s.to_string()).collect(),
+                rmw: rmw.iter().map(|s| s.to_string()).collect(),
             })
             .collect()
     }
@@ -183,46 +406,65 @@ mod tests {
 
     #[test]
     fn documented_matching_use_is_clean() {
-        let pol = policy(&[("killed", &["SeqCst"])]);
+        let pol = policy(&[(
+            "killed",
+            Role::Flag,
+            &["Acquire"],
+            &["Release", "SeqCst"],
+            &[],
+        )]);
         let (findings, used) = scan_src(
             "fn k(&self) { self.killed.store(true, Ordering::SeqCst); }",
             &pol,
         );
-        assert!(findings.is_empty());
+        assert!(findings.is_empty(), "{findings:?}");
         assert!(used.contains("killed"));
     }
 
     #[test]
-    fn wrong_ordering_is_flagged() {
-        let pol = policy(&[("killed", &["SeqCst"])]);
+    fn mispaired_ordering_is_flagged() {
+        let pol = policy(&[("killed", Role::Flag, &["Acquire"], &["Release"], &[])]);
         let (findings, _) = scan_src(
             "fn k(&self) -> bool { self.killed.load(Ordering::Relaxed) }",
             &pol,
         );
         assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("permits only [SeqCst]"));
+        assert!(findings[0].message.contains("permits [Acquire]"));
+        assert!(findings[0].message.contains("`flag` protocol row"));
+    }
+
+    #[test]
+    fn undeclared_op_kind_is_flagged() {
+        let pol = policy(&[("killed", Role::Flag, &["Acquire"], &["Release"], &[])]);
+        let (findings, _) = scan_src(
+            "fn k(&self) { self.killed.swap(true, Ordering::AcqRel); }",
+            &pol,
+        );
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("declares no rmw orderings"));
     }
 
     #[test]
     fn undocumented_atomic_is_flagged() {
         let (findings, _) = scan_src("fn f() { FLAG.store(1, Ordering::SeqCst); }", &[]);
         assert_eq!(findings.len(), 1);
-        assert!(findings[0].message.contains("not documented"));
+        assert!(findings[0].message.contains("not declared"));
     }
 
     #[test]
-    fn compare_exchange_checks_both_orderings() {
-        let pol = policy(&[("state", &["AcqRel", "Acquire"])]);
+    fn compare_exchange_failure_ordering_is_a_load() {
+        let pol = policy(&[("state", Role::Guard, &["Acquire"], &[], &["AcqRel"])]);
         let (ok, _) = scan_src(
             "fn f() { state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Acquire).ok(); }",
             &pol,
         );
-        assert!(ok.is_empty());
+        assert!(ok.is_empty(), "{ok:?}");
         let (bad, _) = scan_src(
-            "fn f() { state.compare_exchange(0, 1, Ordering::AcqRel, Ordering::Relaxed).ok(); }",
+            "fn f() { state.compare_exchange(0, 1, Ordering::Acquire, Ordering::Acquire).ok(); }",
             &pol,
         );
-        assert_eq!(bad.len(), 1);
+        assert_eq!(bad.len(), 1, "{bad:?}");
+        assert!(bad[0].message.contains("rmw"));
     }
 
     #[test]
@@ -249,12 +491,39 @@ mod tests {
 
     #[test]
     fn field_chains_resolve_to_final_segment() {
-        let pol = policy(&[("killed", &["SeqCst"])]);
+        let pol = policy(&[("killed", Role::Flag, &["SeqCst"], &[], &[])]);
         let (findings, used) = scan_src(
             "fn f(&self, i: usize) { self.shards[i].killed.load(Ordering::SeqCst); }",
             &pol,
         );
         assert!(findings.is_empty());
         assert!(used.contains("killed"));
+    }
+
+    #[test]
+    fn relaxed_on_synchronizing_role_fails_table_validation() {
+        let pol = policy(&[("epoch", Role::Epoch, &["Relaxed"], &["Release"], &[])]);
+        let findings = validate_policy(&pol);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("never Relaxed"));
+    }
+
+    #[test]
+    fn counter_role_may_declare_relaxed() {
+        let pol = policy(&[("ops_served", Role::Counter, &["Relaxed"], &[], &["Relaxed"])]);
+        assert!(validate_policy(&pol).is_empty());
+        let (findings, _) = scan_src(
+            "fn f(&self) { self.ops_served.fetch_add(1, Ordering::Relaxed); }",
+            &pol,
+        );
+        assert!(findings.is_empty());
+    }
+
+    #[test]
+    fn unknown_ordering_in_table_is_flagged() {
+        let pol = policy(&[("x", Role::Counter, &["Sequential"], &[], &[])]);
+        let findings = validate_policy(&pol);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains("unknown ordering"));
     }
 }

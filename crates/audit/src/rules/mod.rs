@@ -1,11 +1,15 @@
-//! The four project-specific rules and their shared vocabulary.
+//! The project-specific rules and their shared vocabulary.
 //!
-//! Each rule is a pure function from a lexed [`crate::source::SourceFile`] to a list of
-//! [`Finding`]s; suppression (annotations, baselines) happens centrally
-//! in [`crate::run_audit`] so every rule stays trivially testable.
+//! Each rule is a pure function from lexed [`crate::source::SourceFile`]s to a list
+//! of [`Finding`]s; suppression (annotations, baselines) happens
+//! centrally in [`crate::run_audit`] so every rule stays trivially
+//! testable. Most rules are per-file; `locks` is a workspace pass
+//! because lock-order inversions cross function and file boundaries.
 
 pub mod atomics;
+pub mod locks;
 pub mod no_panic;
+pub mod poll;
 pub mod secrets;
 pub mod unsafe_code;
 
@@ -49,8 +53,9 @@ pub fn tier(rel_path: &str) -> Tier {
 #[derive(Debug, Clone)]
 pub struct Finding {
     /// Rule identifier (`no-panic`, `unsafe-safety`, `unsafe-inventory`,
-    /// `atomic-ordering`, `secret-hygiene`, `annotation`,
-    /// `allow-baseline`).
+    /// `atomic-protocol`, `lock-discipline`, `blocking-in-poll`,
+    /// `secret-hygiene`, `annotation`, `allow-baseline`,
+    /// `baseline-schema`).
     pub rule: &'static str,
     /// Repo-relative file path.
     pub file: String,

@@ -9,7 +9,8 @@ use crate::lexer::{lex, Token, TokenKind};
 pub struct Allowance {
     /// Repo-relative path of the file carrying the annotation.
     pub file: String,
-    /// The rule being allowed (`panic`, `indexing`, `secret`).
+    /// The rule being allowed (`panic`, `indexing`, `secret`, `lock`,
+    /// `poll`).
     pub rule: String,
     /// `true` for `allow-file` (covers the whole file), `false` for a
     /// line-level `allow` (covers its own line and the next code line).
@@ -154,9 +155,9 @@ fn parse_annotation(body: &str) -> Result<(bool, String, String), String> {
         .ok_or_else(|| "audit annotation missing a reason after the rule".to_string())?;
     let rule = rule.trim();
     let reason = reason.trim();
-    if !matches!(rule, "panic" | "indexing" | "secret") {
+    if !matches!(rule, "panic" | "indexing" | "secret" | "lock" | "poll") {
         return Err(format!(
-            "unknown audit rule `{rule}` (expected panic, indexing or secret)"
+            "unknown audit rule `{rule}` (expected panic, indexing, secret, lock or poll)"
         ));
     }
     if reason.is_empty() {

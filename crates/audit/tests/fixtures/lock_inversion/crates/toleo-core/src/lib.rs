@@ -1,0 +1,13 @@
+//! Known-bad fixture: the locks table declares shard_engine <
+//! recovery_totals, so taking the totals lock first and a shard lock
+//! second must surface as a `lock-discipline` inversion finding.
+
+pub struct Engine;
+
+impl Engine {
+    pub fn totals_then_shard(&self) {
+        let totals = self.lock_totals();
+        let shard = self.lock_shard(0);
+        let _ = (totals, shard);
+    }
+}

@@ -1,0 +1,15 @@
+//! Fixture: sound code under a schema-v1 AUDIT.json. The only finding
+//! must be the `baseline-schema` migration pointer; after
+//! `--fix-inventory` rewrites the baseline to v2 the tree is clean.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+pub struct Engine {
+    killed: AtomicBool,
+}
+
+impl Engine {
+    pub fn is_killed(&self) -> bool {
+        self.killed.load(Ordering::SeqCst)
+    }
+}

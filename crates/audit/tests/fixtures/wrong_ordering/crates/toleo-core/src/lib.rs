@@ -1,6 +1,6 @@
-//! Known-bad fixture: the kill flag's policy table permits only
-//! `SeqCst`, so a `Relaxed` load must surface as an `atomic-ordering`
-//! finding.
+//! Known-bad fixture: the kill flag's protocol row (role `flag`)
+//! permits only `Acquire`/`SeqCst` loads, so a `Relaxed` load must
+//! surface as a mis-paired `atomic-protocol` finding.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 

@@ -1,0 +1,44 @@
+//! Deterministic interleaving checker for Toleo's concurrency protocols.
+//!
+//! The static side of the concurrency-correctness plane (`toleo-audit`)
+//! proves that every atomic call site uses the ordering its protocol row
+//! in `AUDIT.json` declares. This crate is the dynamic side: it proves
+//! the *protocol itself* is sound by exhaustively (at small bounds) and
+//! randomly (seeded, at larger bounds) exploring thread interleavings of
+//! a state-machine model of the quarantine/recovery handshake, and
+//! asserting the scheme invariants on every explored schedule:
+//!
+//! - no operation observes a re-keyed shard's old-generation data,
+//! - no wakeup is lost between quarantine and recovery (a waiter parked
+//!   on the quarantine epoch always reaches re-admission or the kill),
+//! - recovery-budget exhaustion always reaches the world-kill.
+//!
+//! Design rules, in the spirit of loom but dependency-free:
+//!
+//! - A [`Program`] is a cloneable value; one shared
+//!   atomic action per [`Program::step`]. The explorer owns
+//!   scheduling: exhaustive DFS clones the state at every branch point,
+//!   the random explorer walks fresh copies under a splitmix64 stream.
+//! - A step that returns [`Step::Blocked`] must not
+//!   mutate state; the explorer re-tries it after other threads run.
+//!   When every unfinished thread is blocked the explorer reports a
+//!   deadlock — which is exactly how a lost wakeup (a waiter whose wake
+//!   condition can no longer become true) is detected.
+//! - Everything is deterministic: no clocks, no OS randomness. A seed
+//!   reproduces a failing schedule bit-for-bit.
+//!
+//! The models live in [`map`] (the `QuarantineMap` word/epoch bit
+//! arithmetic, two shards racing on one word) and [`handshake`] (the
+//! four-phase quarantine → snapshot-freeze → recover/re-key → re-admit
+//! handshake, with injectable protocol bugs that the test suite proves
+//! the explorer catches). The integration tests replay explored
+//! schedules against the real `toleo_core::sharded::QuarantineMap` so
+//! the model cannot drift from the implementation it stands for.
+
+pub mod handshake;
+pub mod map;
+pub mod sched;
+
+pub use handshake::{Bug, Handshake};
+pub use map::MapRace;
+pub use sched::{explore_exhaustive, explore_random, Explored, Program, SplitMix64, Step};

@@ -1,0 +1,225 @@
+//! Models of the `QuarantineMap` bit/epoch arithmetic.
+//!
+//! Two layers, at two granularities:
+//!
+//! - [`WordModel`] is a sequential, op-granularity model of one 64-shard
+//!   word: `mark`/`clear`/`is_quarantined`/`epoch`/`count` with exactly
+//!   the real crate's return-value semantics. The integration tests
+//!   replay interleaved op schedules through both this model and the
+//!   real `toleo_core::sharded::QuarantineMap` and diff every
+//!   observation, so the model cannot drift from the implementation.
+//! - [`MapRace`] is a [`Program`] at *sub-op* granularity: the real
+//!   `mark` is a `fetch_or` followed by a separate conditional epoch
+//!   `fetch_add`, and `clear` is the mirror image. Two shards in the
+//!   same word quarantine and re-admit concurrently; the explorer
+//!   proves the single-RMW bit flips keep the neighbours' bits intact
+//!   through every interleaving of the non-atomic (bit, epoch) pair.
+
+use crate::sched::{Program, Step};
+
+/// Sequential model of one quarantine word plus the shared epoch,
+/// mirroring the real map's return-value contract op for op.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WordModel {
+    pub word: u64,
+    pub epoch: u64,
+}
+
+impl WordModel {
+    /// Returns `true` if this call newly set the bit (real `mark`).
+    pub fn mark(&mut self, shard: usize) -> bool {
+        let bit = 1u64 << (shard % 64);
+        let newly = self.word & bit == 0;
+        self.word |= bit;
+        if newly {
+            self.epoch += 1;
+        }
+        newly
+    }
+
+    /// Returns `true` if the bit was set (real `clear`).
+    pub fn clear(&mut self, shard: usize) -> bool {
+        let bit = 1u64 << (shard % 64);
+        let was_set = self.word & bit != 0;
+        self.word &= !bit;
+        if was_set {
+            self.epoch += 1;
+        }
+        was_set
+    }
+
+    pub fn is_quarantined(&self, shard: usize) -> bool {
+        self.word & (1u64 << (shard % 64)) != 0
+    }
+
+    pub fn count(&self) -> u64 {
+        u64::from(self.word.count_ones())
+    }
+}
+
+/// Per-thread position in the mark-then-clear sequence. Each RMW and
+/// each epoch bump is its own step, exactly the atomicity the real code
+/// has: the (bit, epoch) pair is NOT updated atomically.
+#[derive(Clone, Copy, Debug)]
+enum Pc {
+    FetchOr,
+    BumpAfterMark,
+    FetchAnd,
+    BumpAfterClear,
+    Done,
+}
+
+/// Two threads, one shard each in the same word, each running
+/// `mark(shard)` then `clear(shard)` at sub-op granularity.
+#[derive(Clone, Debug)]
+pub struct MapRace {
+    shards: [usize; 2],
+    word: u64,
+    epoch: u64,
+    pcs: [Pc; 2],
+    violation: Option<String>,
+}
+
+impl MapRace {
+    /// Both shards must fall in the same 64-shard word, else the race
+    /// being modelled (two RMWs on one cell) would not exist.
+    pub fn new(shards: [usize; 2]) -> Self {
+        assert_eq!(shards[0] / 64, shards[1] / 64, "shards must share a word");
+        assert_ne!(shards[0], shards[1], "distinct shards required");
+        MapRace {
+            shards,
+            word: 0,
+            epoch: 0,
+            pcs: [Pc::FetchOr; 2],
+            violation: None,
+        }
+    }
+
+    fn bit(&self, tid: usize) -> u64 {
+        1u64 << (self.shards[tid] % 64)
+    }
+}
+
+impl Program for MapRace {
+    fn thread_count(&self) -> usize {
+        2
+    }
+
+    fn step(&mut self, tid: usize) -> Step {
+        let bit = self.bit(tid);
+        match self.pcs[tid] {
+            Pc::FetchOr => {
+                // fetch_or is one atomic action; `newly` is computed
+                // from its return value, so the neighbour can never
+                // make our own mark look pre-existing.
+                let newly = self.word & bit == 0;
+                self.word |= bit;
+                if !newly {
+                    self.violation = Some(format!(
+                        "mark(shard {}) saw its own bit already set: a neighbour's RMW \
+                         leaked into our cell",
+                        self.shards[tid]
+                    ));
+                }
+                self.pcs[tid] = Pc::BumpAfterMark;
+                Step::Ran
+            }
+            Pc::BumpAfterMark => {
+                self.epoch += 1;
+                self.pcs[tid] = Pc::FetchAnd;
+                Step::Ran
+            }
+            Pc::FetchAnd => {
+                let was_set = self.word & bit != 0;
+                self.word &= !bit;
+                if !was_set {
+                    self.violation = Some(format!(
+                        "clear(shard {}) found its bit already gone: a neighbour's RMW \
+                         erased it",
+                        self.shards[tid]
+                    ));
+                }
+                self.pcs[tid] = Pc::BumpAfterClear;
+                Step::Ran
+            }
+            Pc::BumpAfterClear => {
+                self.epoch += 1;
+                self.pcs[tid] = Pc::Done;
+                Step::Ran
+            }
+            Pc::Done => Step::Done,
+        }
+    }
+
+    fn check(&self) -> Result<(), String> {
+        if let Some(v) = &self.violation {
+            return Err(v.clone());
+        }
+        let foreign = self.word & !(self.bit(0) | self.bit(1));
+        if foreign != 0 {
+            return Err(format!(
+                "word grew bits {foreign:#x} belonging to no modelled shard"
+            ));
+        }
+        Ok(())
+    }
+
+    fn check_final(&self) -> Result<(), String> {
+        if self.word != 0 {
+            return Err(format!(
+                "both shards re-admitted but word is {:#x}, not empty",
+                self.word
+            ));
+        }
+        if self.epoch != 4 {
+            return Err(format!(
+                "two marks + two clears must bump the epoch 4 times, saw {}",
+                self.epoch
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{explore_exhaustive, explore_random};
+
+    #[test]
+    fn concurrent_mark_clear_on_one_word_is_exhaustively_clean() {
+        // Shards 3 and 41 share word 0: C(8,4) = 70 interleavings of
+        // the eight sub-op steps, all explored, all invariant-clean.
+        let ex = explore_exhaustive(&MapRace::new([3, 41]), u64::MAX)
+            .expect("bit/epoch protocol holds under every interleaving");
+        assert_eq!(ex.schedules, 70);
+        assert!(!ex.capped);
+    }
+
+    #[test]
+    fn random_exploration_agrees() {
+        let ex = explore_random(&MapRace::new([0, 63]), 0xD0_DE, 200)
+            .expect("bit/epoch protocol holds under random schedules");
+        assert_eq!(ex.schedules, 200);
+    }
+
+    #[test]
+    fn word_model_matches_the_documented_return_contract() {
+        let mut m = WordModel::default();
+        assert!(m.mark(5));
+        assert!(!m.mark(5), "second mark is not 'newly'");
+        assert_eq!(m.epoch, 1, "no-op mark must not bump the epoch");
+        assert!(m.is_quarantined(5));
+        assert_eq!(m.count(), 1);
+        assert!(m.clear(5));
+        assert!(!m.clear(5), "second clear finds the bit gone");
+        assert_eq!(m.epoch, 2, "no-op clear must not bump the epoch");
+        assert!(!m.is_quarantined(5));
+    }
+
+    #[test]
+    #[should_panic(expected = "share a word")]
+    fn cross_word_shards_are_rejected() {
+        MapRace::new([0, 64]);
+    }
+}

@@ -1,0 +1,172 @@
+//! The CI model-check surface: explores thousands of interleavings of
+//! the quarantine/recovery handshake and the `QuarantineMap` bit/epoch
+//! race, and replays op schedules through both the model and the real
+//! `toleo_core::sharded::QuarantineMap` so the model cannot drift from
+//! the implementation it stands for. Everything here is seeded and
+//! deterministic: a failure reproduces bit-for-bit.
+
+use toleo_core::sharded::QuarantineMap;
+use toleo_model::map::WordModel;
+use toleo_model::{explore_exhaustive, explore_random, Bug, Handshake, MapRace, SplitMix64};
+
+/// The headline CI budget: at least this many complete schedules must
+/// be explored with every invariant holding.
+const SCHEDULE_FLOOR: u64 = 1_000;
+
+#[test]
+fn handshake_protocol_holds_across_thousands_of_schedules() {
+    let clean = Handshake::new(Bug::None, false);
+    let exhaustive = explore_exhaustive(&clean, 2_000)
+        .expect("exhaustive prefix: shipped protocol holds on every interleaving");
+    let random = explore_random(&clean, 0x0103_1ED0, 1_500)
+        .expect("random sweep: shipped protocol holds under seeded scheduling");
+    let budget = explore_random(&Handshake::new(Bug::None, true), 0x0103_1ED1, 1_000)
+        .expect("budget-exhausted path: world-kill escalation holds");
+    let total = exhaustive.schedules + random.schedules + budget.schedules;
+    assert!(
+        total >= 4 * SCHEDULE_FLOOR,
+        "explored only {total} schedules"
+    );
+}
+
+#[test]
+fn map_bit_epoch_race_is_exhaustively_clean() {
+    // Shards 2 and 40 share quarantine word 0: every interleaving of
+    // the two mark/clear sub-op sequences, fully enumerated.
+    let ex = explore_exhaustive(&MapRace::new([2, 40]), u64::MAX)
+        .expect("single-RMW bit flips preserve the neighbour's bits");
+    assert_eq!(ex.schedules, 70, "C(8,4) interleavings of 2x4 steps");
+    assert!(!ex.capped);
+    explore_random(&MapRace::new([5, 63]), 0x0103_1ED2, SCHEDULE_FLOOR)
+        .expect("random sweep over the same race");
+}
+
+/// Every injected protocol bug must be caught — that is the evidence
+/// that the clean runs above are meaningful.
+#[test]
+fn every_injected_bug_is_detected() {
+    let cases: [(Bug, bool, &[&str]); 5] = [
+        (Bug::EpochBeforeBit, false, &["before the bit flip"]),
+        (Bug::SkipReadmitEpochBump, false, &["deadlock"]),
+        (Bug::SkipKillOnBudget, true, &["world-kill"]),
+        // Depending on when the bypassing caller grabs the lock it
+        // either serves still-tampered data or the old generation.
+        (
+            Bug::ServeDuringRekey,
+            false,
+            &["tampered", "old-generation"],
+        ),
+        (Bug::SkipChunkPoll, false, &["kill-poll bound exceeded"]),
+    ];
+    for (bug, budget, needles) in cases {
+        let model = Handshake::new(bug, budget);
+        // Exhaustive prefix first, then the random sweep: at least one
+        // must surface the bug, and the message must name it.
+        let err = explore_exhaustive(&model, 5_000)
+            .and_then(|_| explore_random(&model, 0x0103_1ED3, 5_000))
+            .expect_err("injected bug escaped the explorer");
+        assert!(
+            needles.iter().any(|n| err.contains(n)) || err.contains("deadlock"),
+            "{bug:?}: unexpected failure shape: {err}"
+        );
+    }
+}
+
+/// Applies one op to both the sequential model and the real map and
+/// diffs every observable: return value, epoch, population count, and
+/// both shards' bits.
+fn apply_and_diff(model: &mut WordModel, real: &QuarantineMap, mark_phase: bool, shard: usize) {
+    let (model_ret, real_ret) = if mark_phase {
+        (model.mark(shard), real.mark(shard))
+    } else {
+        (model.clear(shard), real.clear(shard))
+    };
+    let op = if mark_phase { "mark" } else { "clear" };
+    assert_eq!(model_ret, real_ret, "{op}({shard}) return value diverged");
+    assert_eq!(
+        model.epoch,
+        real.epoch(),
+        "epoch diverged after {op}({shard})"
+    );
+    assert_eq!(
+        model.count(),
+        real.count(),
+        "count diverged after {op}({shard})"
+    );
+}
+
+/// Replays every op-granularity interleaving of two threads each doing
+/// `mark(shard)` then `clear(shard)` through the model AND the real
+/// `QuarantineMap`, diffing all observables after every op. Six
+/// distinct schedules (orderings of [m0, c0] x [m1, c1]); any semantic
+/// drift between `WordModel` and the real crate fails here.
+#[test]
+fn model_and_real_map_agree_on_every_two_thread_schedule() {
+    const SHARDS: [usize; 2] = [7, 55]; // same word, distinct bits
+    let schedules: [[usize; 4]; 6] = [
+        [0, 0, 1, 1],
+        [0, 1, 0, 1],
+        [0, 1, 1, 0],
+        [1, 0, 0, 1],
+        [1, 0, 1, 0],
+        [1, 1, 0, 0],
+    ];
+    for schedule in schedules {
+        let mut model = WordModel::default();
+        let real = QuarantineMap::for_model_checking(64);
+        let mut next_op = [0usize; 2]; // 0 = mark pending, 1 = clear pending
+        for tid in schedule {
+            apply_and_diff(&mut model, &real, next_op[tid] == 0, SHARDS[tid]);
+            next_op[tid] += 1;
+            for (t, &shard) in SHARDS.iter().enumerate() {
+                assert_eq!(
+                    model.is_quarantined(shard),
+                    real.is_quarantined(shard),
+                    "shard {shard} (thread {t}) bit diverged in schedule {schedule:?}"
+                );
+            }
+        }
+        assert_eq!(model.count(), 0, "all bits cleared at end of {schedule:?}");
+        assert_eq!(model.epoch, 4, "2 marks + 2 clears = 4 epoch bumps");
+    }
+}
+
+/// Seeded random replay at larger scale: many shards across several
+/// words, random mark/clear streams, model and real map in lockstep.
+#[test]
+fn model_and_real_map_agree_under_seeded_random_ops() {
+    let mut rng = SplitMix64::new(0x0103_1ED4);
+    // One WordModel per 64-shard word, mirroring the real layout.
+    const SHARD_COUNT: usize = 192;
+    let mut models = [WordModel::default(); SHARD_COUNT / 64];
+    let real = QuarantineMap::for_model_checking(SHARD_COUNT);
+    let mut epoch = 0u64;
+    for _ in 0..4_096 {
+        let shard = (rng.next_u64() % SHARD_COUNT as u64) as usize;
+        let model = &mut models[shard / 64];
+        let (model_ret, real_ret, op) = if rng.next_u64().is_multiple_of(2) {
+            let before = model.epoch;
+            let ret = model.mark(shard);
+            epoch += model.epoch - before;
+            (ret, real.mark(shard), "mark")
+        } else {
+            let before = model.epoch;
+            let ret = model.clear(shard);
+            epoch += model.epoch - before;
+            (ret, real.clear(shard), "clear")
+        };
+        assert_eq!(model_ret, real_ret, "{op}({shard}) return value diverged");
+        assert_eq!(
+            model.is_quarantined(shard),
+            real.is_quarantined(shard),
+            "{op}({shard}) bit diverged"
+        );
+        assert_eq!(
+            epoch,
+            real.epoch(),
+            "global epoch diverged after {op}({shard})"
+        );
+        let model_count: u64 = models.iter().map(WordModel::count).sum();
+        assert_eq!(model_count, real.count(), "population count diverged");
+    }
+}

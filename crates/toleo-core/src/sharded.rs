@@ -85,14 +85,26 @@ pub const DEFAULT_KILL_POLL_OPS: usize = 64;
 /// Marking is a `fetch_or`, so the shard that detects tampering can flip
 /// its own bit while still holding its engine lock — no lock ordering
 /// hazard with [`ShardedEngine::trip_kill`], which takes every lock.
+///
+/// Orderings follow the AUDIT.json protocol table: the word and epoch
+/// are `guard`/`epoch` roles, so writers publish with the release half
+/// of an `AcqRel` RMW and pollers observe with `Acquire` loads — the
+/// epoch bump that follows a bit flip is what carries the bit to a
+/// worker that only polls the epoch. Nothing here needs the single
+/// total order `SeqCst` buys; `toleo-model` explores the handshake's
+/// interleavings to back that claim.
+///
+/// Public (but doc-hidden) so `toleo-model` can cross-validate its
+/// bit/epoch model against the real implementation.
+#[doc(hidden)]
 #[derive(Debug)]
-struct QuarantineMap {
+pub struct QuarantineMap {
     words: Box<[AtomicU64]>,
     epoch: AtomicU64,
 }
 
 impl QuarantineMap {
-    fn new(shards: usize) -> Self {
+    pub(crate) fn new(shards: usize) -> Self {
         QuarantineMap {
             words: (0..shards.div_ceil(64))
                 .map(|_| AtomicU64::new(0))
@@ -101,14 +113,21 @@ impl QuarantineMap {
         }
     }
 
+    /// A free-standing map for cross-validation harnesses.
+    #[doc(hidden)]
+    pub fn for_model_checking(shards: usize) -> Self {
+        QuarantineMap::new(shards)
+    }
+
     /// Flips `shard`'s bit; returns `true` if this call newly set it.
-    fn mark(&self, shard: usize) -> bool {
+    #[doc(hidden)]
+    pub fn mark(&self, shard: usize) -> bool {
         let bit = 1u64 << (shard % 64);
         let quarantine_word = &self.words[shard / 64];
-        let newly = quarantine_word.fetch_or(bit, Ordering::SeqCst) & bit == 0;
+        let newly = quarantine_word.fetch_or(bit, Ordering::AcqRel) & bit == 0;
         if newly {
             let quarantine_epoch = &self.epoch;
-            quarantine_epoch.fetch_add(1, Ordering::SeqCst);
+            quarantine_epoch.fetch_add(1, Ordering::AcqRel);
         }
         newly
     }
@@ -117,33 +136,37 @@ impl QuarantineMap {
     /// it was set. Bumps the epoch just like [`mark`](Self::mark), so
     /// in-flight batch workers observe the re-admission at their next
     /// poll — the only thing peers ever see of a recovery.
-    fn clear(&self, shard: usize) -> bool {
+    #[doc(hidden)]
+    pub fn clear(&self, shard: usize) -> bool {
         let bit = 1u64 << (shard % 64);
         let quarantine_word = &self.words[shard / 64];
-        let was_set = quarantine_word.fetch_and(!bit, Ordering::SeqCst) & bit != 0;
+        let was_set = quarantine_word.fetch_and(!bit, Ordering::AcqRel) & bit != 0;
         if was_set {
             let quarantine_epoch = &self.epoch;
-            quarantine_epoch.fetch_add(1, Ordering::SeqCst);
+            quarantine_epoch.fetch_add(1, Ordering::AcqRel);
         }
         was_set
     }
 
-    fn is_quarantined(&self, shard: usize) -> bool {
+    #[doc(hidden)]
+    pub fn is_quarantined(&self, shard: usize) -> bool {
         let bit = 1u64 << (shard % 64);
         let quarantine_word = &self.words[shard / 64];
-        quarantine_word.load(Ordering::SeqCst) & bit != 0
+        quarantine_word.load(Ordering::Acquire) & bit != 0
     }
 
     /// Bumped on every new quarantine; workers poll it between chunks.
-    fn epoch(&self) -> u64 {
+    #[doc(hidden)]
+    pub fn epoch(&self) -> u64 {
         let quarantine_epoch = &self.epoch;
-        quarantine_epoch.load(Ordering::SeqCst)
+        quarantine_epoch.load(Ordering::Acquire)
     }
 
-    fn count(&self) -> u64 {
+    #[doc(hidden)]
+    pub fn count(&self) -> u64 {
         self.words
             .iter()
-            .map(|quarantine_word| u64::from(quarantine_word.load(Ordering::SeqCst).count_ones()))
+            .map(|quarantine_word| u64::from(quarantine_word.load(Ordering::Acquire).count_ones()))
             .sum()
     }
 }
@@ -330,7 +353,11 @@ impl ShardedEngine {
     /// worker panic). Per-shard tamper detections quarantine instead; see
     /// [`is_shard_quarantined`](Self::is_shard_quarantined).
     pub fn is_killed(&self) -> bool {
-        self.killed.load(Ordering::SeqCst)
+        // Acquire pairs with the Release stores in trip_kill and the
+        // batch workers: seeing the flag also sees the state that
+        // justified it. The flag only latches, so no total order is
+        // needed (protocol role `flag` in AUDIT.json).
+        self.killed.load(Ordering::Acquire)
     }
 
     /// Whether `shard` is quarantined (out-of-range shard indices are
@@ -364,7 +391,7 @@ impl ShardedEngine {
     /// so each is individually inert. Must not be called while holding a
     /// shard lock (it acquires all of them in turn).
     fn trip_kill(&self) {
-        self.killed.store(true, Ordering::SeqCst);
+        self.killed.store(true, Ordering::Release);
         for index in 0..self.shards.len() {
             self.lock_shard(index).force_kill();
         }
@@ -376,7 +403,7 @@ impl ShardedEngine {
     fn note_quarantine(&self, shard: usize) {
         if self.quarantine.mark(shard) {
             let served = self.ops_served.load(Ordering::Relaxed);
-            self.ops_at_last_quarantine.store(served, Ordering::SeqCst);
+            self.ops_at_last_quarantine.store(served, Ordering::Release);
         }
     }
 
@@ -647,8 +674,11 @@ impl ShardedEngine {
                         for chunk in queue.chunks(poll_ops) {
                             // A device-level failure on any shard trips the
                             // world-kill while this queue was draining:
-                            // abort promptly.
-                            if self.killed.load(Ordering::SeqCst) {
+                            // abort promptly. Acquire is the hot half of
+                            // the flag protocol — on x86 it costs nothing
+                            // over Relaxed, and on ARM it avoids the full
+                            // fence a SeqCst load would issue every chunk.
+                            if self.killed.load(Ordering::Acquire) {
                                 return Err((
                                     chunk[0],
                                     ToleoError::IntegrityViolation {
@@ -660,7 +690,7 @@ impl ShardedEngine {
                             if epoch_now != epoch_seen {
                                 epoch_seen = epoch_now;
                                 self.max_poll_lag_ops
-                                    .fetch_max(ops_since_poll as u64, Ordering::SeqCst);
+                                    .fetch_max(ops_since_poll as u64, Ordering::Relaxed);
                             }
                             // Recovery may have left lost-block markers on
                             // this shard: a read chunk stops at the first
@@ -700,7 +730,7 @@ impl ShardedEngine {
                                             // locks every shard and we hold
                                             // this one. The coordinator
                                             // finishes the kill after join.
-                                            self.killed.store(true, Ordering::SeqCst);
+                                            self.killed.store(true, Ordering::Release);
                                         }
                                         return Err((chunk[local], e));
                                     }
@@ -720,7 +750,7 @@ impl ShardedEngine {
                         // chunk still gets its observation lag recorded.
                         if self.quarantine.epoch() != epoch_seen {
                             self.max_poll_lag_ops
-                                .fetch_max(ops_since_poll as u64, Ordering::SeqCst);
+                                .fetch_max(ops_since_poll as u64, Ordering::Relaxed);
                         }
                         Ok(done)
                     });
@@ -736,7 +766,7 @@ impl ShardedEngine {
                     // the world and fail the shard's whole queue rather
                     // than silently dropping its ops.
                     Err(_) => {
-                        self.killed.store(true, Ordering::SeqCst);
+                        self.killed.store(true, Ordering::Release);
                         Err((
                             first,
                             ToleoError::IntegrityViolation {
@@ -852,8 +882,8 @@ impl ShardedEngine {
             quarantined_shards: self.quarantine.count(),
             world_killed: self.is_killed(),
             ops_served: self.ops_served.load(Ordering::Relaxed),
-            ops_at_last_quarantine: self.ops_at_last_quarantine.load(Ordering::SeqCst),
-            max_poll_lag_ops: self.max_poll_lag_ops.load(Ordering::SeqCst),
+            ops_at_last_quarantine: self.ops_at_last_quarantine.load(Ordering::Acquire),
+            max_poll_lag_ops: self.max_poll_lag_ops.load(Ordering::Relaxed),
             recovery: self.recovery.stats(),
         }
     }

@@ -177,7 +177,7 @@ impl RecoveryPlane {
     /// Completed recoveries of `shard` (its current key generation).
     pub(super) fn recoveries_of(&self, shard: usize) -> u64 {
         let shard_recoveries = &self.recoveries[shard];
-        shard_recoveries.load(Ordering::SeqCst)
+        shard_recoveries.load(Ordering::Acquire)
     }
 
     /// Whether `shard` has consumed its whole recovery budget — the
@@ -195,7 +195,7 @@ impl RecoveryPlane {
     /// the shard has no losses.
     pub(super) fn is_lost(&self, shard: usize, addr: u64) -> bool {
         let lost_count = &self.lost_counts[shard];
-        if lost_count.load(Ordering::SeqCst) == 0 {
+        if lost_count.load(Ordering::Acquire) == 0 {
             return false;
         }
         self.lock_lost(shard).contains(&addr)
@@ -204,11 +204,11 @@ impl RecoveryPlane {
     /// Drops the lost marker for `addr` (a fresh write repopulated it).
     pub(super) fn clear_lost(&self, shard: usize, addr: u64) {
         let lost_count = &self.lost_counts[shard];
-        if lost_count.load(Ordering::SeqCst) == 0 {
+        if lost_count.load(Ordering::Acquire) == 0 {
             return;
         }
         if self.lock_lost(shard).remove(&addr) {
-            lost_count.fetch_sub(1, Ordering::SeqCst);
+            lost_count.fetch_sub(1, Ordering::AcqRel);
         }
     }
 
@@ -217,7 +217,7 @@ impl RecoveryPlane {
     /// *new* contents, not for blocks lost from its previous life.
     pub(super) fn clear_lost_page(&self, shard: usize, addr: u64) {
         let lost_count = &self.lost_counts[shard];
-        if lost_count.load(Ordering::SeqCst) == 0 {
+        if lost_count.load(Ordering::Acquire) == 0 {
             return;
         }
         let page = layout::page_of(addr);
@@ -227,7 +227,7 @@ impl RecoveryPlane {
         let removed = (before - set.len()) as u64;
         drop(set);
         if removed > 0 {
-            lost_count.fetch_sub(removed, Ordering::SeqCst);
+            lost_count.fetch_sub(removed, Ordering::AcqRel);
         }
     }
 
@@ -249,7 +249,7 @@ impl RecoveryPlane {
         drop(set);
         if added > 0 {
             let lost_count = &self.lost_counts[shard];
-            lost_count.fetch_add(added, Ordering::SeqCst);
+            lost_count.fetch_add(added, Ordering::AcqRel);
         }
     }
 
@@ -259,7 +259,7 @@ impl RecoveryPlane {
         let blocks_still_lost: u64 = self
             .lost_counts
             .iter()
-            .map(|lost_count| lost_count.load(Ordering::SeqCst))
+            .map(|lost_count| lost_count.load(Ordering::Acquire))
             .sum();
         RecoveryStats {
             recoveries: t.recoveries,
@@ -376,7 +376,7 @@ impl ShardedEngine {
         let blocks_lost = scrub.lost.len() as u64;
         self.recovery.install_losses(shard, &scrub.lost);
         let shard_recoveries = &self.recovery.recoveries[shard];
-        shard_recoveries.store(generation, Ordering::SeqCst);
+        shard_recoveries.store(generation, Ordering::Release);
         {
             let mut totals = self.recovery.lock_totals();
             totals.recoveries += 1;
